@@ -1,0 +1,91 @@
+// Ablation study of the design choices DESIGN.md calls out — §4b
+// implementation refinements and Algorithm 1's max(x_SIC) rule — plus the
+// extended shedding-policy comparison (tail-drop, head-drop, proportional).
+//
+// One fixed scenario (6 nodes, mixed complex workload, 3x overload), each
+// knob toggled off individually. Expected: every ablation costs fairness
+// (Jain) and/or mean SIC relative to the full configuration.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "metrics/reporter.h"
+
+namespace themis {
+namespace bench {
+namespace {
+
+MixConfig BaseConfig() {
+  MixConfig cfg;
+  cfg.num_queries = 80;
+  cfg.nodes = 6;
+  cfg.fragments_min = 1;
+  cfg.fragments_max = 3;
+  cfg.placement = PlacementPolicy::kUniformRandom;
+  cfg.sources_per_fragment = 4;
+  cfg.source_rate = 30.0;
+  cfg.overload_factor = 6.0;
+  cfg.warmup = Seconds(20);
+  cfg.measure = Seconds(15);
+  cfg.samples = 10;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace themis
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+  std::printf("Ablations of the BALANCE-SIC implementation (DESIGN.md "
+              "sections 4b/5) on a fixed 6-node mixed scenario.\n");
+
+  Reporter reporter("Ablation study",
+                    {"configuration", "jain", "mean_SIC", "std"});
+
+  auto add = [&](const char* label, const MixConfig& cfg) {
+    MixResult r = RunComplexMix(cfg);
+    reporter.AddRow(label, {r.jain, r.mean_sic, r.std_sic});
+  };
+
+  add("full (BALANCE-SIC)", BaseConfig());
+
+  {
+    MixConfig cfg = BaseConfig();
+    cfg.balance.prefer_high_sic = false;
+    add("no max(x_SIC) (FIFO selection)", cfg);
+  }
+  {
+    MixConfig cfg = BaseConfig();
+    cfg.balance.project_local_shedding = false;
+    add("no local projection", cfg);
+  }
+  {
+    MixConfig cfg = BaseConfig();
+    cfg.balance.interleave_sources = false;
+    add("no source interleaving", cfg);
+  }
+  {
+    MixConfig cfg = BaseConfig();
+    cfg.balance.window_group = 0;
+    add("no window grouping", cfg);
+  }
+  {
+    MixConfig cfg = BaseConfig();
+    cfg.disseminate = false;
+    add("no updateSIC dissemination", cfg);
+  }
+
+  // Extended policy comparison on the same scenario.
+  for (SheddingPolicy policy :
+       {SheddingPolicy::kRandom, SheddingPolicy::kDropNewest,
+        SheddingPolicy::kDropOldest, SheddingPolicy::kProportional}) {
+    MixConfig cfg = BaseConfig();
+    cfg.policy = policy;
+    add(("policy: " + SheddingPolicyName(policy)).c_str(), cfg);
+  }
+
+  reporter.Print();
+  return 0;
+}

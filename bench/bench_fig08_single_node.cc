@@ -1,0 +1,40 @@
+// Figure 8: single-node BALANCE-SIC fairness while the number of deployed
+// complex-workload queries grows from 30 to 330.
+//
+// Expected shape: mean SIC decreases with load (more tuples shed) while
+// Jain's index stays close to 1 — even under extreme overload the shedding
+// remains balanced.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "metrics/reporter.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+  std::printf("Reproduces Figure 8 of the THEMIS paper (single-node "
+              "fairness).\n");
+
+  Reporter reporter("Figure 8: single-node fairness vs number of queries",
+                    {"queries", "mean_SIC", "jain_index"});
+  for (int queries = 30; queries <= 330; queries += 60) {
+    MixConfig cfg;
+    cfg.num_queries = queries;
+    cfg.nodes = 1;
+    cfg.fragments_min = cfg.fragments_max = 1;
+    cfg.sources_per_fragment = 2;
+    cfg.source_rate = 40.0;
+    // Capacity fixed at what ~60 queries need: 30 queries run almost
+    // unshedded, 330 drop most of their input (the paper's sweep shape).
+    double fixed_capacity_rate = 60 * 2 * 40.0;
+    cfg.overload_factor =
+        (queries * 2 * 40.0) / fixed_capacity_rate;
+    cfg.warmup = Seconds(20);
+    cfg.measure = Seconds(15);
+    cfg.seed = 100 + queries;
+    MixResult r = RunComplexMix(cfg);
+    reporter.AddRow(std::to_string(queries), {r.mean_sic, r.jain});
+  }
+  reporter.Print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 11: effect of multi-fragmentation — the ratio of three-fragment to
+// single-fragment queries varies from 0.1 to 1.0 over 10 nodes at a constant
+// total fragment count.
+//
+// Expected shape: fairness (Jain) improves as more queries span multiple
+// nodes, because overlapping fragments propagate shedding information across
+// the federation.
+//
+// Ablation (--no-coordinator): disables updateSIC dissemination, reproducing
+// the Fig. 4 "without updateSIC(Q)" divergence.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/harness.h"
+#include "metrics/reporter.h"
+
+int main(int argc, char** argv) {
+  using namespace themis;
+  using namespace themis::bench;
+  bool no_coord = argc > 1 && std::strcmp(argv[1], "--no-coordinator") == 0;
+  std::printf("Reproduces Figure 11 of the THEMIS paper (multi-fragment "
+              "ratio)%s.\n",
+              no_coord ? " [ablation: no updateSIC dissemination]" : "");
+
+  const int kTotalFragments = 400;  // scaled from the paper's ~2000
+  Reporter reporter("Figure 11: fairness vs ratio of 3-fragment queries",
+                    {"ratio", "mean_SIC", "jain_index"});
+  for (double ratio : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    // Total fragments constant: q * (r*3 + (1-r)*1) = kTotalFragments.
+    int queries = static_cast<int>(kTotalFragments / (1.0 + 2.0 * ratio));
+    MixConfig cfg;
+    cfg.num_queries = queries;
+    cfg.nodes = 10;
+    cfg.multi_fragment_ratio = ratio;
+    cfg.multi_fragments = 3;
+    cfg.sources_per_fragment = 2;
+    cfg.source_rate = 25.0;
+    cfg.overload_factor = 3.0;
+    cfg.disseminate = !no_coord;
+    cfg.warmup = Seconds(20);
+    cfg.measure = Seconds(15);
+    cfg.seed = 400 + static_cast<int>(ratio * 10);
+    MixResult r = RunComplexMix(cfg);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", ratio);
+    reporter.AddRow(label, {r.mean_sic, r.jain});
+  }
+  reporter.Print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 13: scalability in the number of queries — 180 to 900 queries on a
+// fixed 18-node deployment.
+//
+// Expected shape: mean SIC decreases as more queries strain the fixed
+// capacity; Jain's index stays near 1 throughout.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "metrics/reporter.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+  std::printf("Reproduces Figure 13 of the THEMIS paper (scalability in "
+              "queries).\n");
+
+  Reporter reporter("Figure 13: fairness vs number of queries (18 nodes)",
+                    {"queries", "mean_SIC", "jain_index"});
+  const int kBaselineQueries = 180;  // capacity calibrated at the low end
+  for (int queries = 180; queries <= 900; queries += 180) {
+    MixConfig cfg;
+    cfg.num_queries = queries;
+    cfg.nodes = 18;
+    cfg.fragments_min = 1;
+    cfg.fragments_max = 6;
+    cfg.placement = PlacementPolicy::kZipf;
+    cfg.zipf_s = 0.5;  // mild skew; see bench_fig12_nodes.cc
+    cfg.sources_per_fragment = 2;
+    cfg.source_rate = 20.0;
+    // Fixed cluster capacity: overload grows linearly with query count.
+    cfg.overload_factor = 1.3 * queries / kBaselineQueries;
+    cfg.warmup = Seconds(20);
+    cfg.measure = Seconds(15);
+    cfg.seed = 600 + queries;
+    MixResult r = RunComplexMix(cfg);
+    reporter.AddRow(std::to_string(queries), {r.mean_sic, r.jain});
+  }
+  reporter.Print();
+  return 0;
+}

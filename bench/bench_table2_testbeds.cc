@@ -1,0 +1,45 @@
+// Table 2: the experimental test-beds, reproduced as simulator presets.
+// Prints both presets and runs a short smoke deployment on each to show the
+// derived capacities.
+#include <cstdio>
+
+#include "federation/testbeds.h"
+#include "metrics/reporter.h"
+#include "workload/workloads.h"
+
+int main() {
+  using namespace themis;
+  std::printf("Reproduces Table 2 of the THEMIS paper (test-bed set-ups) as "
+              "simulator presets.\n");
+
+  Reporter reporter("Table 2: test-bed presets",
+                    {"testbed", "proc_nodes", "src_rate_t/s", "batches/s",
+                     "link_ms", "cpu_speed"});
+  for (const TestbedSpec& spec : {LocalTestbed(), EmulabTestbed(18)}) {
+    reporter.AddRow(spec.name,
+                    {static_cast<double>(spec.processing_nodes),
+                     spec.source_rate, static_cast<double>(spec.batches_per_sec),
+                     static_cast<double>(spec.link_latency) / kMillisecond,
+                     spec.cpu_speed});
+  }
+  reporter.Print();
+
+  // Smoke run: one AVG query per preset, verifying the preset wiring.
+  Reporter smoke("Table 2: smoke deployment (one AVG query, 10 s)",
+                 {"testbed", "query_SIC"});
+  for (const TestbedSpec& spec : {LocalTestbed(), EmulabTestbed(3)}) {
+    auto fsps = MakeTestbed(spec, {});
+    WorkloadFactory f(1);
+    AggregateQueryOptions ao;
+    ao.source_rate = spec.source_rate;
+    ao.batches_per_sec = spec.batches_per_sec;
+    auto built = f.MakeAvg(1, ao);
+    std::map<FragmentId, NodeId> placement = {{0, 0}};
+    if (!fsps->Deploy(std::move(built.graph), placement).ok()) continue;
+    if (!fsps->AttachSources(1, built.sources).ok()) continue;
+    fsps->RunFor(Seconds(15));
+    smoke.AddRow(spec.name, {fsps->QuerySic(1)});
+  }
+  smoke.Print();
+  return 0;
+}

@@ -1,0 +1,235 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "metrics/jain.h"
+
+namespace themis {
+namespace bench {
+
+namespace {
+
+// Estimated simulated cost (us) of pushing one source tuple through a
+// complex-workload pipeline at cpu_speed 1 (receiver + merge/filter +
+// windowed aggregate shares). Used only to derive cpu_speed for a target
+// overload factor; the cost model measures the true value online.
+constexpr double kPipelineCostUs = 1.6;
+
+}  // namespace
+
+double CpuSpeedForOverload(double total_tuples_per_sec, int nodes,
+                           double overload_factor) {
+  double needed_us_per_sec = total_tuples_per_sec * kPipelineCostUs;
+  double available_us_per_sec = 1e6 * nodes * overload_factor;
+  return needed_us_per_sec / available_us_per_sec;
+}
+
+MixResult RunComplexMix(const MixConfig& config) {
+  Rng rng(config.seed);
+
+  FspsOptions opts;
+  opts.policy = config.policy;
+  opts.balance = config.balance;
+  opts.seed = config.seed;
+  opts.default_link_latency = config.link_latency;
+  opts.source_link_latency = config.link_latency;
+  opts.node.shed_interval = config.shed_interval;
+  opts.node.stw = config.stw;
+  opts.coordinator.stw = config.stw;
+  opts.coordinator.update_interval = config.shed_interval;
+  opts.coordinator.disseminate = config.disseminate;
+
+  // Pre-compute the aggregate source rate to hit the overload target.
+  Rng frag_rng = rng.Fork();
+  std::vector<int> frags_per_query(config.num_queries);
+  std::vector<ComplexKind> kind_per_query(config.num_queries);
+  double total_rate = 0.0;
+  for (int i = 0; i < config.num_queries; ++i) {
+    if (config.multi_fragment_ratio >= 0.0) {
+      frags_per_query[i] =
+          frag_rng.NextDouble() < config.multi_fragment_ratio
+              ? config.multi_fragments
+              : 1;
+    } else {
+      frags_per_query[i] = static_cast<int>(
+          frag_rng.UniformInt(config.fragments_min, config.fragments_max));
+    }
+    kind_per_query[i] =
+        static_cast<ComplexKind>(frag_rng.UniformInt(0, 2));
+    int per_fragment;
+    switch (kind_per_query[i]) {
+      case ComplexKind::kCov:
+        per_fragment = 2;
+        break;
+      case ComplexKind::kTop5:
+        per_fragment = 2 * config.sources_per_fragment;
+        break;
+      default:
+        per_fragment = config.sources_per_fragment;
+        break;
+    }
+    total_rate += per_fragment * frags_per_query[i] * config.source_rate;
+  }
+  double cpu_speed = CpuSpeedForOverload(total_rate, config.nodes,
+                                         config.overload_factor);
+  opts.node.cpu_speed = cpu_speed;
+
+  Fsps fsps(opts);
+  for (int i = 0; i < config.nodes; ++i) fsps.AddNode();
+
+  WorkloadFactory factory(config.seed);
+  Rng place_rng = rng.Fork();
+  for (QueryId q = 0; q < config.num_queries; ++q) {
+    ComplexQueryOptions co;
+    co.fragments = frags_per_query[q];
+    co.sources_per_fragment = kind_per_query[q] == ComplexKind::kTop5
+                                  ? 2 * config.sources_per_fragment
+                                  : config.sources_per_fragment;
+    co.source_rate = config.source_rate;
+    co.batches_per_sec = config.batches_per_sec;
+    co.dataset = config.dataset;
+    co.burst_prob = config.burst_prob;
+    BuiltQuery built = factory.MakeComplex(kind_per_query[q], q, co);
+    auto placement = PlaceFragments(*built.graph, fsps.node_ids(),
+                                    config.placement, config.zipf_s,
+                                    &place_rng);
+    Status st = fsps.Deploy(std::move(built.graph), placement);
+    THEMIS_CHECK(st.ok());
+    st = fsps.AttachSources(q, built.sources);
+    THEMIS_CHECK(st.ok());
+  }
+
+  fsps.RunFor(config.warmup);
+
+  MixResult result;
+  int samples = std::max(config.samples, 1);
+  SimDuration step = config.measure / samples;
+  std::vector<std::vector<double>> per_query(config.num_queries);
+  for (int s = 0; s < samples; ++s) {
+    fsps.RunFor(step);
+    std::vector<double> sics = fsps.AllQuerySics();
+    for (int q = 0; q < config.num_queries && q < static_cast<int>(sics.size());
+         ++q) {
+      per_query[q].push_back(sics[q]);
+    }
+  }
+  std::vector<double> time_means, time_stds;
+  time_means.reserve(per_query.size());
+  for (const auto& series : per_query) {
+    time_means.push_back(Mean(series));
+    time_stds.push_back(StdDev(series));
+  }
+  result.mean_sic = Mean(time_means);
+  result.jain = JainIndex(time_means);
+  result.std_sic = StdDev(time_means);
+  result.temporal_std = Mean(time_stds);
+  NodeStats totals = fsps.TotalNodeStats();
+  result.tuples_shed = totals.tuples_shed;
+  result.tuples_processed = totals.tuples_processed;
+  double cap = 0.0;
+  for (NodeId n : fsps.node_ids()) cap += fsps.node(n)->CurrentCapacity();
+  result.avg_capacity = cap / config.nodes;
+  return result;
+}
+
+CorrelationRun RunCorrelation(CorrelationQuery type, Dataset dataset,
+                              int num_queries, double cpu_speed,
+                              SimDuration run_time, uint64_t seed) {
+  FspsOptions opts;
+  opts.policy = SheddingPolicy::kRandom;  // §7.1 uses a random shedder
+  opts.seed = seed;
+  opts.coordinator.record_results = true;
+  // cpu_speed <= 0 requests the perfect (never-overloaded) reference run.
+  opts.node.cpu_speed = cpu_speed > 0.0 ? cpu_speed : 1000.0;
+
+  Fsps fsps(opts);
+  fsps.AddNode();
+  WorkloadFactory factory(seed);
+
+  for (QueryId q = 0; q < num_queries; ++q) {
+    BuiltQuery built;
+    switch (type) {
+      case CorrelationQuery::kAvg: {
+        AggregateQueryOptions ao;
+        ao.dataset = dataset;
+        ao.source_rate = 200.0;
+        built = factory.MakeAvg(q, ao);
+        break;
+      }
+      case CorrelationQuery::kMax: {
+        AggregateQueryOptions ao;
+        ao.dataset = dataset;
+        ao.source_rate = 200.0;
+        built = factory.MakeMax(q, ao);
+        break;
+      }
+      case CorrelationQuery::kCount: {
+        AggregateQueryOptions ao;
+        ao.dataset = dataset;
+        ao.source_rate = 200.0;
+        built = factory.MakeCount(q, ao);
+        break;
+      }
+      case CorrelationQuery::kTop5: {
+        ComplexQueryOptions co;
+        co.fragments = 1;
+        co.sources_per_fragment = 12;
+        co.source_rate = 20.0;  // §7.1 runs TOP-5 at a low per-source rate
+        co.dataset = dataset;
+        built = factory.MakeTop5(q, co);
+        break;
+      }
+      case CorrelationQuery::kCov: {
+        ComplexQueryOptions co;
+        co.fragments = 1;
+        co.source_rate = 200.0;
+        co.dataset = dataset;
+        built = factory.MakeCov(q, co);
+        break;
+      }
+    }
+    std::map<FragmentId, NodeId> placement;
+    for (FragmentId f : built.graph->fragment_ids()) placement[f] = 0;
+    Status st = fsps.Deploy(std::move(built.graph), placement);
+    THEMIS_CHECK(st.ok());
+    st = fsps.AttachSources(q, built.sources);
+    THEMIS_CHECK(st.ok());
+  }
+
+  fsps.RunFor(run_time);
+
+  CorrelationRun run;
+  for (QueryId q = 0; q < num_queries; ++q) {
+    QueryResultSeries series;
+    series.final_sic = fsps.QuerySic(q);
+    series.records = fsps.coordinator(q)->results();
+    run.queries.push_back(std::move(series));
+  }
+  return run;
+}
+
+std::vector<TimedValue> ScalarSeries(const std::vector<ResultRecord>& records) {
+  std::vector<TimedValue> out;
+  out.reserve(records.size());
+  for (const ResultRecord& r : records) {
+    if (r.values.empty()) continue;
+    out.push_back({r.time, AsDouble(r.values[0])});
+  }
+  return out;
+}
+
+std::map<SimTime, std::vector<int64_t>> IdListsByTime(
+    const std::vector<ResultRecord>& records) {
+  std::map<SimTime, std::vector<int64_t>> out;
+  for (const ResultRecord& r : records) {
+    if (r.values.empty()) continue;
+    out[r.time].push_back(AsInt(r.values[0]));
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace themis

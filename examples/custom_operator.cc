@@ -1,0 +1,115 @@
+// Custom (user-defined) operators — the property §4 is built around: THEMIS
+// treats queries as black boxes, so SIC propagation and BALANCE-SIC fair
+// shedding work for operators the system has never seen.
+//
+//   $ ./build/examples/custom_operator
+//
+// Defines an exponentially-weighted anomaly-score operator by subclassing
+// WindowedOperator. The base class applies Eq. (3) automatically: the
+// operator only computes payloads.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "federation/fsps.h"
+#include "runtime/operator.h"
+#include "runtime/operators/receiver.h"
+#include "runtime/query_graph.h"
+#include "workload/sources.h"
+
+namespace {
+
+using namespace themis;
+
+// Emits, once per window, an anomaly score: |window mean - long-run EWMA|
+// normalised by the running deviation. Stateful across windows — exactly
+// the kind of user-defined operator semantic shedding schemes cannot model,
+// and SIC handles for free.
+class AnomalyScoreOp : public WindowedOperator {
+ public:
+  explicit AnomalyScoreOp(WindowSpec spec, double alpha = 0.1)
+      : WindowedOperator("anomaly", spec, /*cost_us_per_tuple=*/1.2),
+        alpha_(alpha) {}
+
+ protected:
+  void ProcessPane(const Pane& pane, std::vector<Tuple>* out) override {
+    if (pane.tuples.empty()) return;
+    double sum = 0.0;
+    for (const Tuple& t : pane.tuples) sum += AsDouble(t.values[0]);
+    double mean = sum / static_cast<double>(pane.tuples.size());
+
+    if (!initialised_) {
+      level_ = mean;
+      deviation_ = 1.0;
+      initialised_ = true;
+    }
+    double score = std::abs(mean - level_) / std::max(deviation_, 1e-9);
+    deviation_ = alpha_ * std::abs(mean - level_) + (1 - alpha_) * deviation_;
+    level_ = alpha_ * mean + (1 - alpha_) * level_;
+
+    Tuple result;
+    result.values.push_back(score);
+    out->push_back(std::move(result));  // SIC assigned by the base (Eq. 3)
+  }
+
+ private:
+  double alpha_;
+  double level_ = 0.0;
+  double deviation_ = 1.0;
+  bool initialised_ = false;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Custom operator demo: anomaly scoring with automatic SIC "
+              "propagation.\n\n");
+
+  FspsOptions opts;
+  opts.seed = 5;
+  opts.node.cpu_speed = 0.002;  // overloaded: shedding will happen
+  opts.coordinator.record_results = true;
+  Fsps fsps(opts);
+  NodeId node = fsps.AddNode();
+
+  // Several identical anomaly queries — under overload, BALANCE-SIC must
+  // treat the custom operator like any other black box.
+  const int kQueries = 8;
+  Rng rng(9);
+  for (QueryId q = 0; q < kQueries; ++q) {
+    QueryBuilder b(q, "anomaly");
+    OperatorId recv = b.Add(std::make_unique<ReceiverOp>(), 0);
+    OperatorId anomaly = b.Add(
+        std::make_unique<AnomalyScoreOp>(WindowSpec::TumblingTime(kSecond)), 0);
+    OperatorId out = b.Add(std::make_unique<OutputOp>(), 0);
+    SourceId src = 1000 + q;
+    b.Connect(recv, anomaly).Connect(anomaly, out).BindSource(src, recv);
+    b.SetRoot(out);
+    auto graph = b.Build();
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    if (!fsps.Deploy(std::move(graph).TakeValue(), {{0, node}}).ok()) return 1;
+
+    SourceModel model;
+    model.tuples_per_sec = 300.0;
+    model.dataset = Dataset::kPlanetLab;  // drifting signal -> anomalies
+    if (!fsps.AttachSources(q, {{src, model}}).ok()) return 1;
+  }
+
+  fsps.RunFor(Seconds(30));
+
+  std::printf("%-8s %-10s %-14s %s\n", "query", "SIC", "result tuples",
+              "last anomaly score");
+  for (QueryId q = 0; q < kQueries; ++q) {
+    const auto& results = fsps.coordinator(q)->results();
+    double last = results.empty() ? 0.0 : AsDouble(results.back().values[0]);
+    std::printf("%-8d %-10.3f %-14zu %.3f\n", q, fsps.QuerySic(q),
+                results.size(), last);
+  }
+  std::printf("\ntuples shed: %llu — shedding balanced the custom queries "
+              "without knowing their semantics.\n",
+              static_cast<unsigned long long>(fsps.TotalNodeStats().tuples_shed));
+  return 0;
+}

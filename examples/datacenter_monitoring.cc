@@ -1,0 +1,95 @@
+// Data-centre monitoring under overload — the paper's complex workload
+// (Table 1) on a federated deployment, comparing BALANCE-SIC against random
+// shedding.
+//
+//   $ ./build/examples/datacenter_monitoring
+//
+// Deploys a mix of AVG-all, TOP-5 and COV health-monitoring queries over a
+// 6-node federation that is ~3x overloaded, and shows how the two policies
+// distribute the pain: BALANCE-SIC equalises result SIC across queries,
+// random shedding lets single-fragment queries crowd out federated ones.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "federation/fsps.h"
+#include "federation/placement.h"
+#include "metrics/jain.h"
+#include "workload/workloads.h"
+
+namespace {
+
+using namespace themis;
+
+struct RunOutcome {
+  std::vector<double> sics;        // per query, time-averaged
+  std::vector<std::string> label;  // query kind + fragment count
+};
+
+RunOutcome RunWith(SheddingPolicy policy) {
+  FspsOptions opts;
+  opts.policy = policy;
+  opts.seed = 42;
+  opts.node.cpu_speed = 0.0012;  // ~3x overloaded for this workload
+  Fsps fsps(opts);
+  const int kNodes = 6;
+  for (int i = 0; i < kNodes; ++i) fsps.AddNode();
+
+  WorkloadFactory factory(7);
+  Rng place_rng(11);
+  const int kQueries = 36;
+  RunOutcome outcome;
+  for (QueryId q = 0; q < kQueries; ++q) {
+    ComplexQueryOptions co;
+    co.fragments = 1 + (q % 3);  // 1-3 fragments
+    ComplexKind kind = static_cast<ComplexKind>(q % 3);
+    co.sources_per_fragment = kind == ComplexKind::kTop5 ? 8 : 4;
+    co.source_rate = 50.0;
+    BuiltQuery built = factory.MakeComplex(kind, q, co);
+    outcome.label.push_back(ComplexKindName(kind) + "/" +
+                            std::to_string(co.fragments) + "f");
+    auto placement =
+        PlaceFragments(*built.graph, fsps.node_ids(),
+                       PlacementPolicy::kUniformRandom, 0.0, &place_rng);
+    if (!fsps.Deploy(std::move(built.graph), placement).ok()) return outcome;
+    if (!fsps.AttachSources(q, built.sources).ok()) return outcome;
+  }
+
+  // Warm up, then time-average each query's SIC over 10 samples.
+  fsps.RunFor(Seconds(20));
+  outcome.sics.assign(kQueries, 0.0);
+  const int kSamples = 10;
+  for (int s = 0; s < kSamples; ++s) {
+    fsps.RunFor(Millis(1500));
+    auto now_sics = fsps.AllQuerySics();
+    for (int q = 0; q < kQueries; ++q) outcome.sics[q] += now_sics[q] / kSamples;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Data-centre monitoring: 36 queries (AVG-all/TOP-5/COV, 1-3 "
+              "fragments) on 6 nodes, ~3x overload.\n\n");
+
+  RunOutcome fair = RunWith(SheddingPolicy::kBalanceSic);
+  RunOutcome random = RunWith(SheddingPolicy::kRandom);
+
+  std::printf("%-12s %12s %12s\n", "query", "BALANCE-SIC", "random");
+  for (size_t q = 0; q < fair.sics.size(); ++q) {
+    std::printf("%-12s %12.3f %12.3f\n", fair.label[q].c_str(), fair.sics[q],
+                random.sics[q]);
+  }
+  std::printf("\n%-12s %12.3f %12.3f\n", "Jain index",
+              themis::JainIndex(fair.sics), themis::JainIndex(random.sics));
+  auto minmax_fair = std::minmax_element(fair.sics.begin(), fair.sics.end());
+  auto minmax_rand = std::minmax_element(random.sics.begin(), random.sics.end());
+  std::printf("%-12s %6.3f-%-6.3f %6.3f-%-6.3f\n", "SIC range",
+              *minmax_fair.first, *minmax_fair.second, *minmax_rand.first,
+              *minmax_rand.second);
+  std::printf("\nBALANCE-SIC keeps every query near the common water level; "
+              "random shedding\nlets locally-cheap queries win and starves "
+              "federated multi-fragment ones.\n");
+  return 0;
+}

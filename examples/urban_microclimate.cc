@@ -1,0 +1,176 @@
+// Urban micro-climate monitoring — the paper's Figure 1 scenario: an FSPS
+// spanning three autonomous sites (Rome, Paris, Mexico) connected by
+// wide-area links, processing environmental sensor streams for different
+// user groups.
+//
+//   $ ./build/examples/urban_microclimate
+//
+// Unlike the other examples this one builds query graphs by hand with
+// QueryBuilder, showing the operator-level public API: a federated "highest
+// carbon-monoxide readings" query whose fragments span two sites, and a
+// local covariance query between temperature and airflow.
+#include <cstdio>
+#include <memory>
+
+#include "federation/fsps.h"
+#include "metrics/jain.h"
+#include "runtime/operators/aggregates.h"
+#include "runtime/operators/covariance.h"
+#include "runtime/operators/filter_map.h"
+#include "runtime/operators/receiver.h"
+#include "runtime/operators/topk.h"
+#include "runtime/query_graph.h"
+#include "workload/sources.h"
+#include "workload/workloads.h"
+
+namespace {
+
+using namespace themis;
+
+// "The 10 highest carbon-monoxide concentration measurements on highways in
+// Mexico every minute" — scaled to 1 s windows and top-3 for the demo.
+// Fragment 0 (Mexico) filters highway sensors and pre-ranks locally;
+// fragment 1 (Paris, where the issuing agency runs) merges and emits.
+std::unique_ptr<QueryGraph> BuildCoQuery(QueryId id,
+                                         const std::vector<SourceId>& sensors) {
+  QueryBuilder b(id, "top-co");
+  WindowSpec win = WindowSpec::TumblingTime(kSecond);
+  const FragmentId mexico = 0, paris = 1;
+
+  OperatorId merge = b.Add(std::make_unique<UnionOp>(), mexico);
+  // Highway sensors report (sensor id, co ppm); keep readings above a floor.
+  OperatorId highway_filter = b.Add(
+      std::make_unique<FilterOp>(
+          [](const Tuple& t) {
+            return t.values.size() > 1 && AsDouble(t.values[1]) > 5.0;
+          },
+          win),
+      mexico);
+  OperatorId local_rank = b.Add(
+      std::make_unique<TopKOp>(3, /*value_field=*/1, /*key_field=*/0, win),
+      mexico);
+  OperatorId global_rank = b.Add(
+      std::make_unique<TopKOp>(3, /*value_field=*/1, /*key_field=*/0, win),
+      paris);
+  OperatorId out = b.Add(std::make_unique<OutputOp>(), paris);
+  b.Connect(merge, highway_filter)
+      .Connect(highway_filter, local_rank)
+      .Connect(local_rank, global_rank)
+      .Connect(global_rank, out)
+      .SetRoot(out);
+  for (SourceId s : sensors) {
+    OperatorId recv = b.Add(std::make_unique<ReceiverOp>(), mexico);
+    b.Connect(recv, merge).BindSource(s, recv);
+  }
+  auto graph = b.Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(graph).TakeValue();
+}
+
+// "Covariance between temperature and airflow in Paris" — single fragment.
+std::unique_ptr<QueryGraph> BuildCovQuery(QueryId id, SourceId temperature,
+                                          SourceId airflow) {
+  QueryBuilder b(id, "temp-airflow-cov");
+  WindowSpec win = WindowSpec::TumblingTime(kSecond);
+  const FragmentId paris = 0;
+  OperatorId t_recv = b.Add(std::make_unique<ReceiverOp>(), paris);
+  OperatorId a_recv = b.Add(std::make_unique<ReceiverOp>(), paris);
+  OperatorId cov = b.Add(std::make_unique<CovarianceOp>(0, 0, win), paris);
+  OperatorId out = b.Add(std::make_unique<OutputOp>(), paris);
+  b.Connect(t_recv, cov, /*port=*/0)
+      .Connect(a_recv, cov, /*port=*/1)
+      .Connect(cov, out)
+      .BindSource(temperature, t_recv)
+      .BindSource(airflow, a_recv)
+      .SetRoot(out);
+  return std::move(b.Build()).TakeValue();
+}
+
+// Sensor payload: (sensor id, reading). CO sensors hover around `mean` ppm.
+SourceModel SensorModel(int64_t sensor, double mean, double rate, Rng rng) {
+  SourceModel m;
+  m.tuples_per_sec = rate;
+  m.batches_per_sec = 5;
+  auto gen = std::make_shared<Rng>(rng);
+  m.payload = [sensor, mean, gen](SimTime) -> std::vector<Value> {
+    return {Value(sensor), Value(std::max(0.0, gen->Gaussian(mean, mean / 3)))};
+  };
+  // Rush hour: 10% of seconds the sensors report at 10x the rate.
+  m.burst_prob = 0.1;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Urban micro-climate FSPS: sites Rome(0), Paris(1), Mexico(2) "
+              "over 50 ms WAN links.\n\n");
+
+  FspsOptions opts;
+  opts.default_link_latency = Millis(50);  // intercontinental links
+  opts.source_link_latency = Millis(5);    // sensors reach their local site
+  opts.node.cpu_speed = 0.0015;            // sites are resource-starved (C2)
+  opts.seed = 3;
+  Fsps fsps(opts);
+  NodeId rome = fsps.AddNode();
+  NodeId paris = fsps.AddNode();
+  NodeId mexico = fsps.AddNode();
+  (void)rome;
+
+  Rng rng(17);
+  // Federated CO query: 8 highway sensors in Mexico, result in Paris.
+  std::vector<SourceId> co_sensors;
+  std::map<SourceId, SourceModel> co_models;
+  for (SourceId s = 0; s < 8; ++s) {
+    co_sensors.push_back(s);
+    co_models[s] = SensorModel(s, /*mean ppm=*/8.0, /*rate=*/120.0, rng.Fork());
+  }
+  auto co_query = BuildCoQuery(1, co_sensors);
+  if (co_query == nullptr) return 1;
+  if (!fsps.Deploy(std::move(co_query), {{0, mexico}, {1, paris}}).ok()) return 1;
+  if (!fsps.AttachSources(1, co_models).ok()) return 1;
+
+  // Local Paris covariance query between two sensors.
+  SourceId temp = 100, airflow = 101;
+  auto cov_query = BuildCovQuery(2, temp, airflow);
+  std::map<SourceId, SourceModel> cov_models = {
+      {temp, SensorModel(0, 20.0, 200.0, rng.Fork())},
+      {airflow, SensorModel(1, 35.0, 200.0, rng.Fork())},
+  };
+  if (!fsps.Deploy(std::move(cov_query), {{0, paris}}).ok()) return 1;
+  if (!fsps.AttachSources(2, cov_models).ok()) return 1;
+
+  // A batch of local Mexican aggregate queries competing for the same site.
+  WorkloadFactory factory(23);
+  for (QueryId q = 10; q < 22; ++q) {
+    AggregateQueryOptions ao;
+    ao.source_rate = 150.0;
+    BuiltQuery built = factory.MakeAvg(q, ao);
+    if (!fsps.Deploy(std::move(built.graph), {{0, mexico}}).ok()) return 1;
+    if (!fsps.AttachSources(q, built.sources).ok()) return 1;
+  }
+
+  for (int minute = 1; minute <= 3; ++minute) {
+    fsps.RunFor(Seconds(20));
+    auto sics = fsps.AllQuerySics();
+    std::printf("t=%2ds  federated-CO=%.3f  paris-cov=%.3f  "
+                "mexico-local(mean of 12)=%.3f  Jain=%.3f\n",
+                minute * 20, fsps.QuerySic(1), fsps.QuerySic(2),
+                [&] {
+                  double m = 0;
+                  for (QueryId q = 10; q < 22; ++q) m += fsps.QuerySic(q);
+                  return m / 12;
+                }(),
+                themis::JainIndex(sics));
+  }
+
+  auto totals = fsps.TotalNodeStats();
+  std::printf("\nshed %llu of %llu received tuples; the federated query is "
+              "not starved by Mexico's local load.\n",
+              static_cast<unsigned long long>(totals.tuples_shed),
+              static_cast<unsigned long long>(totals.tuples_received));
+  return 0;
+}

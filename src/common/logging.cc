@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace themis {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logging::SetLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Logging::GetLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logging::Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, msg.c_str());
+}
+
+}  // namespace themis

@@ -1,0 +1,65 @@
+// Minimal leveled logger. Not thread-aware beyond atomic level switching; the
+// simulator is single-threaded by design, so this is sufficient.
+#ifndef THEMIS_COMMON_LOGGING_H_
+#define THEMIS_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace themis {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logging configuration.
+class Logging {
+ public:
+  /// Sets the minimum level emitted to stderr. Default: kWarn (quiet tools).
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits one line (implementation detail of the THEMIS_LOG macro).
+  static void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+};
+
+namespace internal {
+
+/// Stream-collecting helper so call sites can use `<<`.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logging::Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace themis
+
+#define THEMIS_LOG(level)                                                       \
+  if (static_cast<int>(::themis::LogLevel::k##level) >=                         \
+      static_cast<int>(::themis::Logging::GetLevel()))                          \
+  ::themis::internal::LogMessage(::themis::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that survives NDEBUG builds; aborts with a message.
+#define THEMIS_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::themis::Logging::Emit(::themis::LogLevel::kError, __FILE__, __LINE__, \
+                              "CHECK failed: " #cond);                       \
+      ::abort();                                                             \
+    }                                                                        \
+  } while (false)
+
+#endif  // THEMIS_COMMON_LOGGING_H_

@@ -1,0 +1,29 @@
+// Simulated-time vocabulary. All timestamps in the library are simulated
+// microseconds; helpers below keep unit conversions explicit at call sites.
+#ifndef THEMIS_COMMON_TIME_TYPES_H_
+#define THEMIS_COMMON_TIME_TYPES_H_
+
+#include <cstdint>
+
+namespace themis {
+
+/// Simulated time, in microseconds since simulation start.
+using SimTime = int64_t;
+/// A duration in simulated microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Millis(int64_t ms) { return ms * kMillisecond; }
+constexpr SimDuration Seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_COMMON_TIME_TYPES_H_

@@ -1,0 +1,51 @@
+#include "federation/coordinator.h"
+
+namespace themis {
+
+QueryCoordinator::QueryCoordinator(const QueryGraph* graph, Options options,
+                                   EventQueue* queue, Network* network)
+    : graph_(graph),
+      options_(options),
+      queue_(queue),
+      network_(network),
+      tracker_(options.stw) {}
+
+void QueryCoordinator::AddHost(NodeId node_id, Node* node) {
+  hosts_[node_id] = node;
+}
+
+void QueryCoordinator::Start() {
+  if (started_) return;
+  started_ = true;
+  if (options_.disseminate) {
+    queue_->ScheduleAfter(options_.update_interval, [this] { Disseminate(); });
+  }
+}
+
+void QueryCoordinator::OnResult(SimTime now, const std::vector<Tuple>& results) {
+  if (stopped_) return;
+  double sic = 0.0;
+  for (const Tuple& t : results) sic += t.sic;
+  tracker_.AddResultSic(now, sic);
+  result_tuples_ += results.size();
+  if (options_.record_results) {
+    for (const Tuple& t : results) {
+      results_.push_back({t.timestamp, t.sic, t.values});
+    }
+  }
+}
+
+double QueryCoordinator::CurrentSic() { return tracker_.QuerySic(queue_->now()); }
+
+void QueryCoordinator::Disseminate() {
+  if (stopped_) return;  // do not reschedule: the query was undeployed
+  double sic = CurrentSic();
+  QueryId q = graph_->id();
+  for (auto& [node_id, node] : hosts_) {
+    network_->Send(home_, node_id, options_.update_message_bytes,
+                   [node, q, sic] { node->UpdateQuerySic(q, sic); });
+  }
+  queue_->ScheduleAfter(options_.update_interval, [this] { Disseminate(); });
+}
+
+}  // namespace themis

@@ -1,0 +1,90 @@
+// Logically-centralised per-query coordinator (§6): accumulates the query's
+// result SIC over the sliding STW and periodically disseminates the current
+// q_SIC value to every node hosting one of the query's fragments — the
+// updateSIC(Q) mechanism that makes independent shedding decisions converge
+// globally (§5.2, Fig. 4).
+#ifndef THEMIS_FEDERATION_COORDINATOR_H_
+#define THEMIS_FEDERATION_COORDINATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "node/node.h"
+#include "runtime/query_graph.h"
+#include "sic/stw_tracker.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace themis {
+
+/// One recorded result emission (used by the §7.1 correctness experiments).
+struct ResultRecord {
+  SimTime time = 0;
+  double sic = 0.0;
+  std::vector<Value> values;
+};
+
+/// \brief Tracks and disseminates one query's result SIC.
+class QueryCoordinator {
+ public:
+  struct Options {
+    SimDuration stw = Seconds(10);
+    /// Dissemination period (paper: 250 ms, matching the shedding interval).
+    SimDuration update_interval = Millis(250);
+    /// Record result tuples for offline correctness comparison. Off by
+    /// default: multi-node experiments would hold megabytes of payloads.
+    bool record_results = false;
+    /// Size of one dissemination message (§7.6 reports 30 bytes).
+    size_t update_message_bytes = 30;
+    /// Dissemination on/off; off reproduces the Fig. 4 "without
+    /// updateSIC(Q)" ablation where nodes shed in isolation.
+    bool disseminate = true;
+  };
+
+  QueryCoordinator(const QueryGraph* graph, Options options, EventQueue* queue,
+                   Network* network);
+
+  /// Registers a node hosting fragments of this query. `home` designates the
+  /// node the coordinator is co-located with (the root fragment's node); the
+  /// dissemination latency to each host is the network latency from `home`.
+  void SetHome(NodeId home) { home_ = home; }
+  void AddHost(NodeId node_id, Node* node);
+
+  /// Starts the periodic dissemination timer.
+  void Start();
+
+  /// Stops dissemination and ignores further results (query undeployment).
+  /// The object must stay alive until pending timer events have fired; Fsps
+  /// retires stopped coordinators instead of destroying them.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Result delivery from the root operator's node.
+  void OnResult(SimTime now, const std::vector<Tuple>& results);
+
+  /// Current Eq. (4) value over the trailing STW.
+  double CurrentSic();
+
+  const QueryGraph* graph() const { return graph_; }
+  const std::vector<ResultRecord>& results() const { return results_; }
+  uint64_t result_tuples() const { return result_tuples_; }
+
+ private:
+  void Disseminate();
+
+  const QueryGraph* graph_;
+  Options options_;
+  EventQueue* queue_;
+  Network* network_;
+  StwTracker tracker_;
+  NodeId home_ = 0;
+  std::map<NodeId, Node*> hosts_;
+  std::vector<ResultRecord> results_;
+  uint64_t result_tuples_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_FEDERATION_COORDINATOR_H_

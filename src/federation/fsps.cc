@@ -1,0 +1,253 @@
+#include "federation/fsps.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "shedding/baseline_shedders.h"
+#include "shedding/random_shedder.h"
+
+namespace themis {
+
+std::string SheddingPolicyName(SheddingPolicy policy) {
+  switch (policy) {
+    case SheddingPolicy::kBalanceSic:
+      return "balance-sic";
+    case SheddingPolicy::kRandom:
+      return "random";
+    case SheddingPolicy::kDropNewest:
+      return "drop-newest";
+    case SheddingPolicy::kDropOldest:
+      return "drop-oldest";
+    case SheddingPolicy::kProportional:
+      return "proportional";
+  }
+  return "?";
+}
+
+Fsps::Fsps(FspsOptions options)
+    : options_(options),
+      rng_(options.seed),
+      network_(&queue_, options.default_link_latency) {}
+
+Fsps::~Fsps() = default;
+
+NodeId Fsps::AddNode() { return AddNode(options_.node); }
+
+NodeId Fsps::AddNode(NodeOptions node_options) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(
+      std::make_unique<Node>(id, node_options, &queue_, this, MakeShedder()));
+  return id;
+}
+
+std::unique_ptr<Shedder> Fsps::MakeShedder() {
+  switch (options_.policy) {
+    case SheddingPolicy::kBalanceSic:
+      return std::make_unique<BalanceSicShedder>(rng_.Fork(), options_.balance);
+    case SheddingPolicy::kRandom:
+      return std::make_unique<RandomShedder>(rng_.Fork());
+    case SheddingPolicy::kDropNewest:
+      return std::make_unique<DropNewestShedder>();
+    case SheddingPolicy::kDropOldest:
+      return std::make_unique<DropOldestShedder>();
+    case SheddingPolicy::kProportional:
+      return std::make_unique<ProportionalShedder>();
+  }
+  return nullptr;
+}
+
+Node* Fsps::node(NodeId id) {
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) return nullptr;
+  return nodes_[id].get();
+}
+
+std::vector<NodeId> Fsps::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) ids.push_back(static_cast<NodeId>(i));
+  return ids;
+}
+
+Status Fsps::Deploy(std::unique_ptr<QueryGraph> graph,
+                    const std::map<FragmentId, NodeId>& placement) {
+  if (!graph) return Status::InvalidArgument("null query graph");
+  QueryId q = graph->id();
+  if (graphs_.count(q) > 0) {
+    return Status::AlreadyExists("query " + std::to_string(q) +
+                                 " already deployed");
+  }
+  for (FragmentId frag : graph->fragment_ids()) {
+    auto it = placement.find(frag);
+    if (it == placement.end()) {
+      return Status::InvalidArgument("fragment " + std::to_string(frag) +
+                                     " of query " + std::to_string(q) +
+                                     " has no placement");
+    }
+    if (node(it->second) == nullptr) {
+      return Status::InvalidArgument("fragment placed on unknown node " +
+                                     std::to_string(it->second));
+    }
+  }
+
+  QueryCoordinator::Options copts = options_.coordinator;
+  auto coordinator =
+      std::make_unique<QueryCoordinator>(graph.get(), copts, &queue_, &network_);
+  NodeId home = placement.at(graph->root_fragment());
+  coordinator->SetHome(home);
+
+  for (FragmentId frag : graph->fragment_ids()) {
+    NodeId nid = placement.at(frag);
+    nodes_[nid]->HostFragment(graph.get(), frag);
+    coordinator->AddHost(nid, nodes_[nid].get());
+  }
+
+  placements_[q] = placement;
+  coordinators_[q] = std::move(coordinator);
+  graphs_[q] = std::move(graph);
+  if (started_) coordinators_[q]->Start();
+  return Status::OK();
+}
+
+Status Fsps::AttachSources(QueryId q,
+                           const std::map<SourceId, SourceModel>& models,
+                           const SourceModel& fallback) {
+  auto git = graphs_.find(q);
+  if (git == graphs_.end()) {
+    return Status::NotFound("query " + std::to_string(q) + " not deployed");
+  }
+  const QueryGraph* graph = git->second.get();
+  const auto& placement = placements_.at(q);
+
+  for (const SourceBinding& sb : graph->sources()) {
+    SourceModel model = fallback;
+    if (auto it = models.find(sb.source); it != models.end()) model = it->second;
+
+    NodeId dest = placement.at(graph->fragment_of(sb.target));
+    Node* dest_node = nodes_[dest].get();
+    auto deliver = [this, dest, dest_node](Batch b) {
+      size_t bytes = BatchBytes(b);
+      auto shared = std::make_shared<Batch>(std::move(b));
+      network_.Send(/*from=*/kInvalidId, dest, bytes,
+                    [dest_node, shared] { dest_node->Receive(std::move(*shared)); });
+    };
+    sources_.push_back(std::make_unique<SourceDriver>(
+        sb.source, q, sb.target, sb.port, model, &queue_, rng_.Fork(),
+        std::move(deliver)));
+    if (started_) sources_.back()->Start();
+  }
+  return Status::OK();
+}
+
+Status Fsps::Undeploy(QueryId q) {
+  auto git = graphs_.find(q);
+  if (git == graphs_.end()) {
+    return Status::NotFound("query " + std::to_string(q) + " not deployed");
+  }
+  for (auto& src : sources_) {
+    if (src->query_id() == q) src->Stop();
+  }
+  for (const auto& [frag, node_id] : placements_.at(q)) {
+    nodes_[node_id]->UnhostQuery(q);
+  }
+  auto cit = coordinators_.find(q);
+  if (cit != coordinators_.end()) {
+    cit->second->Stop();
+    retired_coordinators_.push_back(std::move(cit->second));
+    coordinators_.erase(cit);
+  }
+  retired_graphs_.push_back(std::move(git->second));
+  graphs_.erase(git);
+  placements_.erase(q);
+  return Status::OK();
+}
+
+void Fsps::Start() {
+  if (started_) return;
+  started_ = true;
+  // Source links may differ from inter-node links (Table 2 has dedicated
+  // source nodes); model that with the pseudo source node kInvalidId.
+  for (const auto& n : nodes_) {
+    network_.SetLatency(kInvalidId, n->id(), options_.source_link_latency);
+    n->Start();
+  }
+  for (auto& [q, coord] : coordinators_) coord->Start();
+  for (auto& src : sources_) src->Start();
+}
+
+void Fsps::RunFor(SimDuration d) {
+  Start();
+  queue_.RunUntil(queue_.now() + d);
+}
+
+std::vector<QueryId> Fsps::query_ids() const {
+  std::vector<QueryId> ids;
+  ids.reserve(graphs_.size());
+  for (const auto& [q, graph] : graphs_) ids.push_back(q);
+  return ids;
+}
+
+const QueryGraph* Fsps::graph(QueryId q) const {
+  auto it = graphs_.find(q);
+  return it == graphs_.end() ? nullptr : it->second.get();
+}
+
+QueryCoordinator* Fsps::coordinator(QueryId q) {
+  auto it = coordinators_.find(q);
+  return it == coordinators_.end() ? nullptr : it->second.get();
+}
+
+double Fsps::QuerySic(QueryId q) {
+  QueryCoordinator* c = coordinator(q);
+  return c == nullptr ? 0.0 : c->CurrentSic();
+}
+
+std::vector<double> Fsps::AllQuerySics() {
+  std::vector<double> sics;
+  sics.reserve(coordinators_.size());
+  for (auto& [q, coord] : coordinators_) sics.push_back(coord->CurrentSic());
+  return sics;
+}
+
+NodeStats Fsps::TotalNodeStats() const {
+  NodeStats total;
+  for (const auto& n : nodes_) {
+    const NodeStats& s = n->stats();
+    total.tuples_received += s.tuples_received;
+    total.tuples_processed += s.tuples_processed;
+    total.tuples_shed += s.tuples_shed;
+    total.batches_received += s.batches_received;
+    total.batches_processed += s.batches_processed;
+    total.batches_shed += s.batches_shed;
+    total.shed_invocations += s.shed_invocations;
+    total.detector_invocations += s.detector_invocations;
+    total.busy_time += s.busy_time;
+  }
+  return total;
+}
+
+size_t Fsps::BatchBytes(const Batch& b) {
+  // 10-byte SIC header (§7.6) + a flat 16 bytes per tuple payload estimate.
+  return 10 + 16 * b.size();
+}
+
+void Fsps::RouteBatch(NodeId from, QueryId query, FragmentId to_fragment,
+                      Batch batch) {
+  auto pit = placements_.find(query);
+  if (pit == placements_.end()) return;
+  auto fit = pit->second.find(to_fragment);
+  if (fit == pit->second.end()) return;
+  NodeId dest = fit->second;
+  Node* dest_node = nodes_[dest].get();
+  size_t bytes = BatchBytes(batch);
+  auto shared = std::make_shared<Batch>(std::move(batch));
+  network_.Send(from, dest, bytes,
+                [dest_node, shared] { dest_node->Receive(std::move(*shared)); });
+}
+
+void Fsps::DeliverResult(QueryId query, SimTime now,
+                         const std::vector<Tuple>& results) {
+  auto it = coordinators_.find(query);
+  if (it != coordinators_.end()) it->second->OnResult(now, results);
+}
+
+}  // namespace themis

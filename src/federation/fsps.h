@@ -1,0 +1,135 @@
+// The THEMIS federated stream processing system: owns the simulated cluster
+// (event queue, network, nodes), deployed query graphs, per-query
+// coordinators and source drivers. This is the main entry point of the
+// library — see examples/quickstart.cc.
+#ifndef THEMIS_FEDERATION_FSPS_H_
+#define THEMIS_FEDERATION_FSPS_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "federation/coordinator.h"
+#include "node/node.h"
+#include "runtime/query_graph.h"
+#include "shedding/balance_sic_shedder.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "workload/sources.h"
+
+namespace themis {
+
+/// Which shedder every node runs. kBalanceSic is the paper's contribution,
+/// kRandom its baseline; the rest are extended baselines for the comparison
+/// bench (see shedding/baseline_shedders.h).
+enum class SheddingPolicy {
+  kBalanceSic,
+  kRandom,
+  kDropNewest,
+  kDropOldest,
+  kProportional,
+};
+
+/// Policy name as printed in reports ("balance-sic", "random", ...).
+std::string SheddingPolicyName(SheddingPolicy policy);
+
+/// System-wide configuration; defaults reproduce the paper's set-up (§7).
+struct FspsOptions {
+  SheddingPolicy policy = SheddingPolicy::kBalanceSic;
+  BalanceSicOptions balance;               ///< BALANCE-SIC knobs (ablations)
+  NodeOptions node;                        ///< template for AddNode()
+  QueryCoordinator::Options coordinator;   ///< STW, update interval, ...
+  SimDuration default_link_latency = Millis(5);  ///< Table 2 LAN star
+  SimDuration source_link_latency = Millis(5);   ///< source -> ingest node
+  uint64_t seed = 42;
+};
+
+/// \brief A complete simulated FSPS deployment.
+class Fsps : public BatchRouter {
+ public:
+  explicit Fsps(FspsOptions options = {});
+  ~Fsps() override;
+
+  // --- cluster construction -------------------------------------------------
+
+  /// Adds a processing node using the options template; returns its id.
+  NodeId AddNode();
+  /// Adds a node with explicit options (heterogeneous capacities).
+  NodeId AddNode(NodeOptions options);
+
+  Node* node(NodeId id);
+  std::vector<NodeId> node_ids() const;
+  Network* network() { return &network_; }
+  EventQueue* queue() { return &queue_; }
+  Rng* rng() { return &rng_; }
+
+  // --- query deployment -----------------------------------------------------
+
+  /// Deploys `graph` with the given fragment placement. Every fragment must
+  /// be mapped to an existing node.
+  Status Deploy(std::unique_ptr<QueryGraph> graph,
+                const std::map<FragmentId, NodeId>& placement);
+
+  /// Creates a SourceDriver for every source binding of query `q`. `models`
+  /// maps source ids to their models; bindings without an entry use
+  /// `fallback`.
+  Status AttachSources(QueryId q, const std::map<SourceId, SourceModel>& models,
+                       const SourceModel& fallback = {});
+
+  /// Removes a deployed query: stops its sources, drops its buffered batches
+  /// on every hosting node and retires its coordinator. Queries can depart
+  /// mid-run (§5: "queries' arrivals and departures").
+  Status Undeploy(QueryId q);
+
+  // --- execution ------------------------------------------------------------
+
+  /// Starts nodes, coordinators and sources (idempotent).
+  void Start();
+  /// Runs the simulation for `d` more simulated time.
+  void RunFor(SimDuration d);
+
+  // --- observation ----------------------------------------------------------
+
+  std::vector<QueryId> query_ids() const;
+  const QueryGraph* graph(QueryId q) const;
+  QueryCoordinator* coordinator(QueryId q);
+  /// Current result SIC of query `q` (Eq. 4 over the trailing STW).
+  double QuerySic(QueryId q);
+  /// Current result SIC of all deployed queries, in query-id order.
+  std::vector<double> AllQuerySics();
+  /// Aggregate shed/processed counters over all nodes.
+  NodeStats TotalNodeStats() const;
+
+  // BatchRouter:
+  void RouteBatch(NodeId from, QueryId query, FragmentId to_fragment,
+                  Batch batch) override;
+  void DeliverResult(QueryId query, SimTime now,
+                     const std::vector<Tuple>& results) override;
+
+ private:
+  std::unique_ptr<Shedder> MakeShedder();
+  /// Estimated wire size of a batch (tuple payloads + the 10-byte header).
+  static size_t BatchBytes(const Batch& b);
+
+  FspsOptions options_;
+  Rng rng_;
+  EventQueue queue_;
+  Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<QueryId, std::unique_ptr<QueryGraph>> graphs_;
+  std::map<QueryId, std::map<FragmentId, NodeId>> placements_;
+  std::map<QueryId, std::unique_ptr<QueryCoordinator>> coordinators_;
+  // Undeployed queries' coordinators and graphs are retired, not destroyed:
+  // already-scheduled timer events and in-flight batches may still hold
+  // pointers into them until the event queue drains past them.
+  std::vector<std::unique_ptr<QueryCoordinator>> retired_coordinators_;
+  std::vector<std::unique_ptr<QueryGraph>> retired_graphs_;
+  std::vector<std::unique_ptr<SourceDriver>> sources_;
+  bool started_ = false;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_FEDERATION_FSPS_H_

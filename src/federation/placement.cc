@@ -1,0 +1,76 @@
+#include "federation/placement.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace themis {
+
+namespace {
+
+// Round-robin cursor shared across calls via the rng (deterministic but not
+// aligned across queries, so load still spreads).
+std::vector<size_t> PickDistinct(size_t count, size_t pool,
+                                 const std::function<size_t()>& draw) {
+  std::vector<size_t> picked;
+  std::vector<bool> used(pool, false);
+  size_t distinct = std::min(count, pool);
+  while (picked.size() < distinct) {
+    size_t idx = draw() % pool;
+    if (used[idx]) {
+      // Linear-probe to the next free node to bound the loop.
+      for (size_t step = 0; step < pool; ++step) {
+        size_t probe = (idx + step) % pool;
+        if (!used[probe]) {
+          idx = probe;
+          break;
+        }
+      }
+    }
+    used[idx] = true;
+    picked.push_back(idx);
+  }
+  // Wrap-around when the query has more fragments than the FSPS has nodes.
+  while (picked.size() < count) picked.push_back(draw() % pool);
+  return picked;
+}
+
+}  // namespace
+
+std::map<FragmentId, NodeId> PlaceFragments(const QueryGraph& graph,
+                                            const std::vector<NodeId>& nodes,
+                                            PlacementPolicy policy,
+                                            double zipf_s, Rng* rng) {
+  std::map<FragmentId, NodeId> placement;
+  std::vector<FragmentId> frags = graph.fragment_ids();
+  if (nodes.empty() || frags.empty()) return placement;
+
+  std::function<size_t()> draw;
+  size_t rr_cursor = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(nodes.size()) - 1));
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      draw = [&rr_cursor, &nodes]() mutable { return rr_cursor++ % nodes.size(); };
+      break;
+    case PlacementPolicy::kUniformRandom:
+      draw = [rng, &nodes] {
+        return static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(nodes.size()) - 1));
+      };
+      break;
+    case PlacementPolicy::kZipf:
+      draw = [rng, &nodes, zipf_s] {
+        return static_cast<size_t>(
+            rng->Zipf(static_cast<int64_t>(nodes.size()), zipf_s));
+      };
+      break;
+  }
+
+  std::vector<size_t> idx = PickDistinct(frags.size(), nodes.size(), draw);
+  for (size_t i = 0; i < frags.size(); ++i) {
+    placement[frags[i]] = nodes[idx[i]];
+  }
+  return placement;
+}
+
+}  // namespace themis

@@ -1,0 +1,37 @@
+// Fragment-to-node placement policies. In an FSPS the placement is chosen by
+// the query user and fixed for the query's lifetime (§3); experiments use
+// these policies to generate realistic deployments, including the skewed
+// Zipf placement of the scalability experiments (§7.3).
+#ifndef THEMIS_FEDERATION_PLACEMENT_H_
+#define THEMIS_FEDERATION_PLACEMENT_H_
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/ids.h"
+#include "runtime/query_graph.h"
+
+namespace themis {
+
+enum class PlacementPolicy {
+  kRoundRobin,      ///< spread fragments evenly, deterministic
+  kUniformRandom,   ///< uniform random node per fragment
+  kZipf,            ///< skewed load: low-rank nodes attract more fragments (C1)
+};
+
+/// \brief Maps each fragment of `graph` to a node.
+///
+/// Fragments of the same query land on distinct nodes (the paper deploys
+/// each fragment of a query on a different FSPS node) as long as enough
+/// nodes exist; otherwise assignment wraps around.
+///
+/// \param zipf_s skew parameter for kZipf (1.0 is a typical skew; 0 = uniform)
+std::map<FragmentId, NodeId> PlaceFragments(const QueryGraph& graph,
+                                            const std::vector<NodeId>& nodes,
+                                            PlacementPolicy policy,
+                                            double zipf_s, Rng* rng);
+
+}  // namespace themis
+
+#endif  // THEMIS_FEDERATION_PLACEMENT_H_

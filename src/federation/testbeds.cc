@@ -1,0 +1,42 @@
+#include "federation/testbeds.h"
+
+namespace themis {
+
+TestbedSpec LocalTestbed() {
+  TestbedSpec spec;
+  spec.name = "local";
+  spec.processing_nodes = 1;
+  spec.source_rate = 400.0;
+  spec.batches_per_sec = 5;
+  spec.link_latency = Millis(1);
+  spec.cpu_speed = 0.6;  // 1.8 GHz vs the Emulab 3 GHz baseline
+  return spec;
+}
+
+TestbedSpec EmulabTestbed(int processing_nodes) {
+  TestbedSpec spec;
+  spec.name = "emulab";
+  spec.processing_nodes = processing_nodes;
+  spec.source_rate = 150.0;
+  spec.batches_per_sec = 3;
+  spec.link_latency = Millis(5);
+  spec.cpu_speed = 1.0;
+  return spec;
+}
+
+std::unique_ptr<Fsps> MakeTestbed(const TestbedSpec& spec, FspsOptions options) {
+  options.default_link_latency = spec.link_latency;
+  options.source_link_latency = spec.link_latency;
+  options.node.cpu_speed = spec.cpu_speed;
+  auto fsps = std::make_unique<Fsps>(options);
+  for (int i = 0; i < spec.processing_nodes; ++i) fsps->AddNode();
+  return fsps;
+}
+
+SourceModel ApplyTestbedRates(const TestbedSpec& spec, SourceModel model) {
+  model.tuples_per_sec = spec.source_rate;
+  model.batches_per_sec = spec.batches_per_sec;
+  return model;
+}
+
+}  // namespace themis

@@ -1,0 +1,45 @@
+// Table 2 test-bed presets. The paper runs a 3-server local test-bed and a
+// 25-server Emulab deployment; we reproduce both as simulator
+// configurations (DESIGN.md §2 substitution). Dedicated source and
+// query-submission nodes of the paper are folded into the simulator's
+// source drivers and deployment calls; `processing_nodes` below counts only
+// processing nodes, as the paper's experiments do.
+#ifndef THEMIS_FEDERATION_TESTBEDS_H_
+#define THEMIS_FEDERATION_TESTBEDS_H_
+
+#include <memory>
+#include <string>
+
+#include "federation/fsps.h"
+
+namespace themis {
+
+/// One Table 2 row.
+struct TestbedSpec {
+  std::string name;
+  int processing_nodes = 1;
+  double source_rate = 400.0;   ///< tuples/sec per source
+  int batches_per_sec = 5;      ///< 5 x 80-tuple batches (local test-bed)
+  SimDuration link_latency = Millis(5);
+  /// Relative CPU speed of the simulated servers (local test-bed servers are
+  /// 1.8 GHz vs Emulab's 3 GHz; the ratio is what matters).
+  double cpu_speed = 1.0;
+};
+
+/// Local test-bed: 1 processing node, 400 t/s in 5 batches/sec per source.
+TestbedSpec LocalTestbed();
+
+/// Emulab test-bed: up to 18 processing nodes, 150 t/s in 3 batches/sec,
+/// 5 ms star LAN.
+TestbedSpec EmulabTestbed(int processing_nodes = 18);
+
+/// Builds an Fsps with `spec.processing_nodes` nodes and the spec's link
+/// latency applied, on top of the caller's options.
+std::unique_ptr<Fsps> MakeTestbed(const TestbedSpec& spec, FspsOptions options);
+
+/// Applies the spec's per-source parameters to a SourceModel template.
+SourceModel ApplyTestbedRates(const TestbedSpec& spec, SourceModel model);
+
+}  // namespace themis
+
+#endif  // THEMIS_FEDERATION_TESTBEDS_H_

@@ -1,0 +1,34 @@
+#include "metrics/error_metrics.h"
+
+#include <cmath>
+#include <map>
+
+namespace themis {
+
+double MeanAbsoluteError(const std::vector<std::pair<double, double>>& pairs) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& [degraded, perfect] : pairs) {
+    if (perfect == 0.0) continue;
+    sum += std::abs((degraded - perfect) / perfect);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<std::pair<double, double>> AlignByTime(
+    const std::vector<TimedValue>& degraded,
+    const std::vector<TimedValue>& perfect) {
+  std::map<SimTime, double> perfect_by_time;
+  for (const TimedValue& tv : perfect) perfect_by_time[tv.time] = tv.value;
+
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(degraded.size());
+  for (const TimedValue& tv : degraded) {
+    auto it = perfect_by_time.find(tv.time);
+    if (it != perfect_by_time.end()) pairs.emplace_back(tv.value, it->second);
+  }
+  return pairs;
+}
+
+}  // namespace themis

@@ -1,0 +1,33 @@
+// Result-correctness metrics of §7.1: the mean absolute (relative) error
+// between degraded and perfect result series, plus series alignment helpers.
+#ifndef THEMIS_METRICS_ERROR_METRICS_H_
+#define THEMIS_METRICS_ERROR_METRICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace themis {
+
+/// One scalar result keyed by its emission time (window end).
+struct TimedValue {
+  SimTime time = 0;
+  double value = 0.0;
+};
+
+/// \brief Mean absolute relative error between paired results:
+///   (1/n) * sum |degraded_i - perfect_i| / |perfect_i|.
+/// Pairs whose perfect value is 0 are skipped (the relative distance is
+/// undefined there). Returns 0 for no valid pairs.
+double MeanAbsoluteError(const std::vector<std::pair<double, double>>& pairs);
+
+/// Aligns two result series by emission time (exact match on window ends)
+/// and returns (degraded, perfect) value pairs.
+std::vector<std::pair<double, double>> AlignByTime(
+    const std::vector<TimedValue>& degraded,
+    const std::vector<TimedValue>& perfect);
+
+}  // namespace themis
+
+#endif  // THEMIS_METRICS_ERROR_METRICS_H_

@@ -1,0 +1,16 @@
+// Jain's Fairness Index [25] — the fairness metric of the whole evaluation:
+//   J(x) = (sum x_i)^2 / (n * sum x_i^2),  J in [1/n, 1].
+#ifndef THEMIS_METRICS_JAIN_H_
+#define THEMIS_METRICS_JAIN_H_
+
+#include <vector>
+
+namespace themis {
+
+/// Jain's Fairness Index of `xs`. Returns 1.0 for empty or all-zero input
+/// (a degenerate allocation is trivially balanced).
+double JainIndex(const std::vector<double>& xs);
+
+}  // namespace themis
+
+#endif  // THEMIS_METRICS_JAIN_H_

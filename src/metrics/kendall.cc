@@ -1,0 +1,66 @@
+#include "metrics/kendall.h"
+
+#include <algorithm>
+#include <map>
+
+namespace themis {
+
+double KendallTopKDistance(const std::vector<int64_t>& a,
+                           const std::vector<int64_t>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+
+  std::map<int64_t, int> rank_a, rank_b;
+  for (size_t i = 0; i < a.size(); ++i) rank_a.emplace(a[i], static_cast<int>(i));
+  for (size_t i = 0; i < b.size(); ++i) rank_b.emplace(b[i], static_cast<int>(i));
+
+  // Union of elements appearing in either list.
+  std::vector<int64_t> all;
+  for (const auto& [id, r] : rank_a) all.push_back(id);
+  for (const auto& [id, r] : rank_b) {
+    if (rank_a.find(id) == rank_a.end()) all.push_back(id);
+  }
+  if (all.size() < 2) return 0.0;
+
+  // Case analysis of Fagin et al. [18], K^(0):
+  //  (i)   both elements in both lists: cost 1 iff the order disagrees.
+  //  (ii)  both in one list, exactly one of them in the other: the element
+  //        missing from a top-k list implicitly ranks below its end, so the
+  //        order is determined in both lists; cost 1 iff they disagree.
+  //  (iii) both in one list, neither in the other: undetermined in the other
+  //        list; the optimistic K^(0) assigns cost 0 (not counted).
+  //  (iv)  i only in A and j only in B: A ranks i above j (j absent), B
+  //        ranks j above i — a definite disagreement, cost 1.
+  uint64_t disagreements = 0;
+  uint64_t comparable = 0;
+  for (size_t x = 0; x < all.size(); ++x) {
+    for (size_t y = x + 1; y < all.size(); ++y) {
+      int64_t i = all[x], j = all[y];
+      bool i_in_a = rank_a.count(i) > 0, i_in_b = rank_b.count(i) > 0;
+      bool j_in_a = rank_a.count(j) > 0, j_in_b = rank_b.count(j) > 0;
+      bool both_in_a = i_in_a && j_in_a;
+      bool both_in_b = i_in_b && j_in_b;
+
+      if (both_in_a && both_in_b) {  // case (i)
+        ++comparable;
+        if ((rank_a[i] < rank_a[j]) != (rank_b[i] < rank_b[j])) ++disagreements;
+      } else if (both_in_a && (i_in_b || j_in_b)) {  // case (ii), A complete
+        ++comparable;
+        bool a_says_i_first = rank_a[i] < rank_a[j];
+        if (a_says_i_first != i_in_b) ++disagreements;
+      } else if (both_in_b && (i_in_a || j_in_a)) {  // case (ii), B complete
+        ++comparable;
+        bool b_says_i_first = rank_b[i] < rank_b[j];
+        if (b_says_i_first != i_in_a) ++disagreements;
+      } else if ((i_in_a && !i_in_b && j_in_b && !j_in_a) ||
+                 (i_in_b && !i_in_a && j_in_a && !j_in_b)) {  // case (iv)
+        ++comparable;
+        ++disagreements;
+      }
+      // case (iii): undetermined, cost 0 under K^(0), not counted.
+    }
+  }
+  if (comparable == 0) return 1.0;  // nothing determinable at all
+  return static_cast<double>(disagreements) / static_cast<double>(comparable);
+}
+
+}  // namespace themis

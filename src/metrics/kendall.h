@@ -1,0 +1,25 @@
+// Normalised Kendall's distance between two top-k lists (Fagin, Kumar,
+// Sivakumar [18]) — the TOP-5 correctness metric of §7.1. Counts pairwise
+// disagreements (inversions) plus, with the optimistic-penalty variant,
+// pairs involving elements present in only one list.
+#ifndef THEMIS_METRICS_KENDALL_H_
+#define THEMIS_METRICS_KENDALL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace themis {
+
+/// \brief Normalised Kendall distance in [0, 1]; 0 = identical rankings,
+/// 1 = maximally different.
+///
+/// `a` and `b` are ranked id lists (best first). Uses the K^(0) variant of
+/// [18]: pairs ordered oppositely in the two lists cost 1; pairs where one
+/// element is missing from one list cost 1 when the comparison is forced,
+/// 0 when it is undetermined.
+double KendallTopKDistance(const std::vector<int64_t>& a,
+                           const std::vector<int64_t>& b);
+
+}  // namespace themis
+
+#endif  // THEMIS_METRICS_KENDALL_H_

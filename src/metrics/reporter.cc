@@ -1,0 +1,57 @@
+#include "metrics/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace themis {
+
+namespace {
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+}  // namespace
+
+Reporter::Reporter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Reporter::AddRow(const std::vector<double>& values) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(FormatValue(v));
+  rows_.push_back(std::move(row));
+}
+
+void Reporter::AddRow(const std::string& x, const std::vector<double>& values) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(x);
+  for (double v : values) row.push_back(FormatValue(v));
+  rows_.push_back(std::move(row));
+}
+
+void Reporter::Print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  // Column widths.
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s  ", static_cast<int>(widths[i]), columns_[i].c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      size_t w = i < widths.size() ? widths[i] : row[i].size();
+      std::printf("%-*s  ", static_cast<int>(w), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,36 @@
+// Plain-text table/series printer shared by the bench binaries so every
+// figure is regenerated in a uniform, diff-friendly format.
+#ifndef THEMIS_METRICS_REPORTER_H_
+#define THEMIS_METRICS_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace themis {
+
+/// \brief Collects rows and prints an aligned table to stdout.
+class Reporter {
+ public:
+  /// \param title experiment id, e.g. "Figure 8: single-node fairness"
+  /// \param columns column headers; the first is the x-axis
+  Reporter(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; must match the column count.
+  void AddRow(const std::vector<double>& values);
+  /// Appends a row with a string x value (e.g. the "mixed" fragment config).
+  void AddRow(const std::string& x, const std::vector<double>& values);
+
+  /// Prints the table.
+  void Print() const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_METRICS_REPORTER_H_

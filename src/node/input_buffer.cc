@@ -1,0 +1,59 @@
+#include "node/input_buffer.h"
+
+#include <utility>
+
+namespace themis {
+
+void InputBuffer::Push(Batch b) {
+  num_tuples_ += b.size();
+  batches_.push_back(std::move(b));
+}
+
+std::optional<Batch> InputBuffer::Pop() {
+  if (batches_.empty()) return std::nullopt;
+  Batch b = std::move(batches_.front());
+  batches_.pop_front();
+  num_tuples_ -= b.size();
+  return b;
+}
+
+size_t InputBuffer::RetainIndices(const std::vector<size_t>& keep_indices) {
+  std::deque<Batch> kept;
+  size_t kept_tuples = 0;
+  size_t cursor = 0;
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (cursor < keep_indices.size() && keep_indices[cursor] == i) {
+      kept_tuples += batches_[i].size();
+      kept.push_back(std::move(batches_[i]));
+      ++cursor;
+    }
+  }
+  size_t dropped = num_tuples_ - kept_tuples;
+  batches_ = std::move(kept);
+  num_tuples_ = kept_tuples;
+  return dropped;
+}
+
+size_t InputBuffer::RemoveQuery(QueryId q) {
+  std::deque<Batch> kept;
+  size_t kept_tuples = 0;
+  for (Batch& b : batches_) {
+    if (b.header.query_id == q) continue;
+    kept_tuples += b.size();
+    kept.push_back(std::move(b));
+  }
+  size_t dropped = num_tuples_ - kept_tuples;
+  batches_ = std::move(kept);
+  num_tuples_ = kept_tuples;
+  return dropped;
+}
+
+double InputBuffer::SicOfQuery(QueryId q) const {
+  double sum = 0.0;
+  for (const Batch& b : batches_) {
+    if (b.header.query_id == q) sum += b.header.sic;
+  }
+  return sum;
+}
+
+}  // namespace themis

@@ -1,0 +1,47 @@
+// Input buffer (IB) of a THEMIS node (Fig. 5): all incoming batches queue
+// here before processing; the shedder prunes it under overload.
+#ifndef THEMIS_NODE_INPUT_BUFFER_H_
+#define THEMIS_NODE_INPUT_BUFFER_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "runtime/batch.h"
+
+namespace themis {
+
+/// \brief FIFO batch queue with tuple-count accounting and shedder support.
+class InputBuffer {
+ public:
+  void Push(Batch b);
+  /// Removes and returns the oldest batch; nullopt when empty.
+  std::optional<Batch> Pop();
+
+  size_t num_batches() const { return batches_.size(); }
+  size_t num_tuples() const { return num_tuples_; }
+  bool empty() const { return batches_.empty(); }
+
+  /// Read-only view for shedders.
+  const std::deque<Batch>& batches() const { return batches_; }
+
+  /// Keeps exactly the batches at `keep_indices` (ascending, deduplicated by
+  /// the caller) and drops the rest. Returns the number of dropped tuples.
+  size_t RetainIndices(const std::vector<size_t>& keep_indices);
+
+  /// SIC mass of all buffered batches of query `q` (used by the projection
+  /// heuristic and by tests).
+  double SicOfQuery(QueryId q) const;
+
+  /// Drops all buffered batches of query `q` (query undeployment). Returns
+  /// the number of dropped tuples.
+  size_t RemoveQuery(QueryId q);
+
+ private:
+  std::deque<Batch> batches_;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_NODE_INPUT_BUFFER_H_

@@ -1,0 +1,261 @@
+#include "node/node.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/logging.h"
+#include "sic/sic.h"
+
+namespace themis {
+
+Node::Node(NodeId id, NodeOptions options, EventQueue* queue,
+           BatchRouter* router, std::unique_ptr<Shedder> shedder)
+    : id_(id),
+      options_(options),
+      queue_(queue),
+      router_(router),
+      shedder_(std::move(shedder)),
+      detector_(options.headroom) {}
+
+void Node::HostFragment(const QueryGraph* graph, FragmentId fragment) {
+  graphs_[graph->id()] = graph;
+  hosted_fragments_[graph->id()].insert(fragment);
+  for (OperatorId op : graph->fragment_ops(fragment)) {
+    hosted_ops_[graph->id()].insert(op);
+  }
+}
+
+void Node::UnhostQuery(QueryId q) {
+  graphs_.erase(q);
+  hosted_fragments_.erase(q);
+  hosted_ops_.erase(q);
+  query_sic_.erase(q);
+  accepted_sic_.erase(q);
+  efficiency_.erase(q);
+  for (auto it = rate_estimators_.begin(); it != rate_estimators_.end();) {
+    it = it->first.first == q ? rate_estimators_.erase(it) : std::next(it);
+  }
+  ib_.RemoveQuery(q);
+}
+
+void Node::Start() {
+  if (started_) return;
+  started_ = true;
+  queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+}
+
+SimTime Node::Watermark() const {
+  // Windows may close `window_grace` behind the clock, but never past the
+  // creation time of the oldest batch still queued: under overload the
+  // input buffer holds up to a couple of shedding intervals of data, and
+  // closing a window while one input stream's batches for it are still
+  // queued would systematically starve multi-input operators.
+  SimTime wm = queue_->now() - options_.window_grace;
+  if (!ib_.empty()) {
+    wm = std::min(wm, ib_.batches().front().header.created);
+  }
+  return wm;
+}
+
+void Node::Receive(Batch batch) {
+  SimTime now = queue_->now();
+  stats_.batches_received += 1;
+  stats_.tuples_received += batch.size();
+
+  auto graph_it = graphs_.find(batch.header.query_id);
+  if (graph_it == graphs_.end()) {
+    // Unknown query: either never hosted here or undeployed while this
+    // batch was in flight. Drop at ingress.
+    return;
+  }
+
+  // Source batches carry unstamped tuples; apply Eq. (1) using the online
+  // rate estimate for this (query, source) pair (§6 "SIC maintenance").
+  if (batch.header.source != kInvalidId) {
+    const QueryGraph* graph = graph_it->second;
+    auto key = std::make_pair(batch.header.query_id, batch.header.source);
+    auto [est_it, inserted] =
+        rate_estimators_.try_emplace(key, RateEstimator(options_.stw));
+    RateEstimator& est = est_it->second;
+    est.Observe(now, batch.size());
+    double per_stw = est.TuplesPerStw(now);
+    double sic = SourceTupleSic(per_stw, graph->num_sources());
+    for (Tuple& t : batch.tuples) t.sic = sic;
+    batch.RefreshHeaderSic();
+  }
+
+  ib_.Push(std::move(batch));
+  ScheduleProcessing();
+}
+
+void Node::UpdateQuerySic(QueryId query, double sic) { query_sic_[query] = sic; }
+
+size_t Node::CurrentCapacity() const {
+  return cost_model_.EstimateCapacity(options_.shed_interval);
+}
+
+double Node::AcceptedSic(QueryId q, SimTime now) {
+  auto it = accepted_sic_.find(q);
+  return it == accepted_sic_.end() ? 0.0 : it->second.QuerySic(now);
+}
+
+std::vector<QueryId> Node::HostedQueries() const {
+  std::vector<QueryId> out;
+  out.reserve(graphs_.size());
+  for (const auto& [q, graph] : graphs_) out.push_back(q);
+  return out;
+}
+
+void Node::ScheduleProcessing() {
+  if (processing_scheduled_ || ib_.empty()) return;
+  processing_scheduled_ = true;
+  SimTime at = std::max(queue_->now(), busy_until_);
+  queue_->Schedule(at, [this] { ProcessNext(); });
+}
+
+void Node::ProcessNext() {
+  processing_scheduled_ = false;
+  SimTime now = queue_->now();
+  if (now < busy_until_) {
+    // A shed pass or re-schedule raced us; resume when the CPU frees up.
+    ScheduleProcessing();
+    return;
+  }
+  std::optional<Batch> batch = ib_.Pop();
+  if (!batch) return;
+
+  auto [acc_it, inserted] = accepted_sic_.try_emplace(
+      batch->header.query_id, StwTracker(options_.stw));
+  acc_it->second.AddResultSic(now, batch->header.sic);
+
+  double work_us = ExecuteBatch(*batch);
+  SimDuration work = static_cast<SimDuration>(work_us);
+  busy_until_ = now + work;
+  stats_.busy_time += work;
+  interval_busy_ += work;
+  stats_.batches_processed += 1;
+  stats_.tuples_processed += batch->size();
+  interval_tuples_ += batch->size();
+
+  ScheduleProcessing();
+}
+
+double Node::ExecuteBatch(const Batch& batch) {
+  auto graph_it = graphs_.find(batch.header.query_id);
+  if (graph_it == graphs_.end()) {
+    THEMIS_LOG(Warn) << "node " << id_ << ": batch for unknown query "
+                     << batch.header.query_id;
+    return 0.0;
+  }
+  const QueryGraph* graph = graph_it->second;
+  Operator* target = graph->op(batch.header.dest_op);
+  if (target == nullptr) return 0.0;
+
+  double work_us =
+      static_cast<double>(batch.size()) * target->cost_us_per_tuple() /
+      options_.cpu_speed;
+  target->Ingest(batch.tuples, batch.header.dest_port);
+  PumpGraph(graph, &work_us);
+  return work_us;
+}
+
+void Node::PumpGraph(const QueryGraph* graph, double* work_us) {
+  const auto& hosted = hosted_ops_[graph->id()];
+  SimTime wm = Watermark();
+  // Fragments store operators topologically, so one pass suffices for chains
+  // within a fragment: upstream emissions are ingested (and re-advanced)
+  // before downstream operators are visited.
+  for (FragmentId frag : hosted_fragments_[graph->id()]) {
+    for (OperatorId op_id : graph->fragment_ops(frag)) {
+      if (hosted.find(op_id) == hosted.end()) continue;
+      Operator* op = graph->op(op_id);
+      std::vector<Tuple> outputs;
+      op->Advance(wm, &outputs);
+      if (!outputs.empty()) RouteOutputs(graph, op_id, outputs, work_us);
+    }
+  }
+}
+
+void Node::RouteOutputs(const QueryGraph* graph, OperatorId op,
+                        const std::vector<Tuple>& outputs, double* work_us) {
+  SimTime now = queue_->now();
+  const auto& hosted = hosted_ops_[graph->id()];
+
+  if (op == graph->root()) {
+    router_->DeliverResult(graph->id(), now, outputs);
+    return;
+  }
+
+  for (const Edge& e : graph->out_edges(op)) {
+    if (hosted.find(e.to) != hosted.end()) {
+      Operator* consumer = graph->op(e.to);
+      if (work_us != nullptr) {
+        *work_us += static_cast<double>(outputs.size()) *
+                    consumer->cost_us_per_tuple() / options_.cpu_speed;
+      }
+      consumer->Ingest(outputs, e.port);
+    } else {
+      Batch b = MakeBatch(graph->id(), e.to, e.port, now, outputs);
+      router_->RouteBatch(id_, graph->id(), graph->fragment_of(e.to),
+                          std::move(b));
+    }
+  }
+}
+
+void Node::OnShedTimer() {
+  SimTime now = queue_->now();
+  stats_.detector_invocations += 1;
+
+  // Feed the cost model with the last interval's measurements (§6).
+  cost_model_.RecordInterval(interval_tuples_, interval_busy_);
+  interval_tuples_ = 0;
+  interval_busy_ = 0;
+
+  // Close windows that became due even if no batch arrived lately.
+  for (const auto& [q, graph] : graphs_) PumpGraph(graph, nullptr);
+
+  size_t capacity = cost_model_.EstimateCapacity(options_.shed_interval);
+  stats_.last_capacity = capacity;
+
+  // Refresh per-query efficiency estimates (result SIC per accepted SIC).
+  // The disseminated value lags the accept level by the operator pipeline
+  // latency, so the ratio is smoothed with a slow EWMA.
+  for (auto& [q, tracker] : accepted_sic_) {
+    double accepted = tracker.QuerySic(now);
+    if (accepted > 0.02) {
+      if (auto it = query_sic_.find(q); it != query_sic_.end()) {
+        double ratio = std::clamp(it->second / accepted, 0.0, 1.2);
+        auto [eff_it, ins] = efficiency_.try_emplace(q, Ewma(0.05));
+        eff_it->second.Update(ratio);
+      }
+    }
+  }
+
+  if (detector_.IsOverloaded(ib_.num_tuples(), capacity)) {
+    accepted_snapshot_.clear();
+    for (auto& [q, tracker] : accepted_sic_) {
+      double eff = 1.0;
+      if (auto it = efficiency_.find(q); it != efficiency_.end()) {
+        if (it->second.has_value()) eff = std::max(it->second.value(), 0.05);
+      }
+      accepted_snapshot_[q] = tracker.QuerySic(now) * eff;
+    }
+    ShedContext ctx;
+    ctx.capacity_tuples = capacity;
+    ctx.now = now;
+    ctx.query_sic = &query_sic_;
+    ctx.local_accepted_sic = &accepted_snapshot_;
+    std::vector<size_t> keep = shedder_->SelectBatchesToKeep(ib_.batches(), ctx);
+    size_t before_batches = ib_.num_batches();
+    size_t dropped = ib_.RetainIndices(keep);
+    if (dropped > 0) {
+      stats_.shed_invocations += 1;
+      stats_.tuples_shed += dropped;
+      stats_.batches_shed += before_batches - ib_.num_batches();
+    }
+  }
+
+  queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+}
+
+}  // namespace themis

@@ -1,0 +1,173 @@
+// A THEMIS node (Fig. 5): input buffer, operator executor, overload detector
+// and tuple shedder, driven by the discrete-event queue. One Node models one
+// autonomous FSPS site (§3).
+#ifndef THEMIS_NODE_NODE_H_
+#define THEMIS_NODE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/time_types.h"
+#include "node/input_buffer.h"
+#include "runtime/query_graph.h"
+#include "shedding/cost_model.h"
+#include "shedding/overload_detector.h"
+#include "shedding/shedder.h"
+#include "sic/rate_estimator.h"
+#include "sic/stw_tracker.h"
+#include "sim/event_queue.h"
+
+namespace themis {
+
+/// Routing callbacks a node uses to hand batches and results back to the
+/// federation layer (which owns the network and the query coordinators).
+class BatchRouter {
+ public:
+  virtual ~BatchRouter() = default;
+  /// Ships a derived batch produced on `from` to the node hosting
+  /// `(query, to_fragment)`.
+  virtual void RouteBatch(NodeId from, QueryId query, FragmentId to_fragment,
+                          Batch batch) = 0;
+  /// Delivers result tuples emitted by the query's root operator.
+  virtual void DeliverResult(QueryId query, SimTime now,
+                             const std::vector<Tuple>& results) = 0;
+};
+
+/// Node configuration; defaults reproduce the paper's settings (§7).
+struct NodeOptions {
+  /// Tuple shedder invocation period (paper default: 250 ms).
+  SimDuration shed_interval = Millis(250);
+  /// Source time window used for Eq. (1) SIC stamping (paper default: 10 s).
+  SimDuration stw = Seconds(10);
+  /// Relative CPU speed; operator costs divide by this (heterogeneity).
+  double cpu_speed = 1.0;
+  /// Watermark lag for window closing (late-data tolerance).
+  SimDuration window_grace = Millis(200);
+  /// Overload detector headroom multiplier (1.0 = paper behaviour).
+  double headroom = 1.0;
+  /// §6 local projection of result SIC in the shedder (see BalanceSicOptions;
+  /// also exposed here so FSPS presets can toggle it globally).
+  bool project_local_shedding = true;
+};
+
+/// Per-node counters exposed to experiments and tests.
+struct NodeStats {
+  uint64_t tuples_received = 0;
+  uint64_t tuples_processed = 0;
+  uint64_t tuples_shed = 0;
+  uint64_t batches_received = 0;
+  uint64_t batches_processed = 0;
+  uint64_t batches_shed = 0;
+  uint64_t shed_invocations = 0;     ///< timer ticks that shed something
+  uint64_t detector_invocations = 0; ///< all timer ticks
+  SimDuration busy_time = 0;
+  size_t last_capacity = 0;
+};
+
+/// \brief One simulated FSPS node hosting query fragments.
+class Node {
+ public:
+  /// \param shedder shedding policy (BALANCE-SIC or random); owned
+  Node(NodeId id, NodeOptions options, EventQueue* queue, BatchRouter* router,
+       std::unique_ptr<Shedder> shedder);
+
+  /// Registers a fragment of `graph` as hosted here. The graph must outlive
+  /// the node (or be removed first with UnhostQuery).
+  void HostFragment(const QueryGraph* graph, FragmentId fragment);
+
+  /// Removes every fragment of query `q` hosted here: drops its buffered
+  /// batches and all per-query state. Safe to call for unknown queries.
+  void UnhostQuery(QueryId q);
+
+  /// Starts the periodic overload-detector/shedder timer.
+  void Start();
+
+  /// Ingress for both source batches and derived batches from other nodes.
+  /// Source batches (tuples with sic == 0 destined to a source-bound
+  /// operator) are stamped with Eq. (1) SIC values before buffering.
+  void Receive(Batch batch);
+
+  /// Coordinator dissemination of a query's current result SIC (§5.2).
+  void UpdateQuerySic(QueryId query, double sic);
+
+  NodeId id() const { return id_; }
+  const NodeStats& stats() const { return stats_; }
+  const NodeOptions& options() const { return options_; }
+  const InputBuffer& input_buffer() const { return ib_; }
+  /// Latest capacity estimate c (tuples per shedding interval).
+  size_t CurrentCapacity() const;
+  /// Queries with at least one hosted fragment.
+  std::vector<QueryId> HostedQueries() const;
+  const std::map<QueryId, double>& known_query_sic() const {
+    return query_sic_;
+  }
+  /// SIC mass accepted for processing for query `q` over the trailing STW
+  /// (diagnostics; the shedder sees this scaled by the efficiency estimate).
+  double AcceptedSic(QueryId q, SimTime now);
+
+ private:
+  void ScheduleProcessing();
+  void ProcessNext();
+  /// Executes one admitted batch through the hosted part of its query graph.
+  /// Returns the simulated work in microseconds.
+  double ExecuteBatch(const Batch& batch);
+  /// Advances windows of all hosted operators of `graph`'s hosted fragments,
+  /// routing any emissions. Adds incurred work to `*work_us` if non-null.
+  void PumpGraph(const QueryGraph* graph, double* work_us);
+  /// Routes tuples emitted by `op` of `graph` along its out-edges; local
+  /// consumers ingest immediately (cost added to *work_us), remote fragments
+  /// go through the router, root emissions become results.
+  void RouteOutputs(const QueryGraph* graph, OperatorId op,
+                    const std::vector<Tuple>& outputs, double* work_us);
+  void OnShedTimer();
+  SimTime Watermark() const;
+
+  NodeId id_;
+  NodeOptions options_;
+  EventQueue* queue_;
+  BatchRouter* router_;
+  std::unique_ptr<Shedder> shedder_;
+
+  InputBuffer ib_;
+  CostModel cost_model_;
+  OverloadDetector detector_;
+
+  // Hosted state.
+  std::map<QueryId, const QueryGraph*> graphs_;
+  std::map<QueryId, std::set<FragmentId>> hosted_fragments_;
+  std::map<QueryId, std::set<OperatorId>> hosted_ops_;
+
+  // Eq. (1) stamping state.
+  std::map<std::pair<QueryId, SourceId>, RateEstimator> rate_estimators_;
+
+  // Latest disseminated result SIC per hosted query.
+  std::map<QueryId, double> query_sic_;
+
+  // SIC mass accepted for processing per query over the trailing STW
+  // (lag-free local signal for the shedder; see ShedContext), scaled by a
+  // slow per-query efficiency estimate so it predicts *result* SIC: queries
+  // lose SIC mass semantically (filters dropping whole panes, join windows
+  // with one side missing), and equalising raw accepted mass would leave
+  // low-efficiency queries permanently below the water level.
+  std::map<QueryId, StwTracker> accepted_sic_;
+  std::map<QueryId, Ewma> efficiency_;
+  std::map<QueryId, double> accepted_snapshot_;
+
+  // Processing bookkeeping.
+  bool processing_scheduled_ = false;
+  SimTime busy_until_ = 0;
+  bool started_ = false;
+
+  // Cost-model interval accounting.
+  uint64_t interval_tuples_ = 0;
+  SimDuration interval_busy_ = 0;
+
+  NodeStats stats_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_NODE_NODE_H_

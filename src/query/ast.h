@@ -1,0 +1,65 @@
+// Abstract syntax tree of the CQL-like language.
+#ifndef THEMIS_QUERY_AST_H_
+#define THEMIS_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace themis {
+
+/// A `stream.field` reference.
+struct FieldRef {
+  std::string stream;
+  std::string field;
+};
+
+/// A stream in the FROM clause with its window: `Src[Range 1 sec]`.
+struct StreamRef {
+  std::string name;
+  SimDuration range = kSecond;
+};
+
+/// One side of a comparison: either a field reference or a literal.
+struct Operand {
+  bool is_field = false;
+  FieldRef field;
+  double literal = 0.0;
+};
+
+/// Comparison operators of the language.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// `lhs op rhs` — WHERE/HAVING conditions are conjunctions of these.
+struct Condition {
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+
+  /// True when both operands are field references (a join condition).
+  bool IsJoin() const { return lhs.is_field && rhs.is_field; }
+};
+
+/// Select function of the projection: `Avg`, `Max`, `Min`, `Sum`, `Count`,
+/// `Cov`, or `TopN` for any integer N (`Top5`, `Top10`, ...).
+struct SelectFunc {
+  std::string name;     ///< lower-cased function name ("avg", "top", ...)
+  int top_k = 0;        ///< N for TopN functions
+  std::vector<FieldRef> args;
+};
+
+/// A full parsed statement.
+struct SelectStmt {
+  SelectFunc func;
+  std::vector<StreamRef> streams;
+  std::vector<Condition> where;   ///< conjunction
+  std::vector<Condition> having;  ///< conjunction
+};
+
+/// Evaluates `op` on doubles (shared by the compiler and tests).
+bool EvalCompare(CompareOp op, double lhs, double rhs);
+
+}  // namespace themis
+
+#endif  // THEMIS_QUERY_AST_H_

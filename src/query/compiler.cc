@@ -1,0 +1,298 @@
+#include "query/compiler.h"
+
+#include <functional>
+#include <vector>
+
+#include "query/parser.h"
+#include "runtime/operators/aggregates.h"
+#include "runtime/operators/covariance.h"
+#include "runtime/operators/filter_map.h"
+#include "runtime/operators/join.h"
+#include "runtime/operators/receiver.h"
+#include "runtime/operators/topk.h"
+
+namespace themis {
+
+namespace {
+
+using TuplePredicate = std::function<bool(const Tuple&)>;
+
+// Builds a conjunction predicate over `conditions`, all of which must be
+// field-vs-literal comparisons on `stream` with indices resolved against
+// `schema`.
+Result<TuplePredicate> BuildPredicate(const std::vector<Condition>& conditions,
+                                      const std::string& stream,
+                                      const Schema& schema) {
+  struct Resolved {
+    int field;
+    CompareOp op;
+    double literal;
+    bool literal_on_left;
+  };
+  std::vector<Resolved> resolved;
+  for (const Condition& c : conditions) {
+    const Operand* field_side = nullptr;
+    const Operand* literal_side = nullptr;
+    bool literal_on_left = false;
+    if (c.lhs.is_field && !c.rhs.is_field) {
+      field_side = &c.lhs;
+      literal_side = &c.rhs;
+    } else if (!c.lhs.is_field && c.rhs.is_field) {
+      field_side = &c.rhs;
+      literal_side = &c.lhs;
+      literal_on_left = true;
+    } else {
+      return Status::InvalidArgument(
+          "filter condition must compare a field with a literal");
+    }
+    if (field_side->field.stream != stream) {
+      return Status::InvalidArgument("condition on unexpected stream '" +
+                                     field_side->field.stream + "'");
+    }
+    auto idx = schema.IndexOf(field_side->field.field);
+    if (!idx.ok()) return idx.status();
+    resolved.push_back({*idx, c.op, literal_side->literal, literal_on_left});
+  }
+  return TuplePredicate([resolved](const Tuple& t) {
+    for (const Resolved& r : resolved) {
+      if (static_cast<size_t>(r.field) >= t.values.size()) return false;
+      double v = AsDouble(t.values[r.field]);
+      bool ok = r.literal_on_left ? EvalCompare(r.op, r.literal, v)
+                                  : EvalCompare(r.op, v, r.literal);
+      if (!ok) return false;
+    }
+    return true;
+  });
+}
+
+// Splits WHERE conditions into per-stream filters and join conditions.
+struct SplitConditions {
+  std::map<std::string, std::vector<Condition>> filters;
+  std::vector<Condition> joins;
+};
+
+SplitConditions SplitWhere(const std::vector<Condition>& where) {
+  SplitConditions out;
+  for (const Condition& c : where) {
+    if (c.IsJoin()) {
+      out.joins.push_back(c);
+    } else {
+      const FieldRef& f = c.lhs.is_field ? c.lhs.field : c.rhs.field;
+      out.filters[f.stream].push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void QueryCompiler::RegisterStream(const std::string& name, Schema schema) {
+  streams_[name] = std::move(schema);
+}
+
+Result<const Schema*> QueryCompiler::StreamSchema(
+    const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<int> QueryCompiler::ResolveField(const FieldRef& ref) const {
+  auto schema = StreamSchema(ref.stream);
+  if (!schema.ok()) return schema.status();
+  auto idx = (*schema)->IndexOf(ref.field);
+  if (!idx.ok()) {
+    return Status::NotFound("stream '" + ref.stream + "' has no field '" +
+                            ref.field + "'");
+  }
+  return *idx;
+}
+
+Result<CompiledQuery> QueryCompiler::Compile(QueryId query_id,
+                                             const SelectStmt& stmt,
+                                             SourceId* next_source) const {
+  if (stmt.streams.empty()) {
+    return Status::InvalidArgument("no streams in FROM clause");
+  }
+  for (const StreamRef& s : stmt.streams) {
+    THEMIS_RETURN_NOT_OK(StreamSchema(s.name).status());
+  }
+  SplitConditions split = SplitWhere(stmt.where);
+
+  QueryBuilder b(query_id, stmt.func.name);
+  const FragmentId frag = 0;
+  CompiledQuery compiled;
+
+  // Per stream: receiver (+ optional WHERE filter), returning the id of the
+  // last operator of that branch.
+  auto build_branch = [&](const StreamRef& stream) -> Result<OperatorId> {
+    OperatorId recv = b.Add(std::make_unique<ReceiverOp>(), frag);
+    SourceId src = (*next_source)++;
+    b.BindSource(src, recv);
+    compiled.stream_sources[stream.name] = src;
+    OperatorId tail = recv;
+    auto filter_it = split.filters.find(stream.name);
+    if (filter_it != split.filters.end()) {
+      auto schema = StreamSchema(stream.name);
+      auto predicate =
+          BuildPredicate(filter_it->second, stream.name, **schema);
+      if (!predicate.ok()) return predicate.status();
+      OperatorId filter = b.Add(
+          std::make_unique<FilterOp>(std::move(*predicate),
+                                     WindowSpec::TumblingTime(stream.range)),
+          frag);
+      b.Connect(tail, filter);
+      tail = filter;
+    }
+    return tail;
+  };
+
+  const std::string& fn = stmt.func.name;
+  OperatorId pre_output = kInvalidId;
+
+  if (fn == "avg" || fn == "max" || fn == "min" || fn == "sum" ||
+      fn == "count") {
+    if (stmt.streams.size() != 1 || stmt.func.args.size() != 1) {
+      return Status::InvalidArgument(fn + " takes one field of one stream");
+    }
+    const StreamRef& stream = stmt.streams[0];
+    auto field = ResolveField(stmt.func.args[0]);
+    if (!field.ok()) return field.status();
+
+    AggregateKind kind = AggregateKind::kAvg;
+    if (fn == "max") kind = AggregateKind::kMax;
+    if (fn == "min") kind = AggregateKind::kMin;
+    if (fn == "sum") kind = AggregateKind::kSum;
+    if (fn == "count") kind = AggregateKind::kCount;
+
+    TuplePredicate having;
+    if (!stmt.having.empty()) {
+      auto schema = StreamSchema(stream.name);
+      auto predicate = BuildPredicate(stmt.having, stream.name, **schema);
+      if (!predicate.ok()) return predicate.status();
+      having = std::move(*predicate);
+    }
+    auto branch = build_branch(stream);
+    if (!branch.ok()) return branch.status();
+    OperatorId agg = b.Add(
+        std::make_unique<AggregateOp>(kind, *field,
+                                      WindowSpec::TumblingTime(stream.range),
+                                      std::move(having)),
+        frag);
+    b.Connect(*branch, agg);
+    pre_output = agg;
+  } else if (fn == "cov") {
+    if (stmt.streams.size() != 2 || stmt.func.args.size() != 2) {
+      return Status::InvalidArgument("cov takes two fields of two streams");
+    }
+    auto left_field = ResolveField(stmt.func.args[0]);
+    auto right_field = ResolveField(stmt.func.args[1]);
+    if (!left_field.ok()) return left_field.status();
+    if (!right_field.ok()) return right_field.status();
+    auto left = build_branch(stmt.streams[0]);
+    auto right = build_branch(stmt.streams[1]);
+    if (!left.ok()) return left.status();
+    if (!right.ok()) return right.status();
+    OperatorId cov = b.Add(
+        std::make_unique<CovarianceOp>(
+            *left_field, *right_field,
+            WindowSpec::TumblingTime(stmt.streams[0].range)),
+        frag);
+    b.Connect(*left, cov, 0).Connect(*right, cov, 1);
+    pre_output = cov;
+  } else if (fn == "top") {
+    if (stmt.func.args.size() != 2) {
+      return Status::InvalidArgument(
+          "topN takes (key field, ranking field) of the first stream");
+    }
+    const StreamRef& primary = stmt.streams[0];
+    if (stmt.func.args[0].stream != primary.name ||
+        stmt.func.args[1].stream != primary.name) {
+      return Status::InvalidArgument(
+          "topN arguments must reference the first FROM stream");
+    }
+    auto key_field = ResolveField(stmt.func.args[0]);
+    auto value_field = ResolveField(stmt.func.args[1]);
+    if (!key_field.ok()) return key_field.status();
+    if (!value_field.ok()) return value_field.status();
+
+    auto primary_branch = build_branch(primary);
+    if (!primary_branch.ok()) return primary_branch.status();
+
+    OperatorId rank_input = *primary_branch;
+    int rank_key = *key_field;
+    int rank_value = *value_field;
+
+    if (stmt.streams.size() == 2) {
+      // Equi-join with the second stream on the single join condition.
+      if (split.joins.size() != 1 ||
+          split.joins[0].op != CompareOp::kEq) {
+        return Status::InvalidArgument(
+            "two-stream topN needs exactly one A.f = B.g join condition");
+      }
+      const Condition& join_cond = split.joins[0];
+      const FieldRef& l = join_cond.lhs.field;
+      const FieldRef& r = join_cond.rhs.field;
+      const FieldRef& primary_key = l.stream == primary.name ? l : r;
+      const FieldRef& secondary_key = l.stream == primary.name ? r : l;
+      if (primary_key.stream != primary.name ||
+          secondary_key.stream != stmt.streams[1].name) {
+        return Status::InvalidArgument(
+            "join condition must relate the two FROM streams");
+      }
+      auto left_key = ResolveField(primary_key);
+      auto right_key = ResolveField(secondary_key);
+      if (!left_key.ok()) return left_key.status();
+      if (!right_key.ok()) return right_key.status();
+
+      auto secondary_branch = build_branch(stmt.streams[1]);
+      if (!secondary_branch.ok()) return secondary_branch.status();
+
+      OperatorId join = b.Add(
+          std::make_unique<HashJoinOp>(
+              *left_key, *right_key,
+              WindowSpec::TumblingTime(primary.range)),
+          frag);
+      b.Connect(*primary_branch, join, 0).Connect(*secondary_branch, join, 1);
+      rank_input = join;
+
+      // Join output layout: (key, left fields minus key, right fields
+      // minus key). Remap the ranking field accordingly.
+      if (rank_value == *left_key) {
+        rank_value = 0;
+      } else {
+        rank_value = 1 + (rank_value < *left_key ? rank_value : rank_value - 1);
+      }
+      rank_key = 0;
+    }
+
+    OperatorId topk = b.Add(
+        std::make_unique<TopKOp>(static_cast<size_t>(stmt.func.top_k),
+                                 rank_value, rank_key,
+                                 WindowSpec::TumblingTime(primary.range)),
+        frag);
+    b.Connect(rank_input, topk);
+    pre_output = topk;
+  } else {
+    return Status::Unimplemented("unknown select function '" + fn + "'");
+  }
+
+  OperatorId out = b.Add(std::make_unique<OutputOp>(), frag);
+  b.Connect(pre_output, out).SetRoot(out);
+  auto graph = b.Build();
+  if (!graph.ok()) return graph.status();
+  compiled.graph = std::move(graph).TakeValue();
+  return compiled;
+}
+
+Result<CompiledQuery> QueryCompiler::CompileString(QueryId query_id,
+                                                   const std::string& text,
+                                                   SourceId* next_source) const {
+  auto stmt = ParseQuery(text);
+  if (!stmt.ok()) return stmt.status();
+  return Compile(query_id, *stmt, next_source);
+}
+
+}  // namespace themis

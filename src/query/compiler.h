@@ -1,0 +1,62 @@
+// Compiles parsed CQL-like statements into executable QueryGraphs.
+//
+// Supported shapes (the Table 1 workload surface):
+//   * single-stream aggregates:  Avg/Max/Min/Sum/Count(S.f)
+//     with optional WHERE (input filter) and HAVING (aggregate predicate;
+//     for Count it selects the counted tuples, per the paper's example);
+//   * two-stream covariance:     Cov(S1.f, S2.g);
+//   * TopN over one stream:      Top5(S.id, S.v);
+//   * TopN over an equi-join:    Top5(A.id, A.v) From A[...], B[...]
+//                                Where B.x >= c and A.id = B.id.
+//
+// Compiled queries are single-fragment; deployment-time fragmentation is a
+// placement concern the language intentionally does not encode (§3: users
+// control fragmentation separately).
+#ifndef THEMIS_QUERY_COMPILER_H_
+#define THEMIS_QUERY_COMPILER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "runtime/query_graph.h"
+#include "runtime/schema.h"
+
+namespace themis {
+
+/// A compiled statement: the executable graph plus the mapping from stream
+/// names to the SourceIds bound in the graph (the caller attaches source
+/// models for these ids).
+struct CompiledQuery {
+  std::unique_ptr<QueryGraph> graph;
+  std::map<std::string, SourceId> stream_sources;
+};
+
+/// \brief Resolves stream/field names against registered schemas and emits
+/// QueryGraphs.
+class QueryCompiler {
+ public:
+  /// Registers a stream `name` with its payload schema. Overwrites.
+  void RegisterStream(const std::string& name, Schema schema);
+
+  /// Compiles `stmt` into a graph with id `query_id`, allocating source ids
+  /// from `*next_source`.
+  Result<CompiledQuery> Compile(QueryId query_id, const SelectStmt& stmt,
+                                SourceId* next_source) const;
+
+  /// Convenience: parse + compile.
+  Result<CompiledQuery> CompileString(QueryId query_id, const std::string& text,
+                                      SourceId* next_source) const;
+
+ private:
+  Result<int> ResolveField(const FieldRef& ref) const;
+  Result<const Schema*> StreamSchema(const std::string& name) const;
+
+  std::map<std::string, Schema> streams_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_QUERY_COMPILER_H_

@@ -1,0 +1,120 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace themis {
+
+bool Token::IsWord(const std::string& word) const {
+  if (kind != TokenKind::kIdentifier || text.size() != word.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(word[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, input.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[j])) ||
+              input[j] == '.')) {
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = input.substr(i, j - i);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[", start);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, "]", start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        continue;
+      case '>':
+      case '<':
+      case '!': {
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kOperator, input.substr(i, 2), start);
+          i += 2;
+        } else if (c == '!') {
+          return Status::InvalidArgument("stray '!' at position " +
+                                         std::to_string(start));
+        } else {
+          push(TokenKind::kOperator, std::string(1, c), start);
+          ++i;
+        }
+        continue;
+      }
+      case '=':
+        push(TokenKind::kOperator, "=", start);
+        ++i;
+        continue;
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at position " +
+                                       std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, "", input.size());
+  return tokens;
+}
+
+}  // namespace themis

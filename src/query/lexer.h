@@ -1,0 +1,47 @@
+// Lexer for the CQL-like query syntax of Table 1 (Arasu et al. [8] style):
+//   Select Avg(t.v) From Src[Range 1 sec]
+//   Select Count(t.v) From Src[Range 1 sec] Having t.v >= 50
+//   Select Cov(S1.value, S2.value) From S1[Range 1 sec], S2[Range 1 sec]
+//   Select Top5(CPU.id, CPU.v) From CPU[Range 1 sec], Mem[Range 1 sec]
+//     Where Mem.free >= 100000 and CPU.id = Mem.id
+#ifndef THEMIS_QUERY_LEXER_H_
+#define THEMIS_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace themis {
+
+enum class TokenKind {
+  kIdentifier,  ///< stream/field names and keywords (keywords resolved later)
+  kNumber,      ///< integer or decimal literal
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kDot,
+  kOperator,    ///< one of >=, <=, !=, =, >, <
+  kEnd,
+};
+
+/// One lexed token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t position = 0;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// Case-insensitive keyword/identifier comparison.
+  bool IsWord(const std::string& word) const;
+};
+
+/// \brief Splits `input` into tokens; fails on unknown characters.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace themis
+
+#endif  // THEMIS_QUERY_LEXER_H_

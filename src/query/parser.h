@@ -1,0 +1,18 @@
+// Recursive-descent parser for the CQL-like language (grammar in lexer.h).
+#ifndef THEMIS_QUERY_PARSER_H_
+#define THEMIS_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace themis {
+
+/// \brief Parses one SELECT statement; fails with a positioned message on
+/// syntax errors.
+Result<SelectStmt> ParseQuery(const std::string& input);
+
+}  // namespace themis
+
+#endif  // THEMIS_QUERY_PARSER_H_

@@ -1,0 +1,25 @@
+// Identifier vocabulary shared across the runtime, the node layer and the
+// federation layer.
+#ifndef THEMIS_RUNTIME_IDS_H_
+#define THEMIS_RUNTIME_IDS_H_
+
+#include <cstdint>
+
+namespace themis {
+
+/// Identifies a query across the whole FSPS.
+using QueryId = int32_t;
+/// Identifies an operator within one query graph.
+using OperatorId = int32_t;
+/// Identifies a fragment within one query graph.
+using FragmentId = int32_t;
+/// Identifies an FSPS node (= one autonomous site, §3 of the paper).
+using NodeId = int32_t;
+/// Identifies a data source across the whole FSPS.
+using SourceId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_IDS_H_

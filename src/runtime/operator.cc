@@ -1,0 +1,86 @@
+#include "runtime/operator.h"
+
+namespace themis {
+
+namespace {
+
+// Applies Eq. (3): every derived tuple receives an equal share of the SIC
+// mass of its atomic input set. Produced tuples with no timestamp inherit the
+// pane end (the emission time).
+void FinalizeOutputs(double input_sic, SimTime pane_end, size_t first,
+                     std::vector<Tuple>* out) {
+  size_t produced = out->size() - first;
+  if (produced == 0) return;
+  double share = input_sic / static_cast<double>(produced);
+  for (size_t i = first; i < out->size(); ++i) {
+    (*out)[i].sic = share;
+    if ((*out)[i].timestamp == 0) (*out)[i].timestamp = pane_end;
+  }
+}
+
+}  // namespace
+
+void WindowedOperator::Ingest(const std::vector<Tuple>& tuples, int port) {
+  (void)port;
+  for (const Tuple& t : tuples) window_.Add(t);
+}
+
+void WindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
+  for (Pane& pane : window_.Advance(watermark)) {
+    size_t first = out->size();
+    ProcessPane(pane, out);
+    FinalizeOutputs(pane.TotalSic(), pane.end, first, out);
+  }
+}
+
+void BinaryWindowedOperator::Ingest(const std::vector<Tuple>& tuples, int port) {
+  WindowBuffer& w = (port == 0) ? left_ : right_;
+  for (const Tuple& t : tuples) w.Add(t);
+}
+
+void BinaryWindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
+  for (Pane& p : left_.Advance(watermark)) pending_left_[p.end] = std::move(p);
+  for (Pane& p : right_.Advance(watermark)) pending_right_[p.end] = std::move(p);
+
+  // Process every window end that the watermark has passed, pairing panes and
+  // substituting an empty pane when one side is silent.
+  while (!pending_left_.empty() || !pending_right_.empty()) {
+    SimTime end;
+    if (pending_left_.empty()) {
+      end = pending_right_.begin()->first;
+    } else if (pending_right_.empty()) {
+      end = pending_left_.begin()->first;
+    } else {
+      end = std::min(pending_left_.begin()->first, pending_right_.begin()->first);
+    }
+    if (end > watermark) break;
+
+    Pane left, right;
+    left.end = right.end = end;
+    if (auto it = pending_left_.find(end); it != pending_left_.end()) {
+      left = std::move(it->second);
+      pending_left_.erase(it);
+    }
+    if (auto it = pending_right_.find(end); it != pending_right_.end()) {
+      right = std::move(it->second);
+      pending_right_.erase(it);
+    }
+
+    size_t first = out->size();
+    ProcessPanes(left, right, out);
+    FinalizeOutputs(left.TotalSic() + right.TotalSic(), end, first, out);
+  }
+}
+
+void PassThroughOperator::Ingest(const std::vector<Tuple>& tuples, int port) {
+  (void)port;
+  pending_.insert(pending_.end(), tuples.begin(), tuples.end());
+}
+
+void PassThroughOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
+  (void)watermark;
+  out->insert(out->end(), pending_.begin(), pending_.end());
+  pending_.clear();
+}
+
+}  // namespace themis

@@ -1,0 +1,38 @@
+#include "runtime/operators/covariance.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace themis {
+
+CovarianceOp::CovarianceOp(int left_field, int right_field, WindowSpec spec,
+                           double cost_us_per_tuple)
+    : BinaryWindowedOperator("cov", spec, cost_us_per_tuple),
+      left_field_(left_field),
+      right_field_(right_field) {}
+
+void CovarianceOp::ProcessPanes(const Pane& left, const Pane& right,
+                                std::vector<Tuple>* out) {
+  size_t n = std::min(left.tuples.size(), right.tuples.size());
+  if (n < 2) return;
+  std::vector<double> xs, ys;
+  xs.reserve(n);
+  ys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& l = left.tuples[i];
+    const Tuple& r = right.tuples[i];
+    if (static_cast<size_t>(left_field_) >= l.values.size() ||
+        static_cast<size_t>(right_field_) >= r.values.size()) {
+      continue;
+    }
+    xs.push_back(AsDouble(l.values[left_field_]));
+    ys.push_back(AsDouble(r.values[right_field_]));
+  }
+  if (xs.size() < 2) return;
+  Tuple result;
+  result.values.push_back(Covariance(xs, ys));
+  out->push_back(std::move(result));
+}
+
+}  // namespace themis

@@ -1,0 +1,30 @@
+// Covariance of two streams (the COV query of Table 1).
+#ifndef THEMIS_RUNTIME_OPERATORS_COVARIANCE_H_
+#define THEMIS_RUNTIME_OPERATORS_COVARIANCE_H_
+
+#include "runtime/operator.h"
+
+namespace themis {
+
+/// \brief Per-pane sample covariance of two input streams' value fields.
+///
+/// The two panes are aligned by arrival order (the streams sample the same
+/// instants at the same rate, per the paper's workload); the shorter pane
+/// truncates the pairing. Emits a single tuple with the covariance.
+class CovarianceOp : public BinaryWindowedOperator {
+ public:
+  CovarianceOp(int left_field, int right_field, WindowSpec spec,
+               double cost_us_per_tuple = 1.5);
+
+ protected:
+  void ProcessPanes(const Pane& left, const Pane& right,
+                    std::vector<Tuple>* out) override;
+
+ private:
+  int left_field_;
+  int right_field_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_OPERATORS_COVARIANCE_H_

@@ -1,0 +1,42 @@
+#include "runtime/operators/join.h"
+
+#include <unordered_map>
+
+namespace themis {
+
+HashJoinOp::HashJoinOp(int left_key, int right_key, WindowSpec spec,
+                       double cost_us_per_tuple)
+    : BinaryWindowedOperator("join", spec, cost_us_per_tuple),
+      left_key_(left_key),
+      right_key_(right_key) {}
+
+void HashJoinOp::ProcessPanes(const Pane& left, const Pane& right,
+                              std::vector<Tuple>* out) {
+  std::unordered_multimap<int64_t, const Tuple*> build;
+  build.reserve(left.tuples.size());
+  for (const Tuple& t : left.tuples) {
+    if (static_cast<size_t>(left_key_) >= t.values.size()) continue;
+    build.emplace(AsInt(t.values[left_key_]), &t);
+  }
+  for (const Tuple& probe : right.tuples) {
+    if (static_cast<size_t>(right_key_) >= probe.values.size()) continue;
+    int64_t key = AsInt(probe.values[right_key_]);
+    auto [lo, hi] = build.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      Tuple joined;
+      joined.values.push_back(key);
+      const Tuple& l = *it->second;
+      for (size_t i = 0; i < l.values.size(); ++i) {
+        if (static_cast<int>(i) == left_key_) continue;
+        joined.values.push_back(l.values[i]);
+      }
+      for (size_t i = 0; i < probe.values.size(); ++i) {
+        if (static_cast<int>(i) == right_key_) continue;
+        joined.values.push_back(probe.values[i]);
+      }
+      out->push_back(std::move(joined));
+    }
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,33 @@
+// Windowed equi-join (the TOP-5 query joins per-node CPU and memory streams
+// on the node id).
+#ifndef THEMIS_RUNTIME_OPERATORS_JOIN_H_
+#define THEMIS_RUNTIME_OPERATORS_JOIN_H_
+
+#include "runtime/operator.h"
+
+namespace themis {
+
+/// \brief Per-pane hash equi-join of two input streams.
+///
+/// Output payload: (key, left fields..., right fields...) with the key field
+/// removed from both sides. Eq. (3) applies with T_in the union of both
+/// panes, so unmatched tuples' SIC is redistributed over the join output.
+class HashJoinOp : public BinaryWindowedOperator {
+ public:
+  /// \param left_key index of the join key in left payloads
+  /// \param right_key index of the join key in right payloads
+  HashJoinOp(int left_key, int right_key, WindowSpec spec,
+             double cost_us_per_tuple = 2.0);
+
+ protected:
+  void ProcessPanes(const Pane& left, const Pane& right,
+                    std::vector<Tuple>* out) override;
+
+ private:
+  int left_key_;
+  int right_key_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_OPERATORS_JOIN_H_

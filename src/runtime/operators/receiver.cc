@@ -1,0 +1,4 @@
+// ReceiverOp, OutputOp and UnionOp are thin PassThroughOperator aliases; all
+// behaviour lives in the base class. This file exists so each operator header
+// has a translation unit and stays linkable if behaviour is added later.
+#include "runtime/operators/receiver.h"

@@ -1,0 +1,38 @@
+// Ingress and egress operators. A ReceiverOp is the operator a source binds
+// to (§3: "every source is connected to a single operator"); an OutputOp is
+// the root operator that emits the query result stream.
+#ifndef THEMIS_RUNTIME_OPERATORS_RECEIVER_H_
+#define THEMIS_RUNTIME_OPERATORS_RECEIVER_H_
+
+#include "runtime/operator.h"
+
+namespace themis {
+
+/// \brief Source data receiver; forwards source tuples unchanged.
+///
+/// SIC stamping of source tuples (Eq. 1) happens at node ingress, before the
+/// input buffer, so that the shedder sees correct batch SIC values; the
+/// receiver therefore only models the ingestion cost.
+class ReceiverOp : public PassThroughOperator {
+ public:
+  explicit ReceiverOp(double cost_us_per_tuple = 0.5)
+      : PassThroughOperator("receiver", cost_us_per_tuple) {}
+};
+
+/// \brief Root operator emitting result tuples to the user.
+class OutputOp : public PassThroughOperator {
+ public:
+  explicit OutputOp(double cost_us_per_tuple = 0.2)
+      : PassThroughOperator("output", cost_us_per_tuple) {}
+};
+
+/// \brief Stream merge point (the paper's union of AllSrc streams).
+class UnionOp : public PassThroughOperator {
+ public:
+  explicit UnionOp(double cost_us_per_tuple = 0.2)
+      : PassThroughOperator("union", cost_us_per_tuple) {}
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_OPERATORS_RECEIVER_H_

@@ -1,0 +1,121 @@
+#include "runtime/operators/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace themis {
+
+namespace {
+
+// Collects the numeric values of `field` over a pane; skips short payloads.
+std::vector<double> FieldValues(const Pane& pane, int field) {
+  std::vector<double> xs;
+  xs.reserve(pane.tuples.size());
+  for (const Tuple& t : pane.tuples) {
+    if (static_cast<size_t>(field) < t.values.size()) {
+      xs.push_back(AsDouble(t.values[field]));
+    }
+  }
+  return xs;
+}
+
+}  // namespace
+
+VarianceOp::VarianceOp(int field, WindowSpec spec, double cost_us_per_tuple)
+    : WindowedOperator("variance", spec, cost_us_per_tuple), field_(field) {}
+
+void VarianceOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
+  std::vector<double> xs = FieldValues(pane, field_);
+  if (xs.empty()) return;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  Tuple result;
+  result.values.push_back(var);
+  out->push_back(std::move(result));
+}
+
+QuantileOp::QuantileOp(double q, int field, WindowSpec spec,
+                       double cost_us_per_tuple)
+    : WindowedOperator("q" + std::to_string(static_cast<int>(q * 100)), spec,
+                       cost_us_per_tuple),
+      q_(q),
+      field_(field) {}
+
+void QuantileOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
+  std::vector<double> xs = FieldValues(pane, field_);
+  if (xs.empty()) return;
+  // Nearest-rank definition: the ceil(q*n)-th smallest value.
+  size_t rank = static_cast<size_t>(
+      std::ceil(q_ * static_cast<double>(xs.size())));
+  rank = std::clamp<size_t>(rank, 1, xs.size());
+  std::nth_element(xs.begin(), xs.begin() + (rank - 1), xs.end());
+  Tuple result;
+  result.values.push_back(xs[rank - 1]);
+  out->push_back(std::move(result));
+}
+
+DistinctCountOp::DistinctCountOp(int key_field, WindowSpec spec,
+                                 double cost_us_per_tuple)
+    : WindowedOperator("distinct", spec, cost_us_per_tuple),
+      key_field_(key_field) {}
+
+void DistinctCountOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
+  if (pane.tuples.empty()) return;
+  std::unordered_set<int64_t> keys;
+  for (const Tuple& t : pane.tuples) {
+    if (static_cast<size_t>(key_field_) < t.values.size()) {
+      keys.insert(AsInt(t.values[key_field_]));
+    }
+  }
+  Tuple result;
+  result.values.push_back(static_cast<int64_t>(keys.size()));
+  out->push_back(std::move(result));
+}
+
+EwmaOp::EwmaOp(double alpha, int field, WindowSpec spec,
+               double cost_us_per_tuple)
+    : WindowedOperator("ewma", spec, cost_us_per_tuple),
+      alpha_(alpha),
+      field_(field) {}
+
+void EwmaOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
+  std::vector<double> xs = FieldValues(pane, field_);
+  if (xs.empty()) return;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  if (!initialised_) {
+    state_ = mean;
+    initialised_ = true;
+  } else {
+    state_ = alpha_ * mean + (1.0 - alpha_) * state_;
+  }
+  Tuple result;
+  result.values.push_back(state_);
+  out->push_back(std::move(result));
+}
+
+DeltaOp::DeltaOp(int field, WindowSpec spec, double cost_us_per_tuple)
+    : WindowedOperator("delta", spec, cost_us_per_tuple), field_(field) {}
+
+void DeltaOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
+  std::vector<double> xs = FieldValues(pane, field_);
+  if (xs.empty()) return;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  if (has_previous_) {
+    Tuple result;
+    result.values.push_back(mean - previous_);
+    out->push_back(std::move(result));
+  }
+  previous_ = mean;
+  has_previous_ = true;
+}
+
+}  // namespace themis

@@ -1,0 +1,35 @@
+#include "runtime/operators/topk.h"
+
+#include <algorithm>
+
+namespace themis {
+
+TopKOp::TopKOp(size_t k, int value_field, int key_field, WindowSpec spec,
+               double cost_us_per_tuple)
+    : WindowedOperator("top" + std::to_string(k), spec, cost_us_per_tuple),
+      k_(k),
+      value_field_(value_field),
+      key_field_(key_field) {}
+
+void TopKOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
+  std::vector<const Tuple*> sorted;
+  sorted.reserve(pane.tuples.size());
+  for (const Tuple& t : pane.tuples) {
+    if (static_cast<size_t>(value_field_) >= t.values.size()) continue;
+    sorted.push_back(&t);
+  }
+  std::sort(sorted.begin(), sorted.end(), [this](const Tuple* a, const Tuple* b) {
+    double va = AsDouble(a->values[value_field_]);
+    double vb = AsDouble(b->values[value_field_]);
+    if (va != vb) return va > vb;
+    return AsInt(a->values[key_field_]) < AsInt(b->values[key_field_]);
+  });
+  size_t take = std::min(k_, sorted.size());
+  for (size_t i = 0; i < take; ++i) {
+    Tuple copy = *sorted[i];
+    copy.timestamp = 0;
+    out->push_back(std::move(copy));
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,49 @@
+#include "runtime/schema.h"
+
+namespace themis {
+
+namespace {
+const char* TypeName(FieldType t) {
+  switch (t) {
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kString:
+      return "string";
+  }
+  return "?";
+}
+}  // namespace
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += TypeName(fields_[i].type);
+  }
+  return out;
+}
+
+Schema Schema::SingleValue() { return Schema({{"v", FieldType::kDouble}}); }
+
+Schema Schema::IdValue() {
+  return Schema({{"id", FieldType::kInt64}, {"v", FieldType::kDouble}});
+}
+
+Schema Schema::IdCpuMem() {
+  return Schema({{"id", FieldType::kInt64},
+                 {"cpu", FieldType::kDouble},
+                 {"mem", FieldType::kDouble}});
+}
+
+}  // namespace themis

@@ -1,0 +1,48 @@
+// Relational schema for tuple payloads.
+#ifndef THEMIS_RUNTIME_SCHEMA_H_
+#define THEMIS_RUNTIME_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace themis {
+
+/// Field data types supported by the payload model.
+enum class FieldType { kInt64, kDouble, kString };
+
+/// One named, typed field.
+struct Field {
+  std::string name;
+  FieldType type;
+};
+
+/// \brief Ordered field list describing a tuple payload.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Index of the field with the given name, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Renders "name:type, ..." for debugging.
+  std::string ToString() const;
+
+  /// Common schemas used by the Table 1 workloads.
+  static Schema SingleValue();            ///< (v: double)
+  static Schema IdValue();                ///< (id: int64, v: double)
+  static Schema IdCpuMem();               ///< (id: int64, cpu: double, mem: double)
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_SCHEMA_H_

@@ -1,0 +1,30 @@
+// The tuple model of §3: t = (timestamp, SIC, payload values).
+#ifndef THEMIS_RUNTIME_TUPLE_H_
+#define THEMIS_RUNTIME_TUPLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/time_types.h"
+#include "runtime/value.h"
+
+namespace themis {
+
+/// \brief One stream tuple: logical timestamp, SIC meta-data and payload.
+///
+/// The SIC field implements the source information content meta-data of §4:
+/// for a source tuple it is assigned per Eq. (1); for a derived tuple it is
+/// assigned by the producing operator per Eq. (3).
+struct Tuple {
+  SimTime timestamp = 0;
+  double sic = 0.0;
+  std::vector<Value> values;
+
+  Tuple() = default;
+  Tuple(SimTime ts, double sic_value, std::vector<Value> vals)
+      : timestamp(ts), sic(sic_value), values(std::move(vals)) {}
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_TUPLE_H_

@@ -1,0 +1,38 @@
+// Payload value model. Tuples carry a small vector of variant values typed by
+// a Schema (relational streaming model, Arasu et al. [8]).
+#ifndef THEMIS_RUNTIME_VALUE_H_
+#define THEMIS_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace themis {
+
+/// A single field value.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Numeric view of a value; strings coerce to 0.
+inline double AsDouble(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  return 0.0;
+}
+
+/// Integer view of a value; doubles truncate, strings coerce to 0.
+inline int64_t AsInt(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
+  return 0;
+}
+
+/// Renders a value for debugging and report output.
+inline std::string ValueToString(const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* d = std::get_if<double>(&v)) return std::to_string(*d);
+  return std::to_string(std::get<int64_t>(v));
+}
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_VALUE_H_

@@ -1,0 +1,152 @@
+#include "runtime/window.h"
+
+#include <algorithm>
+
+namespace themis {
+
+WindowSpec WindowSpec::TumblingTime(SimDuration range) {
+  WindowSpec s;
+  s.kind = WindowKind::kTumblingTime;
+  s.range = range;
+  s.slide = range;
+  return s;
+}
+
+WindowSpec WindowSpec::SlidingTime(SimDuration range, SimDuration slide) {
+  WindowSpec s;
+  s.kind = WindowKind::kSlidingTime;
+  s.range = range;
+  s.slide = slide;
+  return s;
+}
+
+WindowSpec WindowSpec::Count(size_t n) {
+  WindowSpec s;
+  s.kind = WindowKind::kCount;
+  s.count = n;
+  return s;
+}
+
+double Pane::TotalSic() const {
+  double sum = 0.0;
+  for (const Tuple& t : tuples) sum += t.sic;
+  return sum;
+}
+
+WindowBuffer::WindowBuffer(WindowSpec spec) : spec_(spec) {}
+
+void WindowBuffer::Add(const Tuple& t) {
+  switch (spec_.kind) {
+    case WindowKind::kTumblingTime: {
+      SimTime ts = std::max(t.timestamp, released_up_to_);
+      int64_t idx = ts / spec_.range;
+      Pane& p = open_[idx];
+      if (p.tuples.empty()) {
+        p.start = idx * spec_.range;
+        p.end = p.start + spec_.range;
+      }
+      p.tuples.push_back(t);
+      if (p.tuples.back().timestamp < released_up_to_) {
+        p.tuples.back().timestamp = released_up_to_;
+      }
+      break;
+    }
+    case WindowKind::kSlidingTime: {
+      sliding_buf_.push_back(t);
+      break;
+    }
+    case WindowKind::kCount: {
+      count_buf_.push_back(t);
+      if (count_buf_.size() >= spec_.count && spec_.count > 0) {
+        Pane p;
+        p.start = count_buf_.front().timestamp;
+        p.end = count_buf_.back().timestamp;
+        p.tuples = std::move(count_buf_);
+        count_buf_.clear();
+        ready_.push_back(std::move(p));
+      }
+      break;
+    }
+  }
+}
+
+std::vector<Pane> WindowBuffer::Advance(SimTime watermark) {
+  switch (spec_.kind) {
+    case WindowKind::kTumblingTime:
+      return AdvanceTumbling(watermark);
+    case WindowKind::kSlidingTime:
+      return AdvanceSliding(watermark);
+    case WindowKind::kCount: {
+      std::vector<Pane> out = std::move(ready_);
+      ready_.clear();
+      return out;
+    }
+  }
+  return {};
+}
+
+std::vector<Pane> WindowBuffer::AdvanceTumbling(SimTime watermark) {
+  std::vector<Pane> out;
+  auto it = open_.begin();
+  while (it != open_.end() && it->second.end <= watermark) {
+    out.push_back(std::move(it->second));
+    it = open_.erase(it);
+  }
+  if (!out.empty()) released_up_to_ = std::max(released_up_to_, out.back().end);
+  return out;
+}
+
+std::vector<Pane> WindowBuffer::AdvanceSliding(SimTime watermark) {
+  std::vector<Pane> out;
+  if (!slide_initialized_) {
+    if (sliding_buf_.empty()) return out;
+    // Align the first pane end on a slide boundary past the earliest tuple.
+    SimTime first = sliding_buf_.front().timestamp;
+    next_slide_end_ = ((first / spec_.slide) + 1) * spec_.slide;
+    slide_initialized_ = true;
+  }
+  // A tuple participates in `overlap` consecutive panes; divide its SIC so
+  // that the total SIC mass emitted over time equals the mass ingested (§6).
+  const double overlap =
+      std::max<double>(1.0, static_cast<double>(spec_.range) /
+                                static_cast<double>(spec_.slide));
+  while (next_slide_end_ <= watermark) {
+    SimTime end = next_slide_end_;
+    SimTime start = end - spec_.range;
+    Pane p;
+    p.start = start;
+    p.end = end;
+    for (const Tuple& t : sliding_buf_) {
+      if (t.timestamp >= start && t.timestamp < end) {
+        Tuple copy = t;
+        copy.sic = t.sic / overlap;
+        p.tuples.push_back(std::move(copy));
+      }
+    }
+    // Tuples that will never appear in a future pane can be dropped.
+    SimTime horizon = end + spec_.slide - spec_.range;
+    while (!sliding_buf_.empty() && sliding_buf_.front().timestamp < horizon) {
+      sliding_buf_.pop_front();
+    }
+    out.push_back(std::move(p));
+    next_slide_end_ += spec_.slide;
+  }
+  return out;
+}
+
+size_t WindowBuffer::buffered() const {
+  switch (spec_.kind) {
+    case WindowKind::kTumblingTime: {
+      size_t n = 0;
+      for (const auto& [idx, pane] : open_) n += pane.tuples.size();
+      return n;
+    }
+    case WindowKind::kSlidingTime:
+      return sliding_buf_.size();
+    case WindowKind::kCount:
+      return count_buf_.size();
+  }
+  return 0;
+}
+
+}  // namespace themis

@@ -1,0 +1,84 @@
+// Window model of §3: every operator processes input atomically through a
+// time or count window. WindowBuffer assembles input tuples into panes and
+// releases a pane once the watermark passes its end (time windows) or once it
+// is full (count windows).
+#ifndef THEMIS_RUNTIME_WINDOW_H_
+#define THEMIS_RUNTIME_WINDOW_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/time_types.h"
+#include "runtime/tuple.h"
+
+namespace themis {
+
+enum class WindowKind { kTumblingTime, kSlidingTime, kCount };
+
+/// \brief Declarative window description attached to an operator.
+struct WindowSpec {
+  WindowKind kind = WindowKind::kTumblingTime;
+  SimDuration range = kSecond;
+  SimDuration slide = kSecond;  ///< only for kSlidingTime
+  size_t count = 0;             ///< only for kCount
+
+  /// `[k*range, (k+1)*range)` panes, e.g. the paper's `[Range 1 sec]`.
+  static WindowSpec TumblingTime(SimDuration range);
+  /// Overlapping panes of length `range`, one per `slide`.
+  static WindowSpec SlidingTime(SimDuration range, SimDuration slide);
+  /// Atomic emission every `n` tuples.
+  static WindowSpec Count(size_t n);
+};
+
+/// \brief One closed window pane: the atomic input set T_in of an operator.
+struct Pane {
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<Tuple> tuples;
+
+  /// Sum of tuple SIC values, i.e. the numerator of Eq. (3).
+  double TotalSic() const;
+};
+
+/// \brief Assembles tuples into panes according to a WindowSpec.
+///
+/// For sliding windows, a tuple logically belongs to `range/slide` panes; per
+/// §6 ("SIC maintenance") its SIC value is divided across those panes so that
+/// SIC mass is conserved.
+class WindowBuffer {
+ public:
+  explicit WindowBuffer(WindowSpec spec);
+
+  /// Adds a tuple. Tuples older than the last released watermark are folded
+  /// into the earliest still-open pane (late-data policy).
+  void Add(const Tuple& t);
+
+  /// Releases every pane whose end is <= `watermark` (time windows) or that
+  /// became full (count windows), in order.
+  std::vector<Pane> Advance(SimTime watermark);
+
+  const WindowSpec& spec() const { return spec_; }
+  /// Number of buffered (not yet released) tuples.
+  size_t buffered() const;
+
+ private:
+  std::vector<Pane> AdvanceTumbling(SimTime watermark);
+  std::vector<Pane> AdvanceSliding(SimTime watermark);
+
+  WindowSpec spec_;
+  // Tumbling: open panes keyed by pane index (timestamp / range).
+  std::map<int64_t, Pane> open_;
+  SimTime released_up_to_ = 0;
+  // Sliding: time-ordered buffer; panes are cut at slide boundaries.
+  std::deque<Tuple> sliding_buf_;
+  SimTime next_slide_end_ = 0;
+  bool slide_initialized_ = false;
+  // Count: current fill + panes completed during Add().
+  std::vector<Tuple> count_buf_;
+  std::vector<Pane> ready_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_WINDOW_H_

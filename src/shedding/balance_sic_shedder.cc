@@ -1,0 +1,200 @@
+#include "shedding/balance_sic_shedder.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace themis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Two projected SIC values within this tolerance count as "equal" for the
+// q''_SIC != q'_SIC condition of Alg. 1 line 14.
+constexpr double kSicEps = 1e-12;
+
+struct QueryState {
+  double projected_sic = 0.0;   // plays the role of q_SIC during the loop
+  std::vector<size_t> batches;  // candidate batch indices, best-first
+  size_t next = 0;              // cursor into `batches`
+
+  bool Exhausted() const { return next >= batches.size(); }
+};
+
+}  // namespace
+
+std::vector<size_t> BalanceSicShedder::SelectBatchesToKeep(
+    const std::deque<Batch>& ib, const ShedContext& ctx) {
+  if (ib.empty() || ctx.capacity_tuples == 0) return {};
+
+  // Group buffer batches per query and compute the projection baseline.
+  std::map<QueryId, QueryState> states;
+  for (size_t i = 0; i < ib.size(); ++i) {
+    states[ib[i].header.query_id].batches.push_back(i);
+  }
+  for (auto& [q, st] : states) {
+    double disseminated = 0.0;
+    if (ctx.query_sic != nullptr) {
+      if (auto it = ctx.query_sic->find(q); it != ctx.query_sic->end()) {
+        disseminated = it->second;
+      }
+    }
+    if (options_.project_local_shedding) {
+      double in_buffer = 0.0;
+      for (size_t i : st.batches) in_buffer += ib[i].header.sic;
+      st.projected_sic = std::max(0.0, disseminated - in_buffer);
+      // Recently accepted mass is in flight through the operators' window
+      // cascade: it appears in neither the disseminated result SIC nor the
+      // buffer. Using the local accept level as a floor removes the feedback
+      // lag that would otherwise cause over-correction oscillations.
+      if (ctx.local_accepted_sic != nullptr) {
+        if (auto it = ctx.local_accepted_sic->find(q);
+            it != ctx.local_accepted_sic->end()) {
+          st.projected_sic = std::max(st.projected_sic, it->second);
+        }
+      }
+    } else {
+      st.projected_sic = disseminated;
+    }
+    if (options_.prefer_high_sic) {
+      // max(x_SIC): highest-SIC batches first; FIFO order breaks SIC ties.
+      std::stable_sort(st.batches.begin(), st.batches.end(),
+                       [&ib](size_t a, size_t b) {
+                         return ib[a].header.sic > ib[b].header.sic;
+                       });
+    }
+
+    // Bucket by operator window, order buckets by SIC mass (max(x_SIC) at
+    // window granularity), and source-interleave inside each bucket. The
+    // flattened list makes the acceptance loop complete one window before
+    // starting the next — see BalanceSicOptions::window_group.
+    std::map<int64_t, std::vector<size_t>> buckets;
+    if (options_.window_group > 0) {
+      for (size_t idx : st.batches) {
+        buckets[ib[idx].header.created / options_.window_group].push_back(idx);
+      }
+    } else {
+      buckets[0] = st.batches;
+    }
+
+    std::vector<std::pair<double, int64_t>> bucket_order;  // (-sic, window)
+    for (const auto& [window, idxs] : buckets) {
+      double mass = 0.0;
+      for (size_t i : idxs) mass += ib[i].header.sic;
+      bucket_order.emplace_back(-mass, window);
+    }
+    std::sort(bucket_order.begin(), bucket_order.end());
+
+    std::vector<size_t> flattened;
+    flattened.reserve(st.batches.size());
+    for (const auto& [neg_mass, window] : bucket_order) {
+      std::vector<size_t>& idxs = buckets[window];
+      if (options_.interleave_sources) {
+        // Round-robin across sources, preserving per-source order. The
+        // starting source rotates randomly: a starved query often gets just
+        // one batch per invocation, and a fixed start would feed the same
+        // source forever, permanently starving the other input port of a
+        // join/covariance operator.
+        std::map<SourceId, std::vector<size_t>> per_source;
+        for (size_t idx : idxs) per_source[ib[idx].header.source].push_back(idx);
+        std::vector<std::vector<size_t>*> lanes;
+        lanes.reserve(per_source.size());
+        for (auto& [src, v] : per_source) lanes.push_back(&v);
+        size_t start = lanes.size() > 1
+                           ? static_cast<size_t>(rng_.UniformInt(
+                                 0, static_cast<int64_t>(lanes.size()) - 1))
+                           : 0;
+        size_t emitted = 0;
+        for (size_t round = 0; emitted < idxs.size(); ++round) {
+          for (size_t l = 0; l < lanes.size(); ++l) {
+            const std::vector<size_t>& v = *lanes[(start + l) % lanes.size()];
+            if (round < v.size()) {
+              flattened.push_back(v[round]);
+              ++emitted;
+            }
+          }
+        }
+      } else {
+        flattened.insert(flattened.end(), idxs.begin(), idxs.end());
+      }
+    }
+    st.batches = std::move(flattened);
+  }
+
+  std::vector<size_t> keep;
+  size_t remaining = ctx.capacity_tuples;
+
+  // selectTuplesToKeep() main loop. Each iteration raises the minimum query
+  // toward the second-lowest distinct SIC level.
+  while (remaining > 0) {
+    // q' := argmin over queries that still have batches to offer.
+    QueryId min_q = kInvalidId;
+    double min_sic = kInf;
+    int ties = 0;
+    for (auto& [q, st] : states) {
+      if (st.Exhausted()) continue;
+      if (st.projected_sic < min_sic - kSicEps) {
+        min_sic = st.projected_sic;
+        min_q = q;
+        ties = 1;
+      } else if (st.projected_sic <= min_sic + kSicEps) {
+        // Reservoir-sample among ties so the random pick is uniform.
+        ++ties;
+        if (rng_.UniformInt(1, ties) == 1) min_q = q;
+      }
+    }
+    if (min_q == kInvalidId) break;  // every query exhausted
+
+    // q'' := next distinct SIC level among ALL queries (exhausted queries
+    // still define levels other nodes may be filling toward).
+    double target = kInf;
+    for (const auto& [q, st] : states) {
+      if (q == min_q) continue;
+      if (st.projected_sic > min_sic + kSicEps && st.projected_sic < target) {
+        target = st.projected_sic;
+      }
+    }
+
+    // Accept batches from q' until its projection reaches the target level,
+    // capacity runs out, or it has nothing left. With target == inf (all
+    // queries at the same level) accept a single batch, then re-enter the
+    // loop so acceptance rotates randomly across queries (Fig. 3, iter. 5).
+    QueryState& st = states[min_q];
+    bool accepted_any = false;
+    while (!st.Exhausted() && st.projected_sic < target - kSicEps &&
+           remaining > 0) {
+      size_t idx = st.batches[st.next];
+      size_t n = ib[idx].size();
+      if (n > remaining) {
+        // Alg. 1 line 17: never exceed capacity. Try a smaller batch of the
+        // same query before giving up on it.
+        bool found = false;
+        for (size_t j = st.next + 1; j < st.batches.size(); ++j) {
+          if (ib[st.batches[j]].size() <= remaining) {
+            std::swap(st.batches[st.next], st.batches[j]);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          st.next = st.batches.size();  // nothing fits; exhaust this query
+          break;
+        }
+        continue;
+      }
+      keep.push_back(idx);
+      st.projected_sic += ib[idx].header.sic;  // local updateSIC(Q)
+      remaining -= n;
+      ++st.next;
+      accepted_any = true;
+      if (target == kInf) break;  // tie case: one batch, then re-select
+    }
+    if (!accepted_any && st.Exhausted()) continue;  // another query may fit
+    if (!accepted_any) break;  // capacity cannot fit anything further
+  }
+
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+}  // namespace themis

@@ -1,0 +1,65 @@
+// BALANCE-SIC fair shedding — Algorithm 1 of §5, with the practical
+// refinements of §6:
+//   * batch granularity (batches are the shedding unit),
+//   * local SIC projection: the shedder starts from the disseminated result
+//     SIC minus the SIC mass sitting in the input buffer ("assume everything
+//     is discarded"), then adds batches back as it accepts them,
+//   * max(x_SIC) selection: within a query, the highest-SIC batches are
+//     accepted first so capacity buys the most valuable tuples.
+#ifndef THEMIS_SHEDDING_BALANCE_SIC_SHEDDER_H_
+#define THEMIS_SHEDDING_BALANCE_SIC_SHEDDER_H_
+
+#include "common/rng.h"
+#include "shedding/shedder.h"
+
+namespace themis {
+
+/// Tuning knobs; defaults reproduce the paper, the alternatives exist for the
+/// ablation benches called out in DESIGN.md §5.
+struct BalanceSicOptions {
+  /// Accept highest-SIC batches first (Alg. 1 line 16, max(x_SIC)). When
+  /// false, batches are accepted in FIFO arrival order (ablation).
+  bool prefer_high_sic = true;
+  /// Subtract in-buffer SIC mass from the disseminated q_SIC before the
+  /// water-filling loop (§6 tuple shedder projection). When false, the loop
+  /// starts from the disseminated value directly (ablation).
+  bool project_local_shedding = true;
+  /// Within a query, interleave accepted batches round-robin across the
+  /// query's sources. With equal-rate sources all batches carry the same SIC
+  /// value, so this is a tie-break refinement of max(x_SIC) that keeps
+  /// multi-input operators (join, covariance) fed from every source — an
+  /// all-CPU-no-memory window would emit nothing and lose its SIC mass.
+  bool interleave_sources = true;
+  /// Within a query, bucket candidate batches by the operator window their
+  /// creation time falls into and complete one bucket before starting the
+  /// next. Under extreme overload a query keeps less than one batch per
+  /// window; spreading those few batches across many windows would leave
+  /// every multi-input window half-fed and productive of nothing. Completing
+  /// windows one at a time keeps the accepted SIC mass result-bearing.
+  /// 0 disables grouping.
+  SimDuration window_group = kSecond;
+};
+
+/// \brief Water-filling batch selection that equalises query result SIC.
+///
+/// Each iteration raises the query with the minimum projected SIC up to the
+/// second-lowest level by accepting its batches, mirroring
+/// selectTuplesToKeep(); the projected values play the role of updateSIC(Q).
+class BalanceSicShedder : public Shedder {
+ public:
+  BalanceSicShedder(Rng rng, BalanceSicOptions options = {})
+      : rng_(rng), options_(options) {}
+
+  std::vector<size_t> SelectBatchesToKeep(const std::deque<Batch>& ib,
+                                          const ShedContext& ctx) override;
+
+  const char* name() const override { return "balance-sic"; }
+
+ private:
+  Rng rng_;
+  BalanceSicOptions options_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SHEDDING_BALANCE_SIC_SHEDDER_H_

@@ -1,0 +1,64 @@
+#include "shedding/baseline_shedders.h"
+
+#include <algorithm>
+#include <map>
+
+namespace themis {
+
+std::vector<size_t> DropNewestShedder::SelectBatchesToKeep(
+    const std::deque<Batch>& ib, const ShedContext& ctx) {
+  std::vector<size_t> keep;
+  size_t used = 0;
+  for (size_t i = 0; i < ib.size(); ++i) {
+    size_t n = ib[i].size();
+    if (used + n > ctx.capacity_tuples) break;
+    used += n;
+    keep.push_back(i);
+  }
+  return keep;
+}
+
+std::vector<size_t> DropOldestShedder::SelectBatchesToKeep(
+    const std::deque<Batch>& ib, const ShedContext& ctx) {
+  std::vector<size_t> keep;
+  size_t used = 0;
+  for (size_t i = ib.size(); i-- > 0;) {
+    size_t n = ib[i].size();
+    if (used + n > ctx.capacity_tuples) break;
+    used += n;
+    keep.push_back(i);
+  }
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+std::vector<size_t> ProportionalShedder::SelectBatchesToKeep(
+    const std::deque<Batch>& ib, const ShedContext& ctx) {
+  size_t total = 0;
+  for (const Batch& b : ib) total += b.size();
+  if (total == 0) return {};
+  double fraction =
+      std::min(1.0, static_cast<double>(ctx.capacity_tuples) /
+                        static_cast<double>(total));
+
+  // Per query: accept FIFO batches until the query's share is used.
+  std::map<QueryId, size_t> query_total, query_used;
+  for (const Batch& b : ib) query_total[b.header.query_id] += b.size();
+
+  std::vector<size_t> keep;
+  size_t used_overall = 0;
+  for (size_t i = 0; i < ib.size(); ++i) {
+    const Batch& b = ib[i];
+    size_t n = b.size();
+    size_t budget = static_cast<size_t>(
+        fraction * static_cast<double>(query_total[b.header.query_id]));
+    if (query_used[b.header.query_id] + n > budget) continue;
+    if (used_overall + n > ctx.capacity_tuples) continue;
+    query_used[b.header.query_id] += n;
+    used_overall += n;
+    keep.push_back(i);
+  }
+  return keep;
+}
+
+}  // namespace themis

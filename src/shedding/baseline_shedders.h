@@ -1,0 +1,49 @@
+// Additional shedding baselines beyond the paper's random shedder, used by
+// the extended comparison bench: tail-drop (drop newest), head-drop (drop
+// oldest) — the de-facto policies of bounded queues — and a per-query
+// proportional shedder that equalises keep *fractions* (rate fairness)
+// rather than SIC (utility fairness).
+#ifndef THEMIS_SHEDDING_BASELINE_SHEDDERS_H_
+#define THEMIS_SHEDDING_BASELINE_SHEDDERS_H_
+
+#include "shedding/shedder.h"
+
+namespace themis {
+
+/// \brief Keeps the oldest batches up to capacity (drops the newest).
+///
+/// Equivalent to a bounded FIFO queue that rejects arrivals when full.
+class DropNewestShedder : public Shedder {
+ public:
+  std::vector<size_t> SelectBatchesToKeep(const std::deque<Batch>& ib,
+                                          const ShedContext& ctx) override;
+  const char* name() const override { return "drop-newest"; }
+};
+
+/// \brief Keeps the newest batches up to capacity (drops the oldest).
+///
+/// Models a queue that evicts stale data first — common in latency-bound
+/// systems.
+class DropOldestShedder : public Shedder {
+ public:
+  std::vector<size_t> SelectBatchesToKeep(const std::deque<Batch>& ib,
+                                          const ShedContext& ctx) override;
+  const char* name() const override { return "drop-oldest"; }
+};
+
+/// \brief Gives every query the same keep fraction of its buffered tuples.
+///
+/// Rate fairness: each query keeps `capacity / total` of its input,
+/// regardless of how much result quality a tuple buys it. The contrast with
+/// BALANCE-SIC isolates the value of the SIC metric (utility fairness) from
+/// the value of per-query bookkeeping.
+class ProportionalShedder : public Shedder {
+ public:
+  std::vector<size_t> SelectBatchesToKeep(const std::deque<Batch>& ib,
+                                          const ShedContext& ctx) override;
+  const char* name() const override { return "proportional"; }
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SHEDDING_BASELINE_SHEDDERS_H_

@@ -1,0 +1,24 @@
+#include "shedding/cost_model.h"
+
+#include <algorithm>
+
+namespace themis {
+
+void CostModel::RecordInterval(size_t tuples, SimDuration busy) {
+  if (tuples == 0 || busy <= 0) return;
+  double per_tuple = static_cast<double>(busy) / static_cast<double>(tuples);
+  avg_.Update(per_tuple);
+}
+
+double CostModel::PerTupleUs() const {
+  if (avg_.size() == 0) return default_cost_us_;
+  return std::max(avg_.value(), 1e-6);
+}
+
+size_t CostModel::EstimateCapacity(SimDuration interval) const {
+  double c = static_cast<double>(interval) / PerTupleUs();
+  if (c < 1.0) return 1;
+  return static_cast<size_t>(c);
+}
+
+}  // namespace themis

@@ -1,0 +1,43 @@
+// Online cost model of §6: estimates the average simulated processing time
+// per tuple from measurements between successive overload-detector
+// invocations, smoothed with a moving average; the input-buffer threshold c
+// is the number of tuples processable within one shedding interval.
+#ifndef THEMIS_SHEDDING_COST_MODEL_H_
+#define THEMIS_SHEDDING_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "common/stats.h"
+#include "common/time_types.h"
+
+namespace themis {
+
+/// \brief Estimates a node's per-tuple processing cost and capacity c.
+class CostModel {
+ public:
+  /// \param window number of past intervals averaged over
+  /// \param default_cost_us assumed per-tuple cost until first measurement
+  explicit CostModel(size_t window = 8, double default_cost_us = 50.0)
+      : avg_(window), default_cost_us_(default_cost_us) {}
+
+  /// Records one measurement interval: `tuples` processed while the node was
+  /// busy for `busy` simulated time. Intervals with no processed tuples are
+  /// ignored (they carry no cost information).
+  void RecordInterval(size_t tuples, SimDuration busy);
+
+  /// Current per-tuple cost estimate in simulated microseconds.
+  double PerTupleUs() const;
+
+  /// Capacity c: tuples the node can process during `interval`.
+  size_t EstimateCapacity(SimDuration interval) const;
+
+  bool has_measurements() const { return avg_.size() > 0; }
+
+ private:
+  MovingAverage avg_;
+  double default_cost_us_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SHEDDING_COST_MODEL_H_

@@ -1,0 +1,10 @@
+#include "shedding/overload_detector.h"
+
+namespace themis {
+
+bool OverloadDetector::IsOverloaded(size_t ib_tuples, size_t capacity) const {
+  return static_cast<double>(ib_tuples) >
+         static_cast<double>(capacity) * headroom_;
+}
+
+}  // namespace themis

@@ -1,0 +1,29 @@
+// Overload detector of §6: a node is overloaded when the number of tuples
+// waiting in its input buffer exceeds the threshold c given by the cost
+// model.
+#ifndef THEMIS_SHEDDING_OVERLOAD_DETECTOR_H_
+#define THEMIS_SHEDDING_OVERLOAD_DETECTOR_H_
+
+#include <cstddef>
+
+namespace themis {
+
+/// \brief Compares input-buffer occupancy against the capacity threshold.
+class OverloadDetector {
+ public:
+  /// \param headroom multiplier applied to c before the comparison; 1.0
+  ///        reproduces the paper, >1 tolerates short bursts without shedding.
+  explicit OverloadDetector(double headroom = 1.0) : headroom_(headroom) {}
+
+  /// True when `ib_tuples` exceeds `capacity * headroom`.
+  bool IsOverloaded(size_t ib_tuples, size_t capacity) const;
+
+  double headroom() const { return headroom_; }
+
+ private:
+  double headroom_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SHEDDING_OVERLOAD_DETECTOR_H_

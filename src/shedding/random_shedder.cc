@@ -1,0 +1,26 @@
+#include "shedding/random_shedder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace themis {
+
+std::vector<size_t> RandomShedder::SelectBatchesToKeep(
+    const std::deque<Batch>& ib, const ShedContext& ctx) {
+  std::vector<size_t> order(ib.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(&order);
+
+  std::vector<size_t> keep;
+  size_t used = 0;
+  for (size_t idx : order) {
+    size_t n = ib[idx].size();
+    if (used + n > ctx.capacity_tuples) continue;
+    used += n;
+    keep.push_back(idx);
+  }
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+}  // namespace themis

@@ -1,0 +1,28 @@
+// Random shedding baseline (Tatbul et al. [33]): discard arbitrary batches
+// until the buffer fits the capacity. Used as the comparison baseline in
+// Fig. 10 and the overhead experiment (§7.6).
+#ifndef THEMIS_SHEDDING_RANDOM_SHEDDER_H_
+#define THEMIS_SHEDDING_RANDOM_SHEDDER_H_
+
+#include "common/rng.h"
+#include "shedding/shedder.h"
+
+namespace themis {
+
+/// \brief Keeps a uniformly random subset of batches within capacity.
+class RandomShedder : public Shedder {
+ public:
+  explicit RandomShedder(Rng rng) : rng_(rng) {}
+
+  std::vector<size_t> SelectBatchesToKeep(const std::deque<Batch>& ib,
+                                          const ShedContext& ctx) override;
+
+  const char* name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SHEDDING_RANDOM_SHEDDER_H_

@@ -1,0 +1,44 @@
+#include "sic/rate_estimator.h"
+
+#include <algorithm>
+
+namespace themis {
+
+void RateEstimator::Observe(SimTime now, size_t count) {
+  if (first_observation_ < 0) first_observation_ = now;
+  samples_.push_back({now, count});
+  in_window_ += count;
+  Prune(now);
+}
+
+void RateEstimator::Prune(SimTime now) {
+  SimTime horizon = now - stw_;
+  while (!samples_.empty() && samples_.front().time <= horizon) {
+    in_window_ -= samples_.front().count;
+    samples_.pop_front();
+  }
+}
+
+double RateEstimator::TuplesPerStw(SimTime now) const {
+  if (samples_.empty() || first_observation_ < 0) return 0.0;
+  SimTime elapsed = now - first_observation_;
+  // Count arrivals currently inside (now - stw, now].
+  SimTime horizon = now - stw_;
+  double count = 0.0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->time <= horizon) break;
+    count += static_cast<double>(it->count);
+  }
+  if (elapsed <= 0) {
+    // Single instantaneous observation: the best available estimate is the
+    // batch itself scaled to a full window, which we cannot compute without a
+    // rate; report the raw count (first slide will correct it).
+    return count;
+  }
+  if (elapsed < stw_) {
+    return count * static_cast<double>(stw_) / static_cast<double>(elapsed);
+  }
+  return count;
+}
+
+}  // namespace themis

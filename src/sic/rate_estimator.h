@@ -1,0 +1,49 @@
+// Online estimation of |T_s^S|, the number of tuples a source generates per
+// source time window. Relaxes Assumption 2 of §5.1: rates are unknown and
+// time-varying, so THEMIS counts arrivals over the sliding STW (§6, "SIC
+// maintenance").
+#ifndef THEMIS_SIC_RATE_ESTIMATOR_H_
+#define THEMIS_SIC_RATE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "common/time_types.h"
+
+namespace themis {
+
+/// \brief Sliding-window arrival counter for one source.
+class RateEstimator {
+ public:
+  /// \param stw source time window duration the estimate is expressed in
+  explicit RateEstimator(SimDuration stw) : stw_(stw) {}
+
+  /// Records `count` tuples arriving at simulated time `now`.
+  void Observe(SimTime now, size_t count);
+
+  /// Estimated tuples per STW as of `now`.
+  ///
+  /// While fewer than one full STW of history exists, the observed count is
+  /// extrapolated linearly so early estimates are unbiased for constant-rate
+  /// sources.
+  double TuplesPerStw(SimTime now) const;
+
+  SimDuration stw() const { return stw_; }
+
+ private:
+  struct Sample {
+    SimTime time;
+    size_t count;
+  };
+
+  void Prune(SimTime now);
+
+  SimDuration stw_;
+  std::deque<Sample> samples_;
+  size_t in_window_ = 0;
+  SimTime first_observation_ = -1;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SIC_RATE_ESTIMATOR_H_

@@ -1,0 +1,14 @@
+#include "sic/sic.h"
+
+#include <algorithm>
+
+namespace themis {
+
+double SourceTupleSic(double tuples_per_stw, size_t num_sources) {
+  if (tuples_per_stw <= 0.0 || num_sources == 0) return 0.0;
+  return 1.0 / (tuples_per_stw * static_cast<double>(num_sources));
+}
+
+double ClampQuerySic(double q_sic) { return std::clamp(q_sic, 0.0, 1.0); }
+
+}  // namespace themis

@@ -1,0 +1,27 @@
+// Source information content (SIC) helpers — the Eq. (1), (2) and (4)
+// arithmetic of §4. Eq. (3) propagation lives in runtime/operator.h because
+// it is applied inside operator pane processing.
+#ifndef THEMIS_SIC_SIC_H_
+#define THEMIS_SIC_SIC_H_
+
+#include <cstddef>
+
+namespace themis {
+
+/// \brief Eq. (1): SIC value of one source tuple.
+///
+/// `tuples_per_stw` is |T_s^S|, the (estimated) number of tuples the source
+/// emits during one source time window; `num_sources` is |S|, the number of
+/// sources feeding the query. With perfect processing the SIC values of all
+/// source tuples of a query sum to 1 over one STW.
+///
+/// \return the per-tuple SIC value, or 0 when either argument is 0.
+double SourceTupleSic(double tuples_per_stw, size_t num_sources);
+
+/// Clamps a query result SIC value into its theoretical [0, 1] range. Rate
+/// estimation error can push the raw sum slightly past 1.
+double ClampQuerySic(double q_sic);
+
+}  // namespace themis
+
+#endif  // THEMIS_SIC_SIC_H_

@@ -1,0 +1,31 @@
+#include "sic/stw_tracker.h"
+
+#include "sic/sic.h"
+
+namespace themis {
+
+void StwTracker::AddResultSic(SimTime now, double sic) {
+  entries_.push_back({now, sic});
+  sum_ += sic;
+  Prune(now);
+}
+
+void StwTracker::Prune(SimTime now) {
+  SimTime horizon = now - stw_;
+  while (!entries_.empty() && entries_.front().time <= horizon) {
+    sum_ -= entries_.front().sic;
+    entries_.pop_front();
+  }
+}
+
+double StwTracker::QuerySic(SimTime now) {
+  Prune(now);
+  return ClampQuerySic(sum_);
+}
+
+double StwTracker::RawSum(SimTime now) {
+  Prune(now);
+  return sum_;
+}
+
+}  // namespace themis

@@ -1,0 +1,48 @@
+// Sliding-STW accounting of a query's result SIC (Eq. 4). Used by the query
+// coordinator to compute the q_SIC values it disseminates, and by experiment
+// reporters.
+#ifndef THEMIS_SIC_STW_TRACKER_H_
+#define THEMIS_SIC_STW_TRACKER_H_
+
+#include <deque>
+
+#include "common/time_types.h"
+
+namespace themis {
+
+/// \brief Accumulates result-tuple SIC contributions over a sliding STW.
+///
+/// `QuerySic(now)` returns Eq. (4) evaluated over the window (now-STW, now]:
+/// 1 means perfect processing (all source tuples of the last STW contributed
+/// to results), 0 means everything was shed.
+class StwTracker {
+ public:
+  explicit StwTracker(SimDuration stw) : stw_(stw) {}
+
+  /// Records SIC mass `sic` arriving at the query result at time `now`.
+  void AddResultSic(SimTime now, double sic);
+
+  /// Eq. (4) over the trailing STW, clamped to [0, 1].
+  double QuerySic(SimTime now);
+
+  /// Raw (unclamped) sum over the trailing STW; useful for calibration tests.
+  double RawSum(SimTime now);
+
+  SimDuration stw() const { return stw_; }
+
+ private:
+  void Prune(SimTime now);
+
+  struct Entry {
+    SimTime time;
+    double sic;
+  };
+
+  SimDuration stw_;
+  std::deque<Entry> entries_;
+  double sum_ = 0.0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SIC_STW_TRACKER_H_

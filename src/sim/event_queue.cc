@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace themis {
+
+void EventQueue::Schedule(SimTime t, Callback cb) {
+  queue_.push({std::max(t, now_), next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(SimDuration delay, Callback cb) {
+  Schedule(now_ + std::max<SimDuration>(delay, 0), std::move(cb));
+}
+
+bool EventQueue::RunNext() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) RunNext();
+  now_ = std::max(now_, t);
+}
+
+void EventQueue::RunAll() {
+  while (RunNext()) {
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,62 @@
+// Discrete-event simulation core. Single-threaded, deterministic: events at
+// the same simulated time run in scheduling (FIFO) order.
+//
+// This is the substitute for the paper's Emulab/local test-beds (DESIGN.md
+// §2): nodes, sources, coordinators and the network schedule callbacks here
+// instead of running on real machines.
+#ifndef THEMIS_SIM_EVENT_QUEUE_H_
+#define THEMIS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace themis {
+
+/// \brief Priority queue of timed callbacks with a simulated clock.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute simulated time `t` (clamped to now()).
+  void Schedule(SimTime t, Callback cb);
+  /// Schedules `cb` after `delay` from now.
+  void ScheduleAfter(SimDuration delay, Callback cb);
+
+  /// Runs the earliest event; returns false when the queue is empty.
+  bool RunNext();
+  /// Runs all events with time <= t, then advances the clock to t.
+  void RunUntil(SimTime t);
+  /// Runs until the queue drains (use with care: sources self-reschedule).
+  void RunAll();
+
+  SimTime now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+  /// Total events executed (diagnostics).
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO among equal-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,30 @@
+#include "sim/network.h"
+
+namespace themis {
+
+std::pair<NodeId, NodeId> Network::Key(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void Network::SetLatency(NodeId a, NodeId b, SimDuration latency) {
+  links_[Key(a, b)] = latency;
+}
+
+SimDuration Network::Latency(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  auto it = links_.find(Key(a, b));
+  return it == links_.end() ? default_latency_ : it->second;
+}
+
+void Network::Send(NodeId from, NodeId to, size_t payload_bytes,
+                   std::function<void()> on_delivery) {
+  ++messages_;
+  bytes_ += payload_bytes;
+  SimDuration lat = Latency(from, to);
+  if (jitter_ > 0) {
+    lat += static_cast<SimDuration>(jitter_rng_.UniformInt(0, jitter_));
+  }
+  queue_->ScheduleAfter(lat, std::move(on_delivery));
+}
+
+}  // namespace themis

@@ -1,0 +1,57 @@
+// Simulated network: point-to-point links with configurable latency (the
+// paper's 5 ms LAN star topology, or 50 ms WAN links for §7.4) plus optional
+// jitter. Counts messages and payload bytes for the §7.6 overhead report.
+#ifndef THEMIS_SIM_NETWORK_H_
+#define THEMIS_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "runtime/ids.h"
+#include "sim/event_queue.h"
+
+namespace themis {
+
+/// \brief Latency-modelled message delivery between FSPS nodes.
+class Network {
+ public:
+  /// \param queue event queue delivering messages
+  /// \param default_latency link latency when no override is set
+  Network(EventQueue* queue, SimDuration default_latency = Millis(5))
+      : queue_(queue), default_latency_(default_latency), jitter_rng_(7) {}
+
+  /// Overrides the latency of the (a, b) link, both directions.
+  void SetLatency(NodeId a, NodeId b, SimDuration latency);
+  void SetDefaultLatency(SimDuration latency) { default_latency_ = latency; }
+  /// Uniform jitter in [0, jitter] added per message (0 disables).
+  void SetJitter(SimDuration jitter) { jitter_ = jitter; }
+
+  SimDuration Latency(NodeId a, NodeId b) const;
+
+  /// Delivers `on_delivery` at the destination after the link latency.
+  /// `payload_bytes` only feeds the traffic statistics.
+  void Send(NodeId from, NodeId to, size_t payload_bytes,
+            std::function<void()> on_delivery);
+
+  uint64_t messages_sent() const { return messages_; }
+  uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b);
+
+  EventQueue* queue_;
+  SimDuration default_latency_;
+  SimDuration jitter_ = 0;
+  std::map<std::pair<NodeId, NodeId>, SimDuration> links_;
+  Rng jitter_rng_;
+  uint64_t messages_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SIM_NETWORK_H_

@@ -1,0 +1,48 @@
+#include "solver/fit_baseline.h"
+
+#include "solver/simplex.h"
+
+namespace themis {
+
+Result<FitSolution> SolveFit(const std::vector<FitQuery>& queries,
+                             const std::vector<double>& node_capacity) {
+  size_t n = queries.size();
+  size_t d = node_capacity.size();
+  if (n == 0) return Status::InvalidArgument("no queries");
+
+  LinearProgram lp;
+  lp.objective.resize(n);
+  for (size_t q = 0; q < n; ++q) {
+    if (queries[q].cost_per_node.size() != d) {
+      return Status::InvalidArgument("cost_per_node size mismatch");
+    }
+    lp.objective[q] = queries[q].weight * queries[q].input_rate;
+  }
+
+  // Node capacity constraints.
+  for (size_t node = 0; node < d; ++node) {
+    std::vector<double> row(n, 0.0);
+    for (size_t q = 0; q < n; ++q) {
+      row[q] = queries[q].input_rate * queries[q].cost_per_node[node];
+    }
+    lp.a.push_back(std::move(row));
+    lp.b.push_back(node_capacity[node]);
+  }
+  // x_q <= 1.
+  for (size_t q = 0; q < n; ++q) {
+    std::vector<double> row(n, 0.0);
+    row[q] = 1.0;
+    lp.a.push_back(std::move(row));
+    lp.b.push_back(1.0);
+  }
+
+  auto solved = SolveLp(lp);
+  if (!solved.ok()) return solved.status();
+
+  FitSolution out;
+  out.keep_fraction = solved->x;
+  out.total_weighted_throughput = solved->objective;
+  return out;
+}
+
+}  // namespace themis

@@ -1,0 +1,40 @@
+// FIT-style baseline (Tatbul, Cetintemel, Zdonik [34]): centralised load
+// shedding that maximises the total weighted query throughput subject to
+// per-node capacity constraints. §7.5 solves it for a fixed deployment and
+// reports the resulting per-query input fractions, showing that sum
+// maximisation starves most queries (unfair).
+#ifndef THEMIS_SOLVER_FIT_BASELINE_H_
+#define THEMIS_SOLVER_FIT_BASELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace themis {
+
+/// One query in the FIT formulation.
+struct FitQuery {
+  /// Utility weight of a unit of throughput (paper comparison: all 1).
+  double weight = 1.0;
+  /// Input rate (tuples/sec) arriving at the query.
+  double input_rate = 1.0;
+  /// Per-node cost: cpu seconds consumed per input tuple on node d
+  /// (0 when the query has no fragment there), size = #nodes.
+  std::vector<double> cost_per_node;
+};
+
+/// FIT allocation: fraction x_q in [0, 1] of each query's input kept.
+struct FitSolution {
+  std::vector<double> keep_fraction;
+  double total_weighted_throughput = 0.0;
+};
+
+/// \brief Solves   max sum_q w_q r_q x_q
+///                 s.t. sum_q r_q c_{qd} x_q <= capacity_d  for every node d,
+///                      0 <= x_q <= 1.
+Result<FitSolution> SolveFit(const std::vector<FitQuery>& queries,
+                             const std::vector<double>& node_capacity);
+
+}  // namespace themis
+
+#endif  // THEMIS_SOLVER_FIT_BASELINE_H_

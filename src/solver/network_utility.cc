@@ -1,0 +1,72 @@
+#include "solver/network_utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace themis {
+
+Result<NumSolution> SolveLogUtility(const std::vector<FitQuery>& queries,
+                                    const std::vector<double>& node_capacity,
+                                    const NumOptions& options) {
+  size_t n = queries.size();
+  size_t d = node_capacity.size();
+  if (n == 0) return Status::InvalidArgument("no queries");
+  for (const FitQuery& q : queries) {
+    if (q.cost_per_node.size() != d) {
+      return Status::InvalidArgument("cost_per_node size mismatch");
+    }
+    if (q.input_rate <= 0.0) {
+      return Status::InvalidArgument("non-positive input rate");
+    }
+  }
+
+  std::vector<double> x(n, 1.0);        // primal: kept fraction
+  std::vector<double> price(d, 0.0);    // dual: per-node congestion price
+
+  for (int it = 0; it < options.iterations; ++it) {
+    // Primal step: dU/dx = w/x minus the priced capacity usage.
+    for (size_t q = 0; q < n; ++q) {
+      double grad = queries[q].weight / std::max(x[q], options.min_fraction);
+      for (size_t node = 0; node < d; ++node) {
+        grad -= price[node] * queries[q].input_rate *
+                queries[q].cost_per_node[node];
+      }
+      x[q] = std::clamp(x[q] + options.step * grad, options.min_fraction, 1.0);
+    }
+    // Dual step: raise prices on violated nodes, decay otherwise.
+    for (size_t node = 0; node < d; ++node) {
+      double load = 0.0;
+      for (size_t q = 0; q < n; ++q) {
+        load += x[q] * queries[q].input_rate * queries[q].cost_per_node[node];
+      }
+      price[node] = std::max(
+          0.0, price[node] + options.dual_step * (load - node_capacity[node]));
+    }
+  }
+
+  NumSolution out;
+  out.keep_fraction = x;
+  std::vector<double> log_outputs(n);
+  double lo = 0.0, hi = 0.0;
+  for (size_t q = 0; q < n; ++q) {
+    log_outputs[q] = std::log(std::max(queries[q].input_rate * x[q], 1e-12));
+    out.total_utility += queries[q].weight * log_outputs[q];
+    if (q == 0) {
+      lo = hi = log_outputs[q];
+    } else {
+      lo = std::min(lo, log_outputs[q]);
+      hi = std::max(hi, log_outputs[q]);
+    }
+  }
+  // Normalise to [0, 1] as §7.5 does before computing Jain's index; a
+  // degenerate all-equal allocation maps to all-ones.
+  out.normalized_utility.resize(n);
+  double span = hi - lo;
+  for (size_t q = 0; q < n; ++q) {
+    out.normalized_utility[q] =
+        span < 1e-12 ? 1.0 : 0.05 + 0.95 * (log_outputs[q] - lo) / span;
+  }
+  return out;
+}
+
+}  // namespace themis

@@ -1,0 +1,41 @@
+// Zhao et al. [44]-style baseline: centralised network utility maximisation
+//   max sum_q U_q(r_q x_q)   with concave U (here log),
+//   s.t. per-node capacity constraints, 0 <= x_q <= 1.
+// Solved by projected gradient ascent on the kept fractions with a dual
+// penalty on violated capacities (standard NUM machinery); converges to the
+// proportional-fair allocation the paper compares against in §7.5.
+#ifndef THEMIS_SOLVER_NETWORK_UTILITY_H_
+#define THEMIS_SOLVER_NETWORK_UTILITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "solver/fit_baseline.h"
+
+namespace themis {
+
+/// Solver knobs; defaults converge for the §7.5 problem sizes.
+struct NumOptions {
+  int iterations = 20000;
+  double step = 1e-3;          ///< primal step size
+  double dual_step = 1e-2;     ///< dual (price) step size
+  double min_fraction = 1e-4;  ///< keeps log() bounded
+};
+
+/// Allocation and achieved utilities.
+struct NumSolution {
+  std::vector<double> keep_fraction;
+  /// Normalised log-output utilities (the quantity whose Jain index §7.5
+  /// reports for [44]): log(r_q x_q) shifted/scaled to [0, 1].
+  std::vector<double> normalized_utility;
+  double total_utility = 0.0;
+};
+
+/// \brief Solves the log-utility allocation over the same inputs as SolveFit.
+Result<NumSolution> SolveLogUtility(const std::vector<FitQuery>& queries,
+                                    const std::vector<double>& node_capacity,
+                                    const NumOptions& options = {});
+
+}  // namespace themis
+
+#endif  // THEMIS_SOLVER_NETWORK_UTILITY_H_

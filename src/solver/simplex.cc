@@ -1,0 +1,89 @@
+#include "solver/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+namespace themis {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+Result<LpSolution> SolveLp(const LinearProgram& lp) {
+  size_t n = lp.objective.size();
+  size_t m = lp.a.size();
+  if (n == 0) return Status::InvalidArgument("empty objective");
+  if (lp.b.size() != m) return Status::InvalidArgument("b size mismatch");
+  for (const auto& row : lp.a) {
+    if (row.size() != n) return Status::InvalidArgument("A row size mismatch");
+  }
+  for (double rhs : lp.b) {
+    if (rhs < 0.0) {
+      return Status::InvalidArgument("negative rhs requires phase-1 (unsupported)");
+    }
+  }
+
+  // Tableau with slack variables: columns [x_0..x_{n-1}, s_0..s_{m-1}, rhs].
+  size_t cols = n + m + 1;
+  std::vector<std::vector<double>> t(m + 1, std::vector<double>(cols, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) t[i][j] = lp.a[i][j];
+    t[i][n + i] = 1.0;
+    t[i][cols - 1] = lp.b[i];
+  }
+  for (size_t j = 0; j < n; ++j) t[m][j] = -lp.objective[j];
+
+  std::vector<size_t> basis(m);
+  for (size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  // Bland's rule: entering = lowest-index column with a negative reduced
+  // cost; leaving = lowest-index row among min-ratio ties. Guarantees
+  // termination.
+  const size_t max_iters = 20000 * (m + n);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    size_t pivot_col = cols;  // sentinel
+    for (size_t j = 0; j + 1 < cols; ++j) {
+      if (t[m][j] < -kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == cols) break;  // optimal
+
+    size_t pivot_row = m;  // sentinel
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps) {
+        double ratio = t[i][cols - 1] / t[i][pivot_col];
+        if (ratio < best_ratio - kEps ||
+            (std::abs(ratio - best_ratio) <= kEps && pivot_row < m &&
+             basis[i] < basis[pivot_row])) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    if (pivot_row == m) return Status::Internal("LP is unbounded");
+
+    // Pivot.
+    double pv = t[pivot_row][pivot_col];
+    for (size_t j = 0; j < cols; ++j) t[pivot_row][j] /= pv;
+    for (size_t i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      double factor = t[i][pivot_col];
+      if (std::abs(factor) < kEps) continue;
+      for (size_t j = 0; j < cols; ++j) t[i][j] -= factor * t[pivot_row][j];
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  LpSolution sol;
+  sol.x.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) sol.x[basis[i]] = t[i][cols - 1];
+  }
+  sol.objective = t[m][cols - 1];
+  return sol;
+}
+
+}  // namespace themis

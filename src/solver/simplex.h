@@ -1,0 +1,39 @@
+// Dense two-phase simplex LP solver. Stands in for GLPK in the §7.5
+// comparison against FIT [34] (DESIGN.md §2). Solves
+//   maximise    c^T x
+//   subject to  A x <= b,  x >= 0
+// with Bland's rule (no cycling). Problem sizes in the reproduction are tiny
+// (hundreds of variables), so no sparsity or numerics sophistication is
+// needed.
+#ifndef THEMIS_SOLVER_SIMPLEX_H_
+#define THEMIS_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace themis {
+
+/// A linear program in standard inequality form.
+struct LinearProgram {
+  /// Objective coefficients (maximisation), size n.
+  std::vector<double> objective;
+  /// Constraint matrix, m rows of size n.
+  std::vector<std::vector<double>> a;
+  /// Right-hand sides, size m. Must be >= 0 (all our capacity constraints
+  /// are; a general phase-1 is therefore unnecessary).
+  std::vector<double> b;
+};
+
+/// Solver outcome.
+struct LpSolution {
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+/// \brief Solves `lp`; fails on malformed input or unboundedness.
+Result<LpSolution> SolveLp(const LinearProgram& lp);
+
+}  // namespace themis
+
+#endif  // THEMIS_SOLVER_SIMPLEX_H_

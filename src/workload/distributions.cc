@@ -1,0 +1,104 @@
+#include "workload/distributions.h"
+
+#include "workload/planetlab.h"
+
+namespace themis {
+
+std::string DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kGaussian:
+      return "gaussian";
+    case Dataset::kUniform:
+      return "uniform";
+    case Dataset::kExponential:
+      return "exponential";
+    case Dataset::kMixed:
+      return "mixed";
+    case Dataset::kPlanetLab:
+      return "planetlab";
+  }
+  return "?";
+}
+
+namespace {
+
+class GaussianGen : public ValueGenerator {
+ public:
+  GaussianGen(Rng rng, double mean) : rng_(rng), mean_(mean) {}
+  double Next(SimTime) override { return rng_.Gaussian(mean_, mean_ / 5.0); }
+
+ private:
+  Rng rng_;
+  double mean_;
+};
+
+class UniformGen : public ValueGenerator {
+ public:
+  UniformGen(Rng rng, double mean) : rng_(rng), mean_(mean) {}
+  double Next(SimTime) override { return rng_.Uniform(0.0, 2.0 * mean_); }
+
+ private:
+  Rng rng_;
+  double mean_;
+};
+
+class ExponentialGen : public ValueGenerator {
+ public:
+  ExponentialGen(Rng rng, double mean) : rng_(rng), mean_(mean) {}
+  double Next(SimTime) override { return rng_.Exponential(mean_); }
+
+ private:
+  Rng rng_;
+  double mean_;
+};
+
+// "values randomly chosen from any of the previous distributions" (§7).
+class MixedGen : public ValueGenerator {
+ public:
+  MixedGen(Rng rng, double mean)
+      : rng_(rng),
+        gaussian_(rng_.Fork(), mean),
+        uniform_(rng_.Fork(), mean),
+        exponential_(rng_.Fork(), mean) {}
+
+  double Next(SimTime now) override {
+    switch (rng_.UniformInt(0, 2)) {
+      case 0:
+        return gaussian_.Next(now);
+      case 1:
+        return uniform_.Next(now);
+      default:
+        return exponential_.Next(now);
+    }
+  }
+
+ private:
+  Rng rng_;
+  GaussianGen gaussian_;
+  UniformGen uniform_;
+  ExponentialGen exponential_;
+};
+
+}  // namespace
+
+std::unique_ptr<ValueGenerator> ValueGenerator::Make(Dataset d, Rng rng,
+                                                     double mean) {
+  switch (d) {
+    case Dataset::kGaussian:
+      return std::make_unique<GaussianGen>(rng, mean);
+    case Dataset::kUniform:
+      return std::make_unique<UniformGen>(rng, mean);
+    case Dataset::kExponential:
+      return std::make_unique<ExponentialGen>(rng, mean);
+    case Dataset::kMixed:
+      return std::make_unique<MixedGen>(rng, mean);
+    case Dataset::kPlanetLab: {
+      PlanetLabTraceOptions opts;
+      opts.mean = mean;
+      return std::make_unique<PlanetLabTrace>(rng, opts);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace themis

@@ -1,0 +1,38 @@
+// Synthetic value distributions of §7 (gaussian / uniform / exponential with
+// mean 50, plus the "mixed" dataset) and the PlanetLab-like trace substitute.
+#ifndef THEMIS_WORKLOAD_DISTRIBUTIONS_H_
+#define THEMIS_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace themis {
+
+/// Datasets used across the §7.1 correlation experiments.
+enum class Dataset { kGaussian, kUniform, kExponential, kMixed, kPlanetLab };
+
+/// Dataset name as printed in figure legends ("gaussian", "planetlab", ...).
+std::string DatasetName(Dataset d);
+
+/// \brief Stateful per-source value generator.
+///
+/// Synthetic datasets are i.i.d. draws with mean 50 (matching §7); kMixed
+/// picks one of the three synthetic distributions per draw; kPlanetLab is
+/// the AR(1)+spikes trace from workload/planetlab.h.
+class ValueGenerator {
+ public:
+  virtual ~ValueGenerator() = default;
+  /// Next sample at simulated time `now`.
+  virtual double Next(SimTime now) = 0;
+
+  /// Factory keyed by dataset; `rng` seeds the generator's private stream.
+  static std::unique_ptr<ValueGenerator> Make(Dataset d, Rng rng,
+                                              double mean = 50.0);
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,30 @@
+#include "workload/planetlab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace themis {
+
+PlanetLabTrace::PlanetLabTrace(Rng rng, PlanetLabTraceOptions options)
+    : rng_(rng), options_(options), state_(options.mean) {}
+
+double PlanetLabTrace::Next(SimTime now) {
+  // Slow diurnal drift of the process mean.
+  double phase = 2.0 * std::numbers::pi * static_cast<double>(now) /
+                 static_cast<double>(options_.diurnal_period);
+  double level = options_.mean + options_.diurnal_amp * std::sin(phase);
+
+  // AR(1) step around the drifting level.
+  state_ = level + options_.phi * (state_ - level) +
+           rng_.Gaussian(0.0, options_.sigma);
+
+  double v = state_;
+  // Heavy-tailed spikes: short bursts of high utilisation.
+  if (rng_.Bernoulli(options_.spike_prob)) {
+    v += rng_.Exponential(options_.spike_mag);
+  }
+  return std::clamp(v, options_.min_value, options_.max_value);
+}
+
+}  // namespace themis

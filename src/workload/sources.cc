@@ -1,0 +1,77 @@
+#include "workload/sources.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace themis {
+
+SourceDriver::SourceDriver(SourceId source, QueryId query, OperatorId target_op,
+                           int target_port, SourceModel model,
+                           EventQueue* queue, Rng rng,
+                           std::function<void(Batch)> deliver)
+    : source_(source),
+      query_(query),
+      target_op_(target_op),
+      target_port_(target_port),
+      model_(model),
+      queue_(queue),
+      rng_(rng),
+      deliver_(std::move(deliver)) {
+  if (!model_.payload) {
+    value_gen_ = ValueGenerator::Make(model_.dataset, rng_.Fork(), model_.mean);
+  }
+  int bps = std::max(model_.batches_per_sec, 1);
+  period_ = kSecond / bps;
+}
+
+void SourceDriver::Start() {
+  if (started_) return;
+  started_ = true;
+  // Stagger the first emission so sources do not fire in lockstep.
+  SimDuration offset = static_cast<SimDuration>(rng_.UniformInt(0, period_ - 1));
+  queue_->ScheduleAfter(offset, [this] { GenerateBatch(); });
+}
+
+size_t SourceDriver::CurrentBatchSize() {
+  SimTime now = queue_->now();
+  if (model_.burst_prob > 0.0) {
+    SimTime second = now / kSecond;
+    if (second > burst_rolled_until_) {
+      burst_rolled_until_ = second;
+      bursting_ = rng_.Bernoulli(model_.burst_prob);
+    }
+  }
+  double rate = model_.tuples_per_sec;
+  if (bursting_) rate *= model_.burst_multiplier;
+  double per_batch = rate / std::max(model_.batches_per_sec, 1);
+  return static_cast<size_t>(std::llround(std::max(per_batch, 1.0)));
+}
+
+void SourceDriver::GenerateBatch() {
+  if (stopped_) return;
+  SimTime now = queue_->now();
+  size_t n = CurrentBatchSize();
+
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.timestamp = now;
+    t.sic = 0.0;  // stamped per Eq. (1) at node ingress
+    if (model_.payload) {
+      t.values = model_.payload(now);
+    } else {
+      t.values.push_back(value_gen_->Next(now));
+    }
+    tuples.push_back(std::move(t));
+  }
+  tuples_generated_ += n;
+
+  Batch b = MakeBatch(query_, target_op_, target_port_, now, std::move(tuples));
+  b.header.source = source_;
+  deliver_(std::move(b));
+
+  queue_->ScheduleAfter(period_, [this] { GenerateBatch(); });
+}
+
+}  // namespace themis

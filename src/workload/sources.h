@@ -1,0 +1,84 @@
+// Source model and driver. A SourceDriver is a simulated data source: it
+// emits fixed-size batches at a configurable rate (Table 2: e.g. 400
+// tuples/sec in 5 batches/sec of 80 tuples each), optionally with bursts
+// (§7.4: 10% of the time at 10x the normal rate), and delivers them to the
+// FSPS node hosting the bound receiver operator.
+#ifndef THEMIS_WORKLOAD_SOURCES_H_
+#define THEMIS_WORKLOAD_SOURCES_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "runtime/batch.h"
+#include "sim/event_queue.h"
+#include "workload/distributions.h"
+
+namespace themis {
+
+/// Builds the payload of one tuple at generation time.
+using PayloadFn = std::function<std::vector<Value>(SimTime now)>;
+
+/// Declarative description of one source.
+struct SourceModel {
+  double tuples_per_sec = 400.0;
+  int batches_per_sec = 5;
+  /// Payload builder; if null, emits a single-field payload drawn from
+  /// `dataset`.
+  PayloadFn payload = nullptr;
+  Dataset dataset = Dataset::kGaussian;
+  double mean = 50.0;
+  /// Burstiness (§7.4): probability that any given second runs at
+  /// `burst_multiplier` times the base rate.
+  double burst_prob = 0.0;
+  double burst_multiplier = 10.0;
+};
+
+/// \brief Event-driven batch generator for one source.
+class SourceDriver {
+ public:
+  /// \param deliver sink receiving the generated batches (typically
+  ///        Fsps-provided, shipping them over the simulated network)
+  SourceDriver(SourceId source, QueryId query, OperatorId target_op,
+               int target_port, SourceModel model, EventQueue* queue, Rng rng,
+               std::function<void(Batch)> deliver);
+
+  /// Starts periodic generation; emits `batches_per_sec` batches per second.
+  void Start();
+
+  /// Stops generation after the currently scheduled batch (idempotent). The
+  /// driver object stays alive so pending timer events remain valid.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  SourceId source_id() const { return source_; }
+  QueryId query_id() const { return query_; }
+  uint64_t tuples_generated() const { return tuples_generated_; }
+
+ private:
+  void GenerateBatch();
+  size_t CurrentBatchSize();
+
+  SourceId source_;
+  QueryId query_;
+  OperatorId target_op_;
+  int target_port_;
+  SourceModel model_;
+  EventQueue* queue_;
+  Rng rng_;
+  std::function<void(Batch)> deliver_;
+  std::unique_ptr<ValueGenerator> value_gen_;
+  SimDuration period_;
+  // Burst state: whether the current second is bursty, re-rolled per second.
+  SimTime burst_rolled_until_ = -1;
+  bool bursting_ = false;
+  uint64_t tuples_generated_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_WORKLOAD_SOURCES_H_

@@ -1,0 +1,294 @@
+#include "workload/workloads.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/operators/aggregates.h"
+#include "runtime/operators/covariance.h"
+#include "runtime/operators/filter_map.h"
+#include "runtime/operators/join.h"
+#include "runtime/operators/receiver.h"
+#include "runtime/operators/topk.h"
+
+namespace themis {
+
+std::string ComplexKindName(ComplexKind k) {
+  switch (k) {
+    case ComplexKind::kAvgAll:
+      return "AVG-all";
+    case ComplexKind::kTop5:
+      return "TOP-5";
+    case ComplexKind::kCov:
+      return "COV";
+  }
+  return "?";
+}
+
+namespace {
+
+// Payload builder producing (id, value) pairs from a shared value generator.
+PayloadFn IdValuePayload(int64_t id, std::shared_ptr<ValueGenerator> gen) {
+  return [id, gen](SimTime now) -> std::vector<Value> {
+    return {Value(id), Value(gen->Next(now))};
+  };
+}
+
+}  // namespace
+
+BuiltQuery WorkloadFactory::MakeAggregate(QueryId q, AggregateKind kind,
+                                          const AggregateQueryOptions& opts) {
+  QueryBuilder b(q, AggregateKindName(kind));
+  const FragmentId frag = 0;
+  OperatorId recv = b.Add(std::make_unique<ReceiverOp>(), frag);
+  std::function<bool(const Tuple&)> having;
+  if (kind == AggregateKind::kCount) {
+    double threshold = opts.count_threshold;
+    having = [threshold](const Tuple& t) {
+      return !t.values.empty() && AsDouble(t.values[0]) >= threshold;
+    };
+  }
+  OperatorId agg = b.Add(
+      std::make_unique<AggregateOp>(kind, /*field=*/0,
+                                    WindowSpec::TumblingTime(opts.window),
+                                    std::move(having)),
+      frag);
+  OperatorId out = b.Add(std::make_unique<OutputOp>(), frag);
+  b.Connect(recv, agg).Connect(agg, out).SetRoot(out);
+
+  BuiltQuery built;
+  SourceId src = AllocateSourceId();
+  b.BindSource(src, recv);
+  auto graph = b.Build();
+  THEMIS_CHECK(graph.ok());
+  built.graph = std::move(graph).TakeValue();
+
+  SourceModel model;
+  model.tuples_per_sec = opts.source_rate;
+  model.batches_per_sec = opts.batches_per_sec;
+  model.dataset = opts.dataset;
+  built.sources[src] = model;
+  return built;
+}
+
+BuiltQuery WorkloadFactory::MakeAvg(QueryId q, const AggregateQueryOptions& o) {
+  return MakeAggregate(q, AggregateKind::kAvg, o);
+}
+
+BuiltQuery WorkloadFactory::MakeMax(QueryId q, const AggregateQueryOptions& o) {
+  return MakeAggregate(q, AggregateKind::kMax, o);
+}
+
+BuiltQuery WorkloadFactory::MakeCount(QueryId q,
+                                      const AggregateQueryOptions& o) {
+  return MakeAggregate(q, AggregateKind::kCount, o);
+}
+
+BuiltQuery WorkloadFactory::MakeAvgAll(QueryId q,
+                                       const ComplexQueryOptions& opts) {
+  // Tree layout: every fragment computes a partial average of its own
+  // sources; fragment 0 (root) additionally averages the partials and emits
+  // the result. 13 operators per fragment at the paper's 10 sources.
+  QueryBuilder b(q, "AVG-all");
+  BuiltQuery built;
+  WindowSpec win = WindowSpec::TumblingTime(opts.window);
+
+  const FragmentId root_frag = 0;
+  OperatorId final_avg = b.Add(
+      std::make_unique<AggregateOp>(AggregateKind::kAvg, 0, win), root_frag);
+  OperatorId out = b.Add(std::make_unique<OutputOp>(), root_frag);
+  b.Connect(final_avg, out).SetRoot(out);
+
+  for (int f = 0; f < opts.fragments; ++f) {
+    FragmentId frag = static_cast<FragmentId>(f);
+    OperatorId merge = b.Add(std::make_unique<UnionOp>(), frag);
+    OperatorId partial_avg = b.Add(
+        std::make_unique<AggregateOp>(AggregateKind::kAvg, 0, win), frag);
+    OperatorId forward = b.Add(std::make_unique<UnionOp>(), frag);
+    b.Connect(merge, partial_avg).Connect(partial_avg, forward);
+    b.Connect(forward, final_avg);
+
+    for (int s = 0; s < opts.sources_per_fragment; ++s) {
+      OperatorId recv = b.Add(std::make_unique<ReceiverOp>(), frag);
+      b.Connect(recv, merge);
+      SourceId src = AllocateSourceId();
+      b.BindSource(src, recv);
+      SourceModel model;
+      model.tuples_per_sec = opts.source_rate;
+      model.batches_per_sec = opts.batches_per_sec;
+      model.dataset = opts.dataset;
+      model.burst_prob = opts.burst_prob;
+      model.burst_multiplier = opts.burst_multiplier;
+      built.sources[src] = model;
+    }
+  }
+
+  auto graph = b.Build();
+  THEMIS_CHECK(graph.ok());
+  built.graph = std::move(graph).TakeValue();
+  return built;
+}
+
+BuiltQuery WorkloadFactory::MakeTop5(QueryId q,
+                                     const ComplexQueryOptions& opts) {
+  // Chain layout: each fragment monitors its own CPU/memory source pairs,
+  // joins the per-node averages, merges with the upstream fragment's top-k
+  // and forwards its own top-k downstream; the last fragment emits the
+  // result.
+  QueryBuilder b(q, "TOP-5");
+  BuiltQuery built;
+  WindowSpec win = WindowSpec::TumblingTime(opts.window);
+  int pairs = std::max(opts.sources_per_fragment / 2, 1);
+  double mem_threshold = opts.mem_threshold_kb;
+
+  OperatorId prev_topk = kInvalidId;
+  int64_t next_monitored_id = 0;
+  for (int f = 0; f < opts.fragments; ++f) {
+    FragmentId frag = static_cast<FragmentId>(f);
+    OperatorId cpu_merge = b.Add(std::make_unique<UnionOp>(), frag);
+    OperatorId mem_merge = b.Add(std::make_unique<UnionOp>(), frag);
+    OperatorId mem_filter = b.Add(
+        std::make_unique<FilterOp>(
+            [mem_threshold](const Tuple& t) {
+              return t.values.size() > 1 && AsDouble(t.values[1]) >= mem_threshold;
+            },
+            win),
+        frag);
+    OperatorId cpu_avg = b.Add(std::make_unique<GroupByAggregateOp>(
+                                   AggregateKind::kAvg, 0, 1, win),
+                               frag);
+    OperatorId mem_avg = b.Add(std::make_unique<GroupByAggregateOp>(
+                                   AggregateKind::kAvg, 0, 1, win),
+                               frag);
+    OperatorId join =
+        b.Add(std::make_unique<HashJoinOp>(/*left_key=*/0, /*right_key=*/0, win),
+              frag);
+    OperatorId topk = b.Add(
+        std::make_unique<TopKOp>(opts.top_k, /*value_field=*/1, /*key_field=*/0,
+                                 win),
+        frag);
+
+    b.Connect(cpu_merge, cpu_avg)
+        .Connect(mem_merge, mem_filter)
+        .Connect(mem_filter, mem_avg)
+        .Connect(cpu_avg, join, /*port=*/0)
+        .Connect(mem_avg, join, /*port=*/1)
+        .Connect(join, topk);
+    if (prev_topk != kInvalidId) b.Connect(prev_topk, topk);
+    prev_topk = topk;
+
+    for (int p = 0; p < pairs; ++p) {
+      int64_t monitored = next_monitored_id++;
+      OperatorId cpu_recv = b.Add(std::make_unique<ReceiverOp>(), frag);
+      OperatorId mem_recv = b.Add(std::make_unique<ReceiverOp>(), frag);
+      b.Connect(cpu_recv, cpu_merge).Connect(mem_recv, mem_merge);
+
+      SourceId cpu_src = AllocateSourceId();
+      SourceId mem_src = AllocateSourceId();
+      b.BindSource(cpu_src, cpu_recv).BindSource(mem_src, mem_recv);
+
+      std::shared_ptr<ValueGenerator> cpu_gen =
+          ValueGenerator::Make(opts.dataset, rng_.Fork(), /*mean=*/50.0);
+      // Free memory in KB, centred so that the >= 100 MB filter passes for
+      // roughly two thirds of the readings.
+      std::shared_ptr<ValueGenerator> mem_gen =
+          ValueGenerator::Make(opts.dataset, rng_.Fork(), /*mean=*/60.0);
+
+      SourceModel cpu_model;
+      cpu_model.tuples_per_sec = opts.source_rate;
+      cpu_model.batches_per_sec = opts.batches_per_sec;
+      cpu_model.burst_prob = opts.burst_prob;
+      cpu_model.burst_multiplier = opts.burst_multiplier;
+      cpu_model.payload = IdValuePayload(monitored, cpu_gen);
+      built.sources[cpu_src] = cpu_model;
+
+      SourceModel mem_model = cpu_model;
+      mem_model.payload = [monitored, mem_gen](SimTime now) -> std::vector<Value> {
+        return {Value(monitored), Value(2000.0 * mem_gen->Next(now))};
+      };
+      built.sources[mem_src] = mem_model;
+    }
+  }
+
+  OperatorId out = b.Add(std::make_unique<OutputOp>(),
+                         static_cast<FragmentId>(opts.fragments - 1));
+  b.Connect(prev_topk, out).SetRoot(out);
+
+  auto graph = b.Build();
+  THEMIS_CHECK(graph.ok());
+  built.graph = std::move(graph).TakeValue();
+  return built;
+}
+
+BuiltQuery WorkloadFactory::MakeCov(QueryId q, const ComplexQueryOptions& opts) {
+  // Chain layout: each fragment computes the covariance of its two CPU
+  // streams and merges it with the covariances flowing down the chain
+  // (5 operators per fragment, matching Table 1).
+  QueryBuilder b(q, "COV");
+  BuiltQuery built;
+  WindowSpec win = WindowSpec::TumblingTime(opts.window);
+
+  OperatorId prev_forward = kInvalidId;
+  for (int f = 0; f < opts.fragments; ++f) {
+    FragmentId frag = static_cast<FragmentId>(f);
+    OperatorId recv1 = b.Add(std::make_unique<ReceiverOp>(), frag);
+    OperatorId recv2 = b.Add(std::make_unique<ReceiverOp>(), frag);
+    OperatorId cov = b.Add(std::make_unique<CovarianceOp>(0, 0, win), frag);
+    OperatorId merge = b.Add(std::make_unique<UnionOp>(), frag);
+    OperatorId forward = b.Add(std::make_unique<UnionOp>(), frag);
+    b.Connect(recv1, cov, /*port=*/0)
+        .Connect(recv2, cov, /*port=*/1)
+        .Connect(cov, merge)
+        .Connect(merge, forward);
+    if (prev_forward != kInvalidId) b.Connect(prev_forward, merge);
+    prev_forward = forward;
+
+    SourceModel model;
+    model.tuples_per_sec = opts.source_rate;
+    model.batches_per_sec = opts.batches_per_sec;
+    model.dataset = opts.dataset;
+    model.burst_prob = opts.burst_prob;
+    model.burst_multiplier = opts.burst_multiplier;
+    SourceId s1 = AllocateSourceId();
+    SourceId s2 = AllocateSourceId();
+    built.sources[s1] = model;
+    built.sources[s2] = model;
+    b.BindSource(s1, recv1).BindSource(s2, recv2);
+  }
+
+  OperatorId out = b.Add(std::make_unique<OutputOp>(),
+                         static_cast<FragmentId>(opts.fragments - 1));
+  b.Connect(prev_forward, out).SetRoot(out);
+
+  auto graph = b.Build();
+  THEMIS_CHECK(graph.ok());
+  built.graph = std::move(graph).TakeValue();
+  return built;
+}
+
+BuiltQuery WorkloadFactory::MakeComplex(ComplexKind kind, QueryId q,
+                                        const ComplexQueryOptions& opts) {
+  switch (kind) {
+    case ComplexKind::kAvgAll:
+      return MakeAvgAll(q, opts);
+    case ComplexKind::kTop5:
+      return MakeTop5(q, opts);
+    case ComplexKind::kCov:
+      return MakeCov(q, opts);
+  }
+  return {};
+}
+
+BuiltQuery WorkloadFactory::MakeRandomComplex(QueryId q,
+                                              const ComplexQueryOptions& opts) {
+  switch (rng_.UniformInt(0, 2)) {
+    case 0:
+      return MakeAvgAll(q, opts);
+    case 1:
+      return MakeTop5(q, opts);
+    default:
+      return MakeCov(q, opts);
+  }
+}
+
+}  // namespace themis

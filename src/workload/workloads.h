@@ -1,0 +1,96 @@
+// Table 1 workload factory: the aggregate workload (AVG, MAX, COUNT over one
+// source) and the complex data-centre monitoring workload (AVG-all, TOP-5,
+// COV) split into fragments for multi-site deployment exactly as §7
+// describes:
+//   * AVG-all: every fragment connects its own sources and computes a
+//     partial average; a root fragment aggregates partials (tree).
+//   * TOP-5 / COV: fragments form a chain, each processing its own sources
+//     incrementally and merging with the upstream fragment's output; the
+//     last fragment emits the query result.
+#ifndef THEMIS_WORKLOAD_WORKLOADS_H_
+#define THEMIS_WORKLOAD_WORKLOADS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/operators/aggregates.h"
+#include "runtime/query_graph.h"
+#include "workload/sources.h"
+
+namespace themis {
+
+/// A query graph plus the source models to attach when deploying it.
+struct BuiltQuery {
+  std::unique_ptr<QueryGraph> graph;
+  std::map<SourceId, SourceModel> sources;
+};
+
+/// Options for the single-fragment aggregate workload.
+struct AggregateQueryOptions {
+  SimDuration window = Seconds(1);      ///< `[Range 1 sec]`
+  Dataset dataset = Dataset::kGaussian;
+  double source_rate = 400.0;           ///< Table 2 local test-bed
+  int batches_per_sec = 5;
+  double count_threshold = 50.0;        ///< COUNT `Having t.v >= 50`
+};
+
+/// Options for the complex (data-centre monitoring) workload.
+struct ComplexQueryOptions {
+  int fragments = 1;
+  /// Sources per fragment: AVG-all uses this directly (paper: 10); TOP-5
+  /// uses it as the total of CPU+memory streams (paper: 20, i.e. 10 pairs);
+  /// COV always uses 2 per fragment.
+  int sources_per_fragment = 10;
+  SimDuration window = Seconds(1);
+  Dataset dataset = Dataset::kPlanetLab;
+  double source_rate = 150.0;           ///< Table 2 Emulab test-bed
+  int batches_per_sec = 3;
+  double burst_prob = 0.0;              ///< §7.4 burstiness
+  double burst_multiplier = 10.0;
+  size_t top_k = 5;
+  double mem_threshold_kb = 100000.0;   ///< TOP-5 `mem.free >= 100,000`
+};
+
+/// Complex-workload query kinds (used by the mixed deployments of §7.2/7.3).
+enum class ComplexKind { kAvgAll, kTop5, kCov };
+std::string ComplexKindName(ComplexKind k);
+
+/// \brief Builds Table 1 queries with globally unique source ids.
+///
+/// The factory owns a source-id allocator and an RNG; queries built by one
+/// factory can be co-deployed in one Fsps without id collisions.
+class WorkloadFactory {
+ public:
+  explicit WorkloadFactory(uint64_t seed = 1) : rng_(seed) {}
+
+  // Aggregate workload (single fragment, one source).
+  BuiltQuery MakeAvg(QueryId q, const AggregateQueryOptions& opts = {});
+  BuiltQuery MakeMax(QueryId q, const AggregateQueryOptions& opts = {});
+  BuiltQuery MakeCount(QueryId q, const AggregateQueryOptions& opts = {});
+
+  // Complex workload (multi-fragment).
+  BuiltQuery MakeAvgAll(QueryId q, const ComplexQueryOptions& opts = {});
+  BuiltQuery MakeTop5(QueryId q, const ComplexQueryOptions& opts = {});
+  BuiltQuery MakeCov(QueryId q, const ComplexQueryOptions& opts = {});
+  /// One of the three complex kinds, chosen uniformly.
+  BuiltQuery MakeRandomComplex(QueryId q, const ComplexQueryOptions& opts);
+  BuiltQuery MakeComplex(ComplexKind kind, QueryId q,
+                         const ComplexQueryOptions& opts);
+
+  SourceId AllocateSourceId() { return next_source_++; }
+  Rng* rng() { return &rng_; }
+
+ private:
+  BuiltQuery MakeAggregate(QueryId q, AggregateKind kind,
+                           const AggregateQueryOptions& opts);
+
+  SourceId next_source_ = 0;
+  Rng rng_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,105 @@
+// Tests for the extended baseline shedders (drop-newest, drop-oldest,
+// proportional).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "shedding/baseline_shedders.h"
+
+namespace themis {
+namespace {
+
+Batch B(QueryId q, size_t n, double sic = 0.1) {
+  std::vector<Tuple> ts;
+  for (size_t i = 0; i < n; ++i) {
+    ts.push_back(Tuple(0, sic / static_cast<double>(n), {Value(0.0)}));
+  }
+  return MakeBatch(q, 0, 0, 0, std::move(ts));
+}
+
+size_t KeptTuples(const std::deque<Batch>& ib, const std::vector<size_t>& keep) {
+  size_t n = 0;
+  for (size_t i : keep) n += ib[i].size();
+  return n;
+}
+
+TEST(DropNewestShedderTest, KeepsFifoPrefix) {
+  DropNewestShedder shedder;
+  std::deque<Batch> ib;
+  for (int i = 0; i < 10; ++i) ib.push_back(B(i, 10));
+  ShedContext ctx;
+  ctx.capacity_tuples = 35;
+  auto keep = shedder.SelectBatchesToKeep(ib, ctx);
+  EXPECT_EQ(keep, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(DropOldestShedderTest, KeepsFifoSuffix) {
+  DropOldestShedder shedder;
+  std::deque<Batch> ib;
+  for (int i = 0; i < 10; ++i) ib.push_back(B(i, 10));
+  ShedContext ctx;
+  ctx.capacity_tuples = 35;
+  auto keep = shedder.SelectBatchesToKeep(ib, ctx);
+  EXPECT_EQ(keep, (std::vector<size_t>{7, 8, 9}));
+}
+
+TEST(ProportionalShedderTest, EqualKeepFractions) {
+  ProportionalShedder shedder;
+  std::deque<Batch> ib;
+  // Query 1: 100 tuples in 10 batches; query 2: 50 tuples in 5 batches.
+  for (int i = 0; i < 10; ++i) ib.push_back(B(1, 10));
+  for (int i = 0; i < 5; ++i) ib.push_back(B(2, 10));
+  ShedContext ctx;
+  ctx.capacity_tuples = 75;  // half of 150
+  auto keep = shedder.SelectBatchesToKeep(ib, ctx);
+  size_t q1 = 0, q2 = 0;
+  for (size_t i : keep) {
+    (ib[i].header.query_id == 1 ? q1 : q2) += ib[i].size();
+  }
+  EXPECT_EQ(q1, 50u);  // half of query 1's input
+  EXPECT_EQ(q2, 20u);  // half of query 2's input, rounded to batches
+}
+
+TEST(ProportionalShedderTest, UnderloadedKeepsEverything) {
+  ProportionalShedder shedder;
+  std::deque<Batch> ib;
+  ib.push_back(B(1, 10));
+  ib.push_back(B(2, 10));
+  ShedContext ctx;
+  ctx.capacity_tuples = 100;
+  EXPECT_EQ(shedder.SelectBatchesToKeep(ib, ctx).size(), 2u);
+}
+
+TEST(BaselineSheddersTest, AllRespectCapacityOnMixedSizes) {
+  std::deque<Batch> ib;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    ib.push_back(
+        B(i % 4, static_cast<size_t>(rng.UniformInt(1, 25))));
+  }
+  ShedContext ctx;
+  ctx.capacity_tuples = 120;
+
+  DropNewestShedder dn;
+  DropOldestShedder dold;
+  ProportionalShedder prop;
+  for (Shedder* s :
+       std::vector<Shedder*>{&dn, &dold, &prop}) {
+    auto keep = s->SelectBatchesToKeep(ib, ctx);
+    EXPECT_LE(KeptTuples(ib, keep), 120u) << s->name();
+    EXPECT_TRUE(std::is_sorted(keep.begin(), keep.end())) << s->name();
+  }
+}
+
+TEST(BaselineSheddersTest, EmptyBufferYieldsEmptyKeep) {
+  ShedContext ctx;
+  ctx.capacity_tuples = 10;
+  DropNewestShedder dn;
+  DropOldestShedder dold;
+  ProportionalShedder prop;
+  EXPECT_TRUE(dn.SelectBatchesToKeep({}, ctx).empty());
+  EXPECT_TRUE(dold.SelectBatchesToKeep({}, ctx).empty());
+  EXPECT_TRUE(prop.SelectBatchesToKeep({}, ctx).empty());
+}
+
+}  // namespace
+}  // namespace themis

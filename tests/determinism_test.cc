@@ -1,0 +1,71 @@
+// Reproducibility tests: the whole simulation is seed-deterministic, which
+// is what makes every EXPERIMENTS.md number regenerable bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "federation/fsps.h"
+#include "federation/placement.h"
+#include "workload/workloads.h"
+
+namespace themis {
+namespace {
+
+std::vector<double> RunOnce(uint64_t seed) {
+  FspsOptions opts;
+  opts.seed = seed;
+  opts.node.cpu_speed = 0.005;  // overloaded: shedding decisions involved
+  Fsps fsps(opts);
+  fsps.AddNode();
+  fsps.AddNode();
+  WorkloadFactory factory(seed);
+  Rng place_rng(seed + 1);
+  for (QueryId q = 0; q < 8; ++q) {
+    ComplexQueryOptions co;
+    co.fragments = 1 + (q % 2);
+    co.sources_per_fragment = 4;
+    co.source_rate = 80;
+    BuiltQuery built = factory.MakeRandomComplex(q, co);
+    auto placement = PlaceFragments(*built.graph, fsps.node_ids(),
+                                    PlacementPolicy::kUniformRandom, 0.0,
+                                    &place_rng);
+    EXPECT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+    EXPECT_TRUE(fsps.AttachSources(q, built.sources).ok());
+  }
+  fsps.RunFor(Seconds(25));
+  return fsps.AllQuerySics();
+}
+
+TEST(DeterminismTest, SameSeedSameOutcome) {
+  auto a = RunOnce(101);
+  auto b = RunOnce(101);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "query " << i;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedDifferentOutcome) {
+  auto a = RunOnce(101);
+  auto b = RunOnce(202);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DeterminismTest, WorkloadFactoryIsSeedStable) {
+  WorkloadFactory f1(5), f2(5);
+  for (int i = 0; i < 20; ++i) {
+    ComplexQueryOptions co;
+    co.fragments = 1 + i % 4;
+    auto a = f1.MakeRandomComplex(i, co);
+    auto b = f2.MakeRandomComplex(i, co);
+    EXPECT_EQ(a.graph->label(), b.graph->label());
+    EXPECT_EQ(a.graph->num_operators(), b.graph->num_operators());
+    EXPECT_EQ(a.sources.size(), b.sources.size());
+  }
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,283 @@
+// End-to-end integration tests of the federated system: deployment
+// validation, single- and multi-fragment execution, SIC convergence, policy
+// comparison, coordinator dissemination (the Fig. 4 mechanism) and
+// burstiness handling.
+#include <gtest/gtest.h>
+
+#include "federation/fsps.h"
+#include "federation/placement.h"
+#include "federation/testbeds.h"
+#include "metrics/jain.h"
+#include "workload/workloads.h"
+
+namespace themis {
+namespace {
+
+// Deploys `built` on `fsps`, spreading fragments round-robin over all nodes.
+Status DeploySpread(Fsps* fsps, BuiltQuery built, Rng* rng) {
+  auto placement = PlaceFragments(*built.graph, fsps->node_ids(),
+                                  PlacementPolicy::kRoundRobin, 0.0, rng);
+  THEMIS_RETURN_NOT_OK(fsps->Deploy(std::move(built.graph), placement));
+  return Status::OK();
+}
+
+TEST(FspsDeployTest, RejectsMissingPlacement) {
+  Fsps fsps;
+  fsps.AddNode();
+  WorkloadFactory f(1);
+  auto built = f.MakeCov(1, {.fragments = 2});
+  std::map<FragmentId, NodeId> placement = {{0, 0}};  // fragment 1 missing
+  EXPECT_TRUE(fsps.Deploy(std::move(built.graph), placement).IsInvalidArgument());
+}
+
+TEST(FspsDeployTest, RejectsUnknownNode) {
+  Fsps fsps;
+  fsps.AddNode();
+  WorkloadFactory f(1);
+  auto built = f.MakeAvg(1);
+  std::map<FragmentId, NodeId> placement = {{0, 99}};
+  EXPECT_TRUE(fsps.Deploy(std::move(built.graph), placement).IsInvalidArgument());
+}
+
+TEST(FspsDeployTest, RejectsDuplicateQuery) {
+  Fsps fsps;
+  fsps.AddNode();
+  WorkloadFactory f(1);
+  auto b1 = f.MakeAvg(1);
+  auto b2 = f.MakeAvg(1);
+  std::map<FragmentId, NodeId> placement = {{0, 0}};
+  ASSERT_TRUE(fsps.Deploy(std::move(b1.graph), placement).ok());
+  EXPECT_TRUE(fsps.Deploy(std::move(b2.graph), placement).IsAlreadyExists());
+}
+
+TEST(FspsDeployTest, AttachSourcesRequiresDeployedQuery) {
+  Fsps fsps;
+  EXPECT_TRUE(fsps.AttachSources(42, {}).IsNotFound());
+}
+
+TEST(FspsIntegrationTest, UnderloadedQueryReachesFullSic) {
+  FspsOptions opts;
+  opts.seed = 7;
+  Fsps fsps(opts);
+  fsps.AddNode();
+  WorkloadFactory f(1);
+  AggregateQueryOptions ao;
+  ao.source_rate = 200;
+  auto built = f.MakeAvg(1, ao);
+  std::map<FragmentId, NodeId> placement = {{0, 0}};
+  ASSERT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+  ASSERT_TRUE(fsps.AttachSources(1, built.sources).ok());
+
+  fsps.RunFor(Seconds(30));
+  // Eq. (4): with no shedding the result SIC over the STW approaches 1.
+  EXPECT_GT(fsps.QuerySic(1), 0.9);
+  EXPECT_EQ(fsps.TotalNodeStats().tuples_shed, 0u);
+}
+
+TEST(FspsIntegrationTest, MultiFragmentQueryProducesResults) {
+  FspsOptions opts;
+  opts.seed = 11;
+  Fsps fsps(opts);
+  fsps.AddNode();
+  fsps.AddNode();
+  fsps.AddNode();
+  WorkloadFactory f(2);
+  ComplexQueryOptions co;
+  co.fragments = 3;
+  co.source_rate = 50;
+  auto built = f.MakeCov(5, co);
+  std::map<FragmentId, NodeId> placement = {{0, 0}, {1, 1}, {2, 2}};
+  ASSERT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+  ASSERT_TRUE(fsps.AttachSources(5, built.sources).ok());
+
+  fsps.RunFor(Seconds(30));
+  EXPECT_GT(fsps.coordinator(5)->result_tuples(), 10u);
+  EXPECT_GT(fsps.QuerySic(5), 0.7);
+}
+
+TEST(FspsIntegrationTest, Top5QueryProducesRankedResults) {
+  FspsOptions opts;
+  opts.coordinator.record_results = true;
+  Fsps fsps(opts);
+  fsps.AddNode();
+  fsps.AddNode();
+  WorkloadFactory f(3);
+  ComplexQueryOptions co;
+  co.fragments = 2;
+  co.sources_per_fragment = 8;
+  co.source_rate = 40;
+  co.dataset = Dataset::kGaussian;
+  auto built = f.MakeTop5(6, co);
+  std::map<FragmentId, NodeId> placement = {{0, 0}, {1, 1}};
+  ASSERT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+  ASSERT_TRUE(fsps.AttachSources(6, built.sources).ok());
+
+  fsps.RunFor(Seconds(20));
+  const auto& results = fsps.coordinator(6)->results();
+  ASSERT_GT(results.size(), 5u);
+  // Result tuples are (id, cpu, mem) rows.
+  EXPECT_GE(results.back().values.size(), 2u);
+}
+
+TEST(FspsIntegrationTest, OverloadShedsButBalances) {
+  // One node, many queries: permanent overload (C2). BALANCE-SIC must shed
+  // while keeping the queries' SIC values balanced (Fig. 8 behaviour).
+  FspsOptions opts;
+  opts.seed = 13;
+  opts.node.cpu_speed = 0.002;  // weak node -> heavy overload
+  Fsps fsps(opts);
+  fsps.AddNode();
+  WorkloadFactory f(4);
+  Rng rng(1);
+  const int kQueries = 12;
+  for (QueryId q = 0; q < kQueries; ++q) {
+    ComplexQueryOptions co;
+    co.fragments = 1;
+    co.sources_per_fragment = 4;
+    co.source_rate = 100;
+    auto built = f.MakeRandomComplex(q, co);
+    std::map<FragmentId, NodeId> placement;
+    for (FragmentId frag : built.graph->fragment_ids()) placement[frag] = 0;
+    ASSERT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+    ASSERT_TRUE(fsps.AttachSources(q, built.sources).ok());
+  }
+  // Warm-up, then sample fairness over time as the paper reports it
+  // (instantaneous SIC values are noisy at batch granularity).
+  fsps.RunFor(Seconds(20));
+  double jain_sum = 0.0, mean_sum = 0.0;
+  const int kSamples = 10;
+  for (int i = 0; i < kSamples; ++i) {
+    fsps.RunFor(Seconds(3));
+    auto sics = fsps.AllQuerySics();
+    EXPECT_EQ(sics.size(), static_cast<size_t>(kQueries));
+    jain_sum += JainIndex(sics);
+    double m = 0;
+    for (double s : sics) m += s;
+    mean_sum += m / sics.size();
+  }
+  EXPECT_GT(fsps.TotalNodeStats().tuples_shed, 0u);
+  double mean = mean_sum / kSamples;
+  EXPECT_LT(mean, 0.95);                    // degraded
+  EXPECT_GT(mean, 0.02);                    // but not starved
+  EXPECT_GT(jain_sum / kSamples, 0.82);     // and balanced over time
+}
+
+TEST(FspsIntegrationTest, BalanceSicFairerThanRandomUnderOverload) {
+  auto run = [](SheddingPolicy policy) {
+    FspsOptions opts;
+    opts.policy = policy;
+    opts.seed = 17;
+    opts.node.cpu_speed = 0.02;
+    Fsps fsps(opts);
+    fsps.AddNode();
+    fsps.AddNode();
+    WorkloadFactory f(6);
+    Rng rng(2);
+    for (QueryId q = 0; q < 10; ++q) {
+      ComplexQueryOptions co;
+      co.fragments = (q % 2) + 1;
+      co.sources_per_fragment = 4;
+      co.source_rate = 100;
+      auto built = f.MakeRandomComplex(q, co);
+      auto placement = PlaceFragments(*built.graph, fsps.node_ids(),
+                                      PlacementPolicy::kRoundRobin, 0.0, &rng);
+      EXPECT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+      EXPECT_TRUE(fsps.AttachSources(q, built.sources).ok());
+    }
+    fsps.RunFor(Seconds(40));
+    return JainIndex(fsps.AllQuerySics());
+  };
+  double fair = run(SheddingPolicy::kBalanceSic);
+  double random = run(SheddingPolicy::kRandom);
+  EXPECT_GT(fair, random - 0.02);  // fair shedding should not be less fair
+}
+
+TEST(FspsIntegrationTest, BurstySourcesStillConverge) {
+  FspsOptions opts;
+  opts.seed = 23;
+  opts.node.cpu_speed = 0.05;
+  Fsps fsps(opts);
+  fsps.AddNode();
+  fsps.AddNode();
+  WorkloadFactory f(8);
+  Rng rng(3);
+  for (QueryId q = 0; q < 6; ++q) {
+    ComplexQueryOptions co;
+    co.fragments = 2;
+    co.sources_per_fragment = 2;
+    co.source_rate = 80;
+    co.burst_prob = 0.1;
+    co.burst_multiplier = 10.0;
+    auto built = f.MakeCov(q, co);
+    auto placement = PlaceFragments(*built.graph, fsps.node_ids(),
+                                    PlacementPolicy::kRoundRobin, 0.0, &rng);
+    ASSERT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+    ASSERT_TRUE(fsps.AttachSources(q, built.sources).ok());
+  }
+  fsps.RunFor(Seconds(40));
+  auto sics = fsps.AllQuerySics();
+  EXPECT_GT(JainIndex(sics), 0.75);
+}
+
+TEST(TestbedsTest, Table2Presets) {
+  TestbedSpec local = LocalTestbed();
+  EXPECT_EQ(local.processing_nodes, 1);
+  EXPECT_DOUBLE_EQ(local.source_rate, 400.0);
+  EXPECT_EQ(local.batches_per_sec, 5);
+
+  TestbedSpec emulab = EmulabTestbed(18);
+  EXPECT_EQ(emulab.processing_nodes, 18);
+  EXPECT_DOUBLE_EQ(emulab.source_rate, 150.0);
+  EXPECT_EQ(emulab.batches_per_sec, 3);
+  EXPECT_EQ(emulab.link_latency, Millis(5));
+}
+
+TEST(TestbedsTest, MakeTestbedBuildsNodes) {
+  auto fsps = MakeTestbed(EmulabTestbed(6), {});
+  EXPECT_EQ(fsps->node_ids().size(), 6u);
+  SourceModel m = ApplyTestbedRates(EmulabTestbed(6), {});
+  EXPECT_DOUBLE_EQ(m.tuples_per_sec, 150.0);
+}
+
+TEST(PlacementTest, FragmentsOfOneQueryOnDistinctNodes) {
+  WorkloadFactory f(1);
+  auto built = f.MakeCov(1, {.fragments = 4});
+  Rng rng(5);
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5};
+  for (auto policy : {PlacementPolicy::kRoundRobin,
+                      PlacementPolicy::kUniformRandom, PlacementPolicy::kZipf}) {
+    auto placement = PlaceFragments(*built.graph, nodes, policy, 1.0, &rng);
+    ASSERT_EQ(placement.size(), 4u);
+    std::set<NodeId> used;
+    for (const auto& [frag, node] : placement) used.insert(node);
+    EXPECT_EQ(used.size(), 4u);  // distinct nodes
+  }
+}
+
+TEST(PlacementTest, WrapsWhenMoreFragmentsThanNodes) {
+  WorkloadFactory f(1);
+  auto built = f.MakeCov(1, {.fragments = 5});
+  Rng rng(5);
+  std::vector<NodeId> nodes = {0, 1};
+  auto placement = PlaceFragments(*built.graph, nodes, PlacementPolicy::kZipf,
+                                  1.0, &rng);
+  EXPECT_EQ(placement.size(), 5u);
+}
+
+TEST(PlacementTest, ZipfSkewsLoad) {
+  WorkloadFactory f(1);
+  Rng rng(5);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(i);
+  std::map<NodeId, int> load;
+  for (int q = 0; q < 300; ++q) {
+    auto built = f.MakeAvg(q);
+    auto placement =
+        PlaceFragments(*built.graph, nodes, PlacementPolicy::kZipf, 1.2, &rng);
+    for (const auto& [frag, node] : placement) ++load[node];
+  }
+  EXPECT_GT(load[0], load[9] * 2);  // head node clearly hotter
+}
+
+}  // namespace
+}  // namespace themis

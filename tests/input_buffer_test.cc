@@ -1,0 +1,67 @@
+// Tests for the node input buffer: FIFO semantics, tuple accounting and
+// shedder-driven retention.
+#include <gtest/gtest.h>
+
+#include "node/input_buffer.h"
+
+namespace themis {
+namespace {
+
+Batch B(QueryId q, size_t n, double sic) {
+  std::vector<Tuple> ts;
+  for (size_t i = 0; i < n; ++i) {
+    ts.push_back(Tuple(0, sic / static_cast<double>(n), {Value(0.0)}));
+  }
+  return MakeBatch(q, 0, 0, 0, std::move(ts));
+}
+
+TEST(InputBufferTest, FifoOrder) {
+  InputBuffer ib;
+  ib.Push(B(1, 2, 0.1));
+  ib.Push(B(2, 3, 0.2));
+  EXPECT_EQ(ib.num_batches(), 2u);
+  EXPECT_EQ(ib.num_tuples(), 5u);
+  auto first = ib.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->header.query_id, 1);
+  EXPECT_EQ(ib.num_tuples(), 3u);
+}
+
+TEST(InputBufferTest, PopEmptyReturnsNullopt) {
+  InputBuffer ib;
+  EXPECT_FALSE(ib.Pop().has_value());
+}
+
+TEST(InputBufferTest, RetainIndicesKeepsOrderAndCountsDrops) {
+  InputBuffer ib;
+  for (int i = 0; i < 5; ++i) ib.Push(B(i, 10, 0.1));
+  size_t dropped = ib.RetainIndices({1, 3});
+  EXPECT_EQ(dropped, 30u);
+  EXPECT_EQ(ib.num_batches(), 2u);
+  EXPECT_EQ(ib.num_tuples(), 20u);
+  EXPECT_EQ(ib.Pop()->header.query_id, 1);
+  EXPECT_EQ(ib.Pop()->header.query_id, 3);
+}
+
+TEST(InputBufferTest, RetainAllAndNone) {
+  InputBuffer ib;
+  ib.Push(B(1, 4, 0.1));
+  ib.Push(B(2, 6, 0.1));
+  EXPECT_EQ(ib.RetainIndices({0, 1}), 0u);
+  EXPECT_EQ(ib.num_tuples(), 10u);
+  EXPECT_EQ(ib.RetainIndices({}), 10u);
+  EXPECT_TRUE(ib.empty());
+}
+
+TEST(InputBufferTest, SicOfQuerySumsHeaders) {
+  InputBuffer ib;
+  ib.Push(B(1, 2, 0.1));
+  ib.Push(B(2, 2, 0.2));
+  ib.Push(B(1, 2, 0.3));
+  EXPECT_NEAR(ib.SicOfQuery(1), 0.4, 1e-12);
+  EXPECT_NEAR(ib.SicOfQuery(2), 0.2, 1e-12);
+  EXPECT_EQ(ib.SicOfQuery(99), 0.0);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,115 @@
+// Query lifecycle tests: dynamic arrival, departure (Undeploy), in-flight
+// batch handling and state cleanup — the "queries' arrivals and departures"
+// dynamics §5 mentions.
+#include <gtest/gtest.h>
+
+#include "federation/fsps.h"
+#include "workload/workloads.h"
+
+namespace themis {
+namespace {
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  LifecycleTest() : factory_(9) {
+    FspsOptions opts;
+    opts.seed = 77;
+    fsps_ = std::make_unique<Fsps>(opts);
+    node0_ = fsps_->AddNode();
+    node1_ = fsps_->AddNode();
+  }
+
+  // Deploys a two-fragment COV query across both nodes.
+  Status DeployCov(QueryId q) {
+    ComplexQueryOptions co;
+    co.fragments = 2;
+    co.source_rate = 50;
+    BuiltQuery built = factory_.MakeCov(q, co);
+    std::map<FragmentId, NodeId> placement = {{0, node0_}, {1, node1_}};
+    THEMIS_RETURN_NOT_OK(fsps_->Deploy(std::move(built.graph), placement));
+    return fsps_->AttachSources(q, built.sources);
+  }
+
+  WorkloadFactory factory_;
+  std::unique_ptr<Fsps> fsps_;
+  NodeId node0_ = 0, node1_ = 0;
+};
+
+TEST_F(LifecycleTest, UndeployUnknownQueryIsNotFound) {
+  EXPECT_TRUE(fsps_->Undeploy(123).IsNotFound());
+}
+
+TEST_F(LifecycleTest, UndeployStopsResultsAndSources) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(10));
+  uint64_t results_before = fsps_->coordinator(1)->result_tuples();
+  EXPECT_GT(results_before, 0u);
+
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+  EXPECT_EQ(fsps_->coordinator(1), nullptr);
+  EXPECT_EQ(fsps_->graph(1), nullptr);
+  EXPECT_TRUE(fsps_->query_ids().empty());
+
+  uint64_t received_before = fsps_->TotalNodeStats().tuples_received;
+  fsps_->RunFor(Seconds(5));
+  // Sources stopped: at most the already-scheduled batch trickles in.
+  EXPECT_LE(fsps_->TotalNodeStats().tuples_received, received_before + 200);
+}
+
+TEST_F(LifecycleTest, UndeployDoesNotDisturbOtherQueries) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  ASSERT_TRUE(DeployCov(2).ok());
+  fsps_->RunFor(Seconds(10));
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+  fsps_->RunFor(Seconds(10));
+  EXPECT_GT(fsps_->QuerySic(2), 0.7);  // survivor unaffected
+  EXPECT_EQ(fsps_->query_ids(), (std::vector<QueryId>{2}));
+}
+
+TEST_F(LifecycleTest, MidRunArrivalStartsProcessing) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(10));
+  // New query arrives while the system is running (C3: collaborative sites
+  // accept incoming queries at any time).
+  ASSERT_TRUE(DeployCov(2).ok());
+  fsps_->RunFor(Seconds(15));
+  EXPECT_GT(fsps_->coordinator(2)->result_tuples(), 0u);
+  EXPECT_GT(fsps_->QuerySic(2), 0.5);
+}
+
+TEST_F(LifecycleTest, RedeploySameIdAfterUndeploy) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(5));
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(15));
+  EXPECT_GT(fsps_->QuerySic(1), 0.5);
+}
+
+TEST_F(LifecycleTest, NodeStateIsPurgedOnUnhost) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(5));
+  Node* n0 = fsps_->node(node0_);
+  ASSERT_FALSE(n0->HostedQueries().empty());
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+  EXPECT_TRUE(n0->HostedQueries().empty());
+  EXPECT_EQ(n0->input_buffer().SicOfQuery(1), 0.0);
+  EXPECT_EQ(n0->AcceptedSic(1, Seconds(5)), 0.0);
+}
+
+TEST_F(LifecycleTest, ChurnLoopStaysHealthy) {
+  // Repeated arrivals and departures must not leak state or crash.
+  for (QueryId q = 0; q < 10; ++q) {
+    ASSERT_TRUE(DeployCov(q).ok());
+    fsps_->RunFor(Seconds(3));
+    if (q >= 2) ASSERT_TRUE(fsps_->Undeploy(q - 2).ok());
+  }
+  fsps_->RunFor(Seconds(5));
+  EXPECT_EQ(fsps_->query_ids().size(), 2u);
+  for (QueryId q : fsps_->query_ids()) {
+    EXPECT_GT(fsps_->QuerySic(q), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace themis

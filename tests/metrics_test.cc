@@ -1,0 +1,110 @@
+// Tests for the metrics module: Jain's index, Kendall top-k distance, error
+// metrics, reporter formatting.
+#include <gtest/gtest.h>
+
+#include "metrics/error_metrics.h"
+#include "metrics/jain.h"
+#include "metrics/kendall.h"
+#include "metrics/reporter.h"
+
+namespace themis {
+namespace {
+
+TEST(JainIndexTest, PerfectBalanceIsOne) {
+  EXPECT_DOUBLE_EQ(JainIndex({0.3, 0.3, 0.3, 0.3}), 1.0);
+}
+
+TEST(JainIndexTest, SingleWinnerIsOneOverN) {
+  EXPECT_DOUBLE_EQ(JainIndex({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainIndexTest, KnownValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(JainIndex({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainIndexTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(JainIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndexTest, ScaleInvariant) {
+  std::vector<double> xs = {0.1, 0.4, 0.2};
+  std::vector<double> scaled = {1.0, 4.0, 2.0};
+  EXPECT_NEAR(JainIndex(xs), JainIndex(scaled), 1e-12);
+}
+
+TEST(KendallTest, IdenticalListsZero) {
+  EXPECT_DOUBLE_EQ(KendallTopKDistance({1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}), 0.0);
+}
+
+TEST(KendallTest, ReversedListsOne) {
+  EXPECT_DOUBLE_EQ(KendallTopKDistance({1, 2, 3}, {3, 2, 1}), 1.0);
+}
+
+TEST(KendallTest, SingleSwapPartial) {
+  // {1,2,3} vs {2,1,3}: one of three comparable pairs disagrees.
+  EXPECT_NEAR(KendallTopKDistance({1, 2, 3}, {2, 1, 3}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTest, DisjointListsOne) {
+  EXPECT_DOUBLE_EQ(KendallTopKDistance({1, 2}, {3, 4}), 1.0);
+}
+
+TEST(KendallTest, MissingElementPenalised) {
+  // B misses element 3 but keeps the order of 1, 2.
+  double d = KendallTopKDistance({1, 2, 3}, {1, 2, 4});
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(KendallTest, EmptyLists) {
+  EXPECT_DOUBLE_EQ(KendallTopKDistance({}, {}), 0.0);
+}
+
+TEST(KendallTest, SymmetricInArguments) {
+  std::vector<int64_t> a = {5, 1, 9, 2}, b = {2, 9, 5, 7};
+  EXPECT_DOUBLE_EQ(KendallTopKDistance(a, b), KendallTopKDistance(b, a));
+}
+
+TEST(MeanAbsoluteErrorTest, ExactMatchIsZero) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({{10, 10}, {20, 20}}), 0.0);
+}
+
+TEST(MeanAbsoluteErrorTest, RelativeError) {
+  // |8-10|/10 = 0.2 and |30-20|/20 = 0.5 -> mean 0.35.
+  EXPECT_NEAR(MeanAbsoluteError({{8, 10}, {30, 20}}), 0.35, 1e-12);
+}
+
+TEST(MeanAbsoluteErrorTest, SkipsZeroPerfectValues) {
+  EXPECT_NEAR(MeanAbsoluteError({{8, 10}, {5, 0}}), 0.2, 1e-12);
+}
+
+TEST(AlignByTimeTest, PairsMatchingTimes) {
+  std::vector<TimedValue> degraded = {{Seconds(1), 9}, {Seconds(2), 19}};
+  std::vector<TimedValue> perfect = {{Seconds(1), 10},
+                                     {Seconds(2), 20},
+                                     {Seconds(3), 30}};
+  auto pairs = AlignByTime(degraded, perfect);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, 9);
+  EXPECT_EQ(pairs[0].second, 10);
+}
+
+TEST(AlignByTimeTest, UnmatchedTimesDropped) {
+  std::vector<TimedValue> degraded = {{Seconds(5), 1}};
+  std::vector<TimedValue> perfect = {{Seconds(1), 2}};
+  EXPECT_TRUE(AlignByTime(degraded, perfect).empty());
+}
+
+TEST(ReporterTest, CollectsRows) {
+  Reporter r("test", {"x", "y"});
+  r.AddRow({1.0, 2.0});
+  r.AddRow("mixed", {3.0});
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[1][0], "mixed");
+  r.Print();  // smoke: must not crash
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,212 @@
+// Behavioural tests of the operator library (aggregates, filter/map, join,
+// top-k, covariance, group-by).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/operators/aggregates.h"
+#include "runtime/operators/covariance.h"
+#include "runtime/operators/filter_map.h"
+#include "runtime/operators/join.h"
+#include "runtime/operators/topk.h"
+
+namespace themis {
+namespace {
+
+Tuple T1(SimTime ts, double v, double sic = 0.1) {
+  return Tuple(ts, sic, {Value(v)});
+}
+
+Tuple T2(SimTime ts, int64_t id, double v, double sic = 0.1) {
+  return Tuple(ts, sic, {Value(id), Value(v)});
+}
+
+std::vector<Tuple> Advance(Operator& op, SimTime wm) {
+  std::vector<Tuple> out;
+  op.Advance(wm, &out);
+  return out;
+}
+
+TEST(AggregateOpTest, Average) {
+  AggregateOp op(AggregateKind::kAvg, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 10), T1(2, 20), T1(3, 30)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 20.0);
+  EXPECT_NEAR(out[0].sic, 0.3, 1e-12);  // full pane SIC on the single result
+}
+
+TEST(AggregateOpTest, MaxAndMinAndSum) {
+  AggregateOp mx(AggregateKind::kMax, 0, WindowSpec::TumblingTime(kSecond));
+  AggregateOp mn(AggregateKind::kMin, 0, WindowSpec::TumblingTime(kSecond));
+  AggregateOp sm(AggregateKind::kSum, 0, WindowSpec::TumblingTime(kSecond));
+  std::vector<Tuple> in = {T1(1, 5), T1(2, -3), T1(3, 12)};
+  mx.Ingest(in, 0);
+  mn.Ingest(in, 0);
+  sm.Ingest(in, 0);
+  EXPECT_DOUBLE_EQ(AsDouble(Advance(mx, kSecond)[0].values[0]), 12.0);
+  EXPECT_DOUBLE_EQ(AsDouble(Advance(mn, kSecond)[0].values[0]), -3.0);
+  EXPECT_DOUBLE_EQ(AsDouble(Advance(sm, kSecond)[0].values[0]), 14.0);
+}
+
+TEST(AggregateOpTest, CountWithHavingPredicate) {
+  // Table 1 COUNT: count of tuples with v >= 50.
+  AggregateOp op(AggregateKind::kCount, 0, WindowSpec::TumblingTime(kSecond),
+                 [](const Tuple& t) { return AsDouble(t.values[0]) >= 50.0; });
+  op.Ingest({T1(1, 10), T1(2, 50), T1(3, 80), T1(4, 49.9)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 2.0);
+}
+
+TEST(AggregateOpTest, CountEmitsZeroWhenAllFiltered) {
+  AggregateOp op(AggregateKind::kCount, 0, WindowSpec::TumblingTime(kSecond),
+                 [](const Tuple&) { return false; });
+  op.Ingest({T1(1, 10)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 0.0);
+  // The count-0 result still carries the pane's SIC (tuples were processed).
+  EXPECT_NEAR(out[0].sic, 0.1, 1e-12);
+}
+
+TEST(AggregateOpTest, EmptyPaneEmitsNothing) {
+  AggregateOp op(AggregateKind::kAvg, 0, WindowSpec::TumblingTime(kSecond));
+  EXPECT_TRUE(Advance(op, 5 * kSecond).empty());
+}
+
+TEST(FilterOpTest, PassesMatchingAndRedistributesSic) {
+  FilterOp op([](const Tuple& t) { return AsDouble(t.values[0]) > 10.0; },
+              WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 5, 0.2), T1(2, 15, 0.2), T1(3, 25, 0.2)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 2u);
+  // Eq. (3): the whole 0.6 pane mass spreads over the 2 passing tuples.
+  EXPECT_DOUBLE_EQ(out[0].sic, 0.3);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 15.0);
+}
+
+TEST(FilterOpTest, NothingPassesLosesPaneSic) {
+  FilterOp op([](const Tuple&) { return false; },
+              WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 5, 0.2)}, 0);
+  EXPECT_TRUE(Advance(op, kSecond).empty());
+}
+
+TEST(MapOpTest, TransformsPayload) {
+  MapOp op(
+      [](const Tuple& t) -> std::vector<Value> {
+        return {Value(AsDouble(t.values[0]) * 2.0)};
+      },
+      WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 21, 0.4)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 42.0);
+  EXPECT_DOUBLE_EQ(out[0].sic, 0.4);
+}
+
+TEST(HashJoinOpTest, JoinsOnKey) {
+  HashJoinOp op(0, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T2(1, 1, 10.0), T2(2, 2, 20.0)}, 0);
+  op.Ingest({T2(3, 2, 200.0), T2(4, 3, 300.0)}, 1);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);  // only id 2 matches
+  EXPECT_EQ(AsInt(out[0].values[0]), 2);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[1]), 20.0);   // left value
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[2]), 200.0);  // right value
+  // Union of both panes' SIC (4 x 0.1) on the single output.
+  EXPECT_NEAR(out[0].sic, 0.4, 1e-12);
+}
+
+TEST(HashJoinOpTest, MultiMatchProducesCrossPairs) {
+  HashJoinOp op(0, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T2(1, 7, 1.0), T2(2, 7, 2.0)}, 0);
+  op.Ingest({T2(3, 7, 3.0)}, 1);
+  auto out = Advance(op, kSecond);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(HashJoinOpTest, DisjointKeysProduceNothing) {
+  HashJoinOp op(0, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T2(1, 1, 1.0)}, 0);
+  op.Ingest({T2(2, 2, 2.0)}, 1);
+  EXPECT_TRUE(Advance(op, kSecond).empty());
+}
+
+TEST(TopKOpTest, SelectsDescendingByValue) {
+  TopKOp op(2, /*value_field=*/1, /*key_field=*/0,
+            WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T2(1, 1, 30), T2(2, 2, 10), T2(3, 3, 50), T2(4, 4, 20)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AsInt(out[0].values[0]), 3);
+  EXPECT_EQ(AsInt(out[1].values[0]), 1);
+  // Total pane SIC (0.4) split across the k outputs.
+  EXPECT_NEAR(out[0].sic + out[1].sic, 0.4, 1e-12);
+}
+
+TEST(TopKOpTest, TiesBreakOnSmallerId) {
+  TopKOp op(2, 1, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T2(1, 9, 10), T2(2, 4, 10), T2(3, 6, 10)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AsInt(out[0].values[0]), 4);
+  EXPECT_EQ(AsInt(out[1].values[0]), 6);
+}
+
+TEST(TopKOpTest, FewerThanKInputs) {
+  TopKOp op(5, 1, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T2(1, 1, 10)}, 0);
+  EXPECT_EQ(Advance(op, kSecond).size(), 1u);
+}
+
+TEST(CovarianceOpTest, ComputesSampleCovariance) {
+  CovarianceOp op(0, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 1), T1(2, 2), T1(3, 3), T1(4, 4)}, 0);
+  op.Ingest({T1(1, 2), T1(2, 4), T1(3, 6), T1(4, 8)}, 1);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(AsDouble(out[0].values[0]), 2.0 * 5.0 / 3.0, 1e-9);
+}
+
+TEST(CovarianceOpTest, SingleSampleEmitsNothing) {
+  CovarianceOp op(0, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 1)}, 0);
+  op.Ingest({T1(1, 2)}, 1);
+  EXPECT_TRUE(Advance(op, kSecond).empty());
+}
+
+TEST(GroupByAggregateOpTest, PerGroupAverage) {
+  GroupByAggregateOp op(AggregateKind::kAvg, 0, 1,
+                        WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T2(1, 1, 10), T2(2, 1, 20), T2(3, 2, 100)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AsInt(out[0].values[0]), 1);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[1]), 15.0);
+  EXPECT_EQ(AsInt(out[1].values[0]), 2);
+  EXPECT_DOUBLE_EQ(AsDouble(out[1].values[1]), 100.0);
+}
+
+// Property sweep: for every aggregate kind, one pane in -> exactly one tuple
+// out carrying the full pane SIC (Eq. 2/3 consistency at operator level).
+class AggregateSicTest : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(AggregateSicTest, SingleOutputCarriesPaneSic) {
+  AggregateOp op(GetParam(), 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 42, 0.125), T1(2, 7, 0.125), T1(3, 13, 0.25)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].sic, 0.5, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AggregateSicTest,
+                         ::testing::Values(AggregateKind::kAvg,
+                                           AggregateKind::kMax,
+                                           AggregateKind::kMin,
+                                           AggregateKind::kSum,
+                                           AggregateKind::kCount));
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,278 @@
+// Tests for the CQL-like front-end: lexer, parser and compiler, including
+// end-to-end execution of the Table 1 statements through the FSPS.
+#include <gtest/gtest.h>
+
+#include "federation/fsps.h"
+#include "query/compiler.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "workload/sources.h"
+
+namespace themis {
+namespace {
+
+// ---- lexer ---------------------------------------------------------------
+
+TEST(LexerTest, TokenisesTable1Query) {
+  auto tokens = Lex("Select Avg(t.v) From Src[Range 1 sec]");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 12u);
+  EXPECT_TRUE((*tokens)[0].IsWord("select"));
+  EXPECT_TRUE((*tokens)[1].IsWord("avg"));
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, OperatorsAndNumbers) {
+  auto tokens = Lex("a >= 50.5 and b != 3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 50.5);
+  EXPECT_EQ((*tokens)[5].text, "!=");
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Lex("select #").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+}
+
+TEST(LexerTest, CaseInsensitiveKeywords) {
+  auto tokens = Lex("SELECT sElEcT select");
+  ASSERT_TRUE(tokens.ok());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE((*tokens)[i].IsWord("Select"));
+}
+
+// ---- parser ----------------------------------------------------------------
+
+TEST(ParserTest, ParsesAvgQuery) {
+  auto stmt = ParseQuery("Select Avg(t.v) From Src[Range 1 sec]");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->func.name, "avg");
+  ASSERT_EQ(stmt->func.args.size(), 1u);
+  EXPECT_EQ(stmt->func.args[0].stream, "t");
+  EXPECT_EQ(stmt->func.args[0].field, "v");
+  ASSERT_EQ(stmt->streams.size(), 1u);
+  EXPECT_EQ(stmt->streams[0].name, "Src");
+  EXPECT_EQ(stmt->streams[0].range, kSecond);
+  EXPECT_TRUE(stmt->where.empty());
+  EXPECT_TRUE(stmt->having.empty());
+}
+
+TEST(ParserTest, ParsesCountWithHaving) {
+  auto stmt = ParseQuery(
+      "Select Count(t.v) From Src[Range 1 sec] Having t.v >= 50");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->func.name, "count");
+  ASSERT_EQ(stmt->having.size(), 1u);
+  EXPECT_EQ(stmt->having[0].op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(stmt->having[0].rhs.literal, 50.0);
+}
+
+TEST(ParserTest, ParsesTop5JoinQuery) {
+  auto stmt = ParseQuery(
+      "Select Top5(CPU.id, CPU.v) From CPU[Range 1 sec], Mem[Range 1 sec] "
+      "Where Mem.free >= 100000 and CPU.id = Mem.id");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->func.name, "top");
+  EXPECT_EQ(stmt->func.top_k, 5);
+  ASSERT_EQ(stmt->streams.size(), 2u);
+  ASSERT_EQ(stmt->where.size(), 2u);
+  EXPECT_FALSE(stmt->where[0].IsJoin());
+  EXPECT_TRUE(stmt->where[1].IsJoin());
+}
+
+TEST(ParserTest, ParsesCovQuery) {
+  auto stmt = ParseQuery(
+      "Select Cov(S1.value, S2.value) From S1[Range 1 sec], S2[Range 1 sec]");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->func.name, "cov");
+  ASSERT_EQ(stmt->func.args.size(), 2u);
+}
+
+TEST(ParserTest, WindowUnits) {
+  auto ms = ParseQuery("Select Avg(t.v) From S[Range 250 ms]");
+  ASSERT_TRUE(ms.ok());
+  EXPECT_EQ(ms->streams[0].range, Millis(250));
+  auto min = ParseQuery("Select Avg(t.v) From S[Range 10 min]");
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min->streams[0].range, 600 * kSecond);
+}
+
+TEST(ParserTest, SyntaxErrorsArePositioned) {
+  for (const char* bad : {
+           "Avg(t.v) From S[Range 1 sec]",          // missing Select
+           "Select Avg t.v From S[Range 1 sec]",    // missing parens
+           "Select Avg(t.v) S[Range 1 sec]",        // missing From
+           "Select Avg(t.v) From S[1 sec]",         // missing Range
+           "Select Avg(t.v) From S[Range 1 sec",    // missing ]
+           "Select Avg(t.v) From S[Range 1 hr]",    // bad unit
+           "Select Avg(t.v) From S[Range 1 sec] Where t.v", // dangling cond
+           "Select Avg(t.v) From S[Range 1 sec] extra",     // trailing
+       }) {
+    auto stmt = ParseQuery(bad);
+    EXPECT_FALSE(stmt.ok()) << bad;
+    EXPECT_TRUE(stmt.status().IsInvalidArgument()) << bad;
+  }
+}
+
+// ---- compiler ----------------------------------------------------------------
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  CompilerTest() {
+    compiler_.RegisterStream("Src", Schema::SingleValue());
+    compiler_.RegisterStream("S1", Schema::SingleValue());
+    compiler_.RegisterStream("S2", Schema::SingleValue());
+    compiler_.RegisterStream("CPU", Schema::IdValue());
+    Schema mem({{"id", FieldType::kInt64}, {"free", FieldType::kDouble}});
+    compiler_.RegisterStream("Mem", mem);
+    // The aggregate workload refers to tuples as `t`; alias it to Src's
+    // schema so Table 1 statements compile verbatim.
+    compiler_.RegisterStream("t", Schema::SingleValue());
+  }
+
+  Result<CompiledQuery> Compile(const std::string& text) {
+    return compiler_.CompileString(1, text, &next_source_);
+  }
+
+  QueryCompiler compiler_;
+  SourceId next_source_ = 0;
+};
+
+TEST_F(CompilerTest, CompilesAvg) {
+  auto q = Compile("Select Src.v From X[Range 1 sec]");
+  EXPECT_FALSE(q.ok());  // malformed on purpose: not a function call
+
+  auto avg = Compile("Select Avg(Src.v) From Src[Range 1 sec]");
+  ASSERT_TRUE(avg.ok()) << avg.status().ToString();
+  EXPECT_EQ(avg->graph->num_operators(), 3u);  // recv -> avg -> out
+  EXPECT_EQ(avg->stream_sources.size(), 1u);
+}
+
+TEST_F(CompilerTest, CompilesCountHaving) {
+  auto q = Compile(
+      "Select Count(Src.v) From Src[Range 1 sec] Having Src.v >= 50");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->graph->num_operators(), 3u);  // having folds into the count
+}
+
+TEST_F(CompilerTest, CompilesWhereAsFilter) {
+  auto q = Compile(
+      "Select Max(Src.v) From Src[Range 1 sec] Where Src.v >= 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->graph->num_operators(), 4u);  // recv -> filter -> max -> out
+}
+
+TEST_F(CompilerTest, CompilesCov) {
+  auto q = Compile(
+      "Select Cov(S1.v, S2.v) From S1[Range 1 sec], S2[Range 1 sec]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->graph->num_operators(), 4u);  // 2 recv -> cov -> out
+  EXPECT_EQ(q->stream_sources.size(), 2u);
+}
+
+TEST_F(CompilerTest, CompilesTop5Join) {
+  auto q = Compile(
+      "Select Top5(CPU.id, CPU.v) From CPU[Range 1 sec], Mem[Range 1 sec] "
+      "Where Mem.free >= 100000 and CPU.id = Mem.id");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // recv, recv, filter(Mem), join, top5, out.
+  EXPECT_EQ(q->graph->num_operators(), 6u);
+}
+
+TEST_F(CompilerTest, RejectsUnknownStreamAndField) {
+  EXPECT_TRUE(Compile("Select Avg(Nope.v) From Nope[Range 1 sec]")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(Compile("Select Avg(Src.nope) From Src[Range 1 sec]")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(CompilerTest, RejectsUnknownFunction) {
+  EXPECT_TRUE(Compile("Select Median(Src.v) From Src[Range 1 sec]")
+                  .status()
+                  .IsUnimplemented());
+}
+
+TEST_F(CompilerTest, RejectsArityMismatches) {
+  EXPECT_FALSE(
+      Compile("Select Cov(S1.v, S2.v) From S1[Range 1 sec]").ok());
+  EXPECT_FALSE(
+      Compile("Select Avg(S1.v, S2.v) From S1[Range 1 sec], S2[Range 1 sec]")
+          .ok());
+  EXPECT_FALSE(Compile("Select Top5(CPU.id) From CPU[Range 1 sec]").ok());
+}
+
+TEST_F(CompilerTest, RejectsJoinWithoutCondition) {
+  EXPECT_FALSE(
+      Compile("Select Top5(CPU.id, CPU.v) From CPU[Range 1 sec], "
+              "Mem[Range 1 sec]")
+          .ok());
+}
+
+// ---- end-to-end: compiled queries run on the FSPS -------------------------
+
+TEST_F(CompilerTest, CompiledCountRunsEndToEnd) {
+  auto q = Compile(
+      "Select Count(Src.v) From Src[Range 1 sec] Having Src.v >= 50");
+  ASSERT_TRUE(q.ok());
+
+  FspsOptions opts;
+  opts.coordinator.record_results = true;
+  Fsps fsps(opts);
+  NodeId node = fsps.AddNode();
+  std::map<FragmentId, NodeId> placement = {{0, node}};
+  ASSERT_TRUE(fsps.Deploy(std::move(q->graph), placement).ok());
+
+  SourceModel model;
+  model.tuples_per_sec = 100;
+  model.dataset = Dataset::kUniform;  // uniform(0, 100): ~half >= 50
+  ASSERT_TRUE(fsps.AttachSources(1, {}, model).ok());
+  fsps.RunFor(Seconds(20));
+
+  EXPECT_GT(fsps.QuerySic(1), 0.9);
+  const auto& results = fsps.coordinator(1)->results();
+  ASSERT_GT(results.size(), 10u);
+  double avg_count = 0;
+  for (const auto& r : results) avg_count += AsDouble(r.values[0]);
+  avg_count /= results.size();
+  EXPECT_NEAR(avg_count, 50.0, 10.0);  // ~half of 100 t/s pass the Having
+}
+
+TEST_F(CompilerTest, CompiledTop5RunsEndToEnd) {
+  auto q = Compile(
+      "Select Top5(CPU.id, CPU.v) From CPU[Range 1 sec], Mem[Range 1 sec] "
+      "Where Mem.free >= 0 and CPU.id = Mem.id");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  FspsOptions opts;
+  opts.coordinator.record_results = true;
+  Fsps fsps(opts);
+  NodeId node = fsps.AddNode();
+  ASSERT_TRUE(fsps.Deploy(std::move(q->graph), {{0, node}}).ok());
+
+  // Eight monitored ids on each stream.
+  Rng rng(3);
+  auto gen = std::make_shared<Rng>(rng.Fork());
+  SourceModel cpu;
+  cpu.tuples_per_sec = 80;
+  cpu.payload = [gen](SimTime) -> std::vector<Value> {
+    return {Value(gen->UniformInt(0, 7)), Value(gen->Uniform(0, 100))};
+  };
+  SourceModel mem = cpu;
+  auto gen2 = std::make_shared<Rng>(rng.Fork());
+  mem.payload = [gen2](SimTime) -> std::vector<Value> {
+    return {Value(gen2->UniformInt(0, 7)), Value(gen2->Uniform(0, 1e6))};
+  };
+  SourceId cpu_src = q->stream_sources.at("CPU");
+  SourceId mem_src = q->stream_sources.at("Mem");
+  ASSERT_TRUE(fsps.AttachSources(1, {{cpu_src, cpu}, {mem_src, mem}}).ok());
+  fsps.RunFor(Seconds(20));
+
+  EXPECT_GT(fsps.QuerySic(1), 0.8);
+  EXPECT_GT(fsps.coordinator(1)->result_tuples(), 20u);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,155 @@
+// Cross-cutting robustness tests: value/batch/schema edges, out-of-order
+// ingestion, heterogeneous node capacities, policy naming, degenerate
+// deployments.
+#include <gtest/gtest.h>
+
+#include "federation/fsps.h"
+#include "runtime/batch.h"
+#include "runtime/schema.h"
+#include "runtime/value.h"
+#include "runtime/window.h"
+#include "workload/workloads.h"
+
+namespace themis {
+namespace {
+
+TEST(ValueTest, NumericCoercions) {
+  EXPECT_DOUBLE_EQ(AsDouble(Value(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(AsDouble(Value(int64_t{7})), 7.0);
+  EXPECT_DOUBLE_EQ(AsDouble(Value(std::string("x"))), 0.0);
+  EXPECT_EQ(AsInt(Value(int64_t{7})), 7);
+  EXPECT_EQ(AsInt(Value(2.9)), 2);
+  EXPECT_EQ(AsInt(Value(std::string("x"))), 0);
+  EXPECT_EQ(ValueToString(Value(std::string("abc"))), "abc");
+  EXPECT_EQ(ValueToString(Value(int64_t{3})), "3");
+}
+
+TEST(SchemaTest, LookupAndToString) {
+  Schema s = Schema::IdCpuMem();
+  EXPECT_EQ(s.num_fields(), 3u);
+  auto idx = s.IndexOf("cpu");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1);
+  EXPECT_TRUE(s.IndexOf("nope").status().IsNotFound());
+  EXPECT_EQ(s.ToString(), "id:int64, cpu:double, mem:double");
+}
+
+TEST(BatchTest, HeaderSicTracksTuples) {
+  Batch b = MakeBatch(1, 2, 0, 100, {Tuple(1, 0.25, {Value(1.0)}),
+                                     Tuple(2, 0.5, {Value(2.0)})});
+  EXPECT_EQ(b.header.query_id, 1);
+  EXPECT_EQ(b.header.dest_op, 2);
+  EXPECT_EQ(b.header.created, 100);
+  EXPECT_DOUBLE_EQ(b.header.sic, 0.75);
+  b.tuples[0].sic = 0.75;
+  EXPECT_DOUBLE_EQ(b.header.sic, 0.75);  // stale until refreshed
+  b.RefreshHeaderSic();
+  EXPECT_DOUBLE_EQ(b.header.sic, 1.25);
+  EXPECT_DOUBLE_EQ(b.TotalSic(), 1.25);
+}
+
+TEST(WindowRobustnessTest, ShuffledIngestionConservesMass) {
+  // Tuples ingested in random order (network reordering) still release
+  // exactly once with full mass, as long as the watermark trails them.
+  Rng rng(11);
+  std::vector<Tuple> tuples;
+  double in_mass = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    double sic = rng.Uniform(0.001, 0.01);
+    in_mass += sic;
+    tuples.push_back(Tuple(rng.UniformInt(0, Seconds(5) - 1), sic, {Value(0.0)}));
+  }
+  rng.Shuffle(&tuples);
+  WindowBuffer w(WindowSpec::TumblingTime(kSecond));
+  for (const Tuple& t : tuples) w.Add(t);
+  double out_mass = 0.0;
+  size_t out_count = 0;
+  for (const Pane& p : w.Advance(Seconds(10))) {
+    out_mass += p.TotalSic();
+    out_count += p.tuples.size();
+  }
+  EXPECT_EQ(out_count, 300u);
+  EXPECT_NEAR(out_mass, in_mass, 1e-9);
+}
+
+TEST(SheddingPolicyTest, AllPoliciesNamed) {
+  EXPECT_EQ(SheddingPolicyName(SheddingPolicy::kBalanceSic), "balance-sic");
+  EXPECT_EQ(SheddingPolicyName(SheddingPolicy::kRandom), "random");
+  EXPECT_EQ(SheddingPolicyName(SheddingPolicy::kDropNewest), "drop-newest");
+  EXPECT_EQ(SheddingPolicyName(SheddingPolicy::kDropOldest), "drop-oldest");
+  EXPECT_EQ(SheddingPolicyName(SheddingPolicy::kProportional), "proportional");
+}
+
+TEST(SheddingPolicyTest, EveryPolicyRunsEndToEnd) {
+  for (SheddingPolicy policy :
+       {SheddingPolicy::kBalanceSic, SheddingPolicy::kRandom,
+        SheddingPolicy::kDropNewest, SheddingPolicy::kDropOldest,
+        SheddingPolicy::kProportional}) {
+    FspsOptions opts;
+    opts.policy = policy;
+    opts.node.cpu_speed = 0.0005;  // overloaded
+    Fsps fsps(opts);
+    fsps.AddNode();
+    WorkloadFactory f(3);
+    for (QueryId q = 0; q < 4; ++q) {
+      AggregateQueryOptions ao;
+      ao.source_rate = 300;
+      auto built = f.MakeAvg(q, ao);
+      ASSERT_TRUE(fsps.Deploy(std::move(built.graph), {{0, 0}}).ok());
+      ASSERT_TRUE(fsps.AttachSources(q, built.sources).ok());
+    }
+    fsps.RunFor(Seconds(15));
+    EXPECT_GT(fsps.TotalNodeStats().tuples_shed, 0u)
+        << SheddingPolicyName(policy);
+    for (QueryId q = 0; q < 4; ++q) {
+      EXPECT_GE(fsps.QuerySic(q), 0.0) << SheddingPolicyName(policy);
+      EXPECT_LE(fsps.QuerySic(q), 1.0) << SheddingPolicyName(policy);
+    }
+  }
+}
+
+TEST(HeterogeneousNodesTest, SlowNodeShedsMore) {
+  FspsOptions opts;
+  opts.seed = 31;
+  Fsps fsps(opts);
+  NodeOptions fast;
+  fast.cpu_speed = 0.01;
+  NodeOptions slow;
+  slow.cpu_speed = 0.0005;
+  NodeId fast_node = fsps.AddNode(fast);
+  NodeId slow_node = fsps.AddNode(slow);
+
+  WorkloadFactory f(5);
+  for (QueryId q = 0; q < 8; ++q) {
+    AggregateQueryOptions ao;
+    ao.source_rate = 300;
+    auto built = f.MakeAvg(q, ao);
+    NodeId target = (q % 2 == 0) ? fast_node : slow_node;
+    ASSERT_TRUE(fsps.Deploy(std::move(built.graph), {{0, target}}).ok());
+    ASSERT_TRUE(fsps.AttachSources(q, built.sources).ok());
+  }
+  fsps.RunFor(Seconds(20));
+  EXPECT_GT(fsps.node(slow_node)->stats().tuples_shed,
+            fsps.node(fast_node)->stats().tuples_shed);
+  // The slow node's capacity estimate is correspondingly smaller.
+  EXPECT_LT(fsps.node(slow_node)->CurrentCapacity(),
+            fsps.node(fast_node)->CurrentCapacity());
+}
+
+TEST(DegenerateDeploymentTest, NoNodesMeansNoPlacement) {
+  Fsps fsps;
+  WorkloadFactory f(1);
+  auto built = f.MakeAvg(1);
+  EXPECT_FALSE(fsps.Deploy(std::move(built.graph), {}).ok());
+}
+
+TEST(DegenerateDeploymentTest, RunWithoutQueriesIsStable) {
+  Fsps fsps;
+  fsps.AddNode();
+  fsps.RunFor(Seconds(5));  // timers fire on an idle federation
+  EXPECT_EQ(fsps.TotalNodeStats().tuples_received, 0u);
+  EXPECT_TRUE(fsps.AllQuerySics().empty());
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,134 @@
+// Property tests of the central SIC invariant (§4): without shedding, the
+// SIC mass entering a query equals the mass reaching its result — across
+// randomly generated operator chains, fragmentations and deployments.
+// This is the invariant that makes qSIC = 1 mean "perfect processing".
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "federation/fsps.h"
+#include "federation/placement.h"
+#include "runtime/operators/aggregates.h"
+#include "runtime/operators/receiver.h"
+#include "runtime/operators/statistics.h"
+#include "runtime/query_graph.h"
+#include "workload/sources.h"
+
+namespace themis {
+namespace {
+
+// Builds a random chain query: receiver -> k mass-conserving operators ->
+// output, split into `fragments` fragments. Only operators that emit at
+// least one tuple per non-empty pane are used, so Eq. (3) conserves mass.
+std::unique_ptr<QueryGraph> RandomChainQuery(QueryId id, Rng* rng,
+                                             int num_ops, int fragments) {
+  QueryBuilder b(id, "random-chain");
+  WindowSpec win = WindowSpec::TumblingTime(kSecond);
+  OperatorId prev = b.Add(std::make_unique<ReceiverOp>(), 0);
+  SourceId src = 1000 + id;
+  b.BindSource(src, prev);
+
+  for (int i = 0; i < num_ops; ++i) {
+    FragmentId frag = static_cast<FragmentId>(
+        std::min<int64_t>(fragments - 1, i * fragments / num_ops));
+    std::unique_ptr<Operator> op;
+    switch (rng->UniformInt(0, 4)) {
+      case 0:
+        op = std::make_unique<AggregateOp>(AggregateKind::kAvg, 0, win);
+        break;
+      case 1:
+        op = std::make_unique<AggregateOp>(AggregateKind::kMax, 0, win);
+        break;
+      case 2:
+        op = std::make_unique<VarianceOp>(0, win);
+        break;
+      case 3:
+        op = std::make_unique<EwmaOp>(0.4, 0, win);
+        break;
+      default:
+        op = std::make_unique<UnionOp>();
+        break;
+    }
+    OperatorId next = b.Add(std::move(op), frag);
+    b.Connect(prev, next);
+    prev = next;
+  }
+  OperatorId out = b.Add(std::make_unique<OutputOp>(),
+                         static_cast<FragmentId>(fragments - 1));
+  b.Connect(prev, out).SetRoot(out);
+  auto graph = b.Build();
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  return graph.ok() ? std::move(graph).TakeValue() : nullptr;
+}
+
+// Parameterised over seeds: each seed generates a different random DAG and
+// deployment.
+class SicConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SicConservationTest, UnshededChainReachesFullSic) {
+  int seed = GetParam();
+  Rng rng(seed);
+  FspsOptions opts;
+  opts.seed = static_cast<uint64_t>(seed);
+  // Plenty of capacity: nothing is shed, so any SIC loss would be a
+  // propagation bug, not a policy decision.
+  opts.node.cpu_speed = 100.0;
+  Fsps fsps(opts);
+  int nodes = 2 + seed % 3;
+  for (int i = 0; i < nodes; ++i) fsps.AddNode();
+
+  int num_ops = 2 + seed % 5;
+  int fragments = 1 + seed % std::min(3, nodes);
+  auto graph = RandomChainQuery(1, &rng, num_ops, fragments);
+  ASSERT_NE(graph, nullptr);
+
+  Rng place_rng(seed + 7);
+  auto placement = PlaceFragments(*graph, fsps.node_ids(),
+                                  PlacementPolicy::kUniformRandom, 0.0,
+                                  &place_rng);
+  ASSERT_TRUE(fsps.Deploy(std::move(graph), placement).ok());
+
+  SourceModel model;
+  model.tuples_per_sec = 100 + 50 * (seed % 4);
+  model.batches_per_sec = 2 + seed % 4;
+  ASSERT_TRUE(fsps.AttachSources(1, {}, model).ok());
+
+  fsps.RunFor(Seconds(30));
+  EXPECT_EQ(fsps.TotalNodeStats().tuples_shed, 0u);
+  // After warm-up the rate estimate settles and each second delivers 1/10
+  // of the STW mass to the result; small residual error comes from window
+  // boundaries and the estimator, hence the tolerance.
+  EXPECT_GT(fsps.QuerySic(1), 0.85) << "ops=" << num_ops
+                                    << " frags=" << fragments;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SicConservationTest, ::testing::Range(1, 25));
+
+// Mass conservation holds per-operator too: any mass-conserving operator fed
+// arbitrary SIC values redistributes exactly the input mass.
+class OperatorMassTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OperatorMassTest, PaneMassInEqualsMassOut) {
+  Rng rng(GetParam());
+  WindowSpec win = WindowSpec::TumblingTime(kSecond);
+  AggregateOp op(AggregateKind::kSum, 0, win);
+  double in_mass = 0.0;
+  std::vector<Tuple> tuples;
+  int n = 1 + static_cast<int>(rng.UniformInt(0, 20));
+  for (int i = 0; i < n; ++i) {
+    double sic = rng.Uniform(0.0, 0.2);
+    in_mass += sic;
+    tuples.push_back(Tuple(1 + i, sic, {Value(rng.Uniform(0, 100))}));
+  }
+  op.Ingest(tuples, 0);
+  std::vector<Tuple> out;
+  op.Advance(kSecond, &out);
+  double out_mass = 0.0;
+  for (const Tuple& t : out) out_mass += t.sic;
+  EXPECT_NEAR(out_mass, in_mass, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorMassTest, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace themis

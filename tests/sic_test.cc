@@ -1,0 +1,93 @@
+// Tests for the SIC module: Eq. (1), the online rate estimator and the
+// sliding-STW result tracker.
+#include <gtest/gtest.h>
+
+#include "sic/rate_estimator.h"
+#include "sic/sic.h"
+#include "sic/stw_tracker.h"
+
+namespace themis {
+namespace {
+
+TEST(SourceTupleSicTest, Equation1) {
+  // Fig. 3: a 30 t/s source over a 1 s STW in a 1-source query -> 1/30.
+  EXPECT_DOUBLE_EQ(SourceTupleSic(30.0, 1), 1.0 / 30.0);
+  // q4 of Fig. 3: 20 t/s source, 2 sources -> 1/40.
+  EXPECT_DOUBLE_EQ(SourceTupleSic(20.0, 2), 1.0 / 40.0);
+}
+
+TEST(SourceTupleSicTest, DegenerateInputsAreZero) {
+  EXPECT_EQ(SourceTupleSic(0.0, 3), 0.0);
+  EXPECT_EQ(SourceTupleSic(10.0, 0), 0.0);
+  EXPECT_EQ(SourceTupleSic(-5.0, 1), 0.0);
+}
+
+TEST(ClampQuerySicTest, ClampsToUnitInterval) {
+  EXPECT_EQ(ClampQuerySic(-0.1), 0.0);
+  EXPECT_EQ(ClampQuerySic(0.5), 0.5);
+  EXPECT_EQ(ClampQuerySic(1.2), 1.0);
+}
+
+TEST(RateEstimatorTest, ConstantRateConverges) {
+  RateEstimator est(Seconds(10));
+  // 100 tuples/sec in 10-tuple batches every 100 ms, for 20 s.
+  for (int i = 0; i < 200; ++i) est.Observe(Millis(100) * i, 10);
+  SimTime now = Millis(100) * 199;
+  // Expected: ~1000 tuples per 10 s STW.
+  EXPECT_NEAR(est.TuplesPerStw(now), 1000.0, 20.0);
+}
+
+TEST(RateEstimatorTest, EarlyEstimateExtrapolates) {
+  RateEstimator est(Seconds(10));
+  est.Observe(0, 10);
+  est.Observe(Millis(100), 10);
+  est.Observe(Millis(200), 10);
+  // 30 tuples over 200 ms extrapolates to 1500 per 10 s.
+  EXPECT_NEAR(est.TuplesPerStw(Millis(200)), 1500.0, 1.0);
+}
+
+TEST(RateEstimatorTest, RateChangeTracksWithin) {
+  RateEstimator est(Seconds(2));
+  for (int i = 0; i < 20; ++i) est.Observe(Millis(100) * i, 10);   // 100 t/s
+  for (int i = 20; i < 60; ++i) est.Observe(Millis(100) * i, 50);  // 500 t/s
+  SimTime now = Millis(100) * 59;
+  EXPECT_NEAR(est.TuplesPerStw(now), 1000.0, 60.0);  // 500 t/s * 2 s
+}
+
+TEST(RateEstimatorTest, EmptyIsZero) {
+  RateEstimator est(Seconds(10));
+  EXPECT_EQ(est.TuplesPerStw(Seconds(5)), 0.0);
+}
+
+TEST(StwTrackerTest, SumsWithinWindow) {
+  StwTracker t(Seconds(10));
+  t.AddResultSic(Seconds(1), 0.2);
+  t.AddResultSic(Seconds(2), 0.3);
+  EXPECT_DOUBLE_EQ(t.QuerySic(Seconds(2)), 0.5);
+}
+
+TEST(StwTrackerTest, OldEntriesExpire) {
+  StwTracker t(Seconds(10));
+  t.AddResultSic(Seconds(1), 0.4);
+  t.AddResultSic(Seconds(12), 0.3);
+  // At t=12s the entry from t=1s is outside (2, 12].
+  EXPECT_DOUBLE_EQ(t.QuerySic(Seconds(12)), 0.3);
+}
+
+TEST(StwTrackerTest, ClampsAtOne) {
+  StwTracker t(Seconds(10));
+  t.AddResultSic(Seconds(1), 0.8);
+  t.AddResultSic(Seconds(2), 0.6);
+  EXPECT_DOUBLE_EQ(t.QuerySic(Seconds(2)), 1.0);
+  EXPECT_DOUBLE_EQ(t.RawSum(Seconds(2)), 1.4);
+}
+
+TEST(StwTrackerTest, PerfectProcessingStaysNearOne) {
+  // A query that receives 0.1 SIC every second over a 10 s STW holds ~1.0.
+  StwTracker t(Seconds(10));
+  for (int s = 1; s <= 60; ++s) t.AddResultSic(Seconds(s), 0.1);
+  EXPECT_NEAR(t.QuerySic(Seconds(60)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,127 @@
+// Tests for the discrete-event core: event ordering, clock semantics,
+// network latency and statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace themis {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Millis(30), [&] { order.push_back(3); });
+  q.Schedule(Millis(10), [&] { order.push_back(1); });
+  q.Schedule(Millis(20), [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Millis(30));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(Millis(10), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(Millis(10), [&] { ++fired; });
+  q.Schedule(Millis(20), [&] { ++fired; });
+  q.Schedule(Millis(30), [&] { ++fired; });
+  q.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), Millis(20));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.ScheduleAfter(Millis(1), recurse);
+  };
+  q.Schedule(0, recurse);
+  q.RunUntil(Millis(100));
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.Schedule(Millis(50), [] {});
+  q.RunAll();
+  bool ran = false;
+  q.Schedule(Millis(10), [&] { ran = true; });  // in the past
+  q.RunUntil(Millis(50));
+  EXPECT_TRUE(ran);
+}
+
+TEST(NetworkTest, DefaultLatencyApplied) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  SimTime delivered_at = -1;
+  net.Send(0, 1, 100, [&] { delivered_at = q.now(); });
+  q.RunAll();
+  EXPECT_EQ(delivered_at, Millis(5));
+}
+
+TEST(NetworkTest, PerLinkOverride) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  net.SetLatency(0, 1, Millis(50));
+  SimTime t01 = -1, t02 = -1;
+  net.Send(0, 1, 10, [&] { t01 = q.now(); });
+  net.Send(0, 2, 10, [&] { t02 = q.now(); });
+  q.RunAll();
+  EXPECT_EQ(t01, Millis(50));
+  EXPECT_EQ(t02, Millis(5));
+}
+
+TEST(NetworkTest, LatencyIsSymmetric) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  net.SetLatency(3, 1, Millis(42));
+  EXPECT_EQ(net.Latency(1, 3), Millis(42));
+  EXPECT_EQ(net.Latency(3, 1), Millis(42));
+}
+
+TEST(NetworkTest, SelfDeliveryIsImmediate) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  EXPECT_EQ(net.Latency(2, 2), 0);
+}
+
+TEST(NetworkTest, CountsTraffic) {
+  EventQueue q;
+  Network net(&q, Millis(1));
+  net.Send(0, 1, 100, [] {});
+  net.Send(0, 1, 150, [] {});
+  q.RunAll();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 250u);
+}
+
+TEST(NetworkTest, JitterStaysWithinBound) {
+  EventQueue q;
+  Network net(&q, Millis(10));
+  net.SetJitter(Millis(5));
+  for (int i = 0; i < 50; ++i) {
+    SimTime sent = q.now();
+    SimTime got = -1;
+    net.Send(0, 1, 1, [&] { got = q.now(); });
+    q.RunAll();
+    EXPECT_GE(got - sent, Millis(10));
+    EXPECT_LE(got - sent, Millis(15));
+  }
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,177 @@
+// Tests for the solver module: simplex LP, FIT throughput maximisation and
+// the Zhao-style log-utility allocation.
+#include <gtest/gtest.h>
+
+#include "metrics/jain.h"
+#include "solver/fit_baseline.h"
+#include "solver/network_utility.h"
+#include "solver/simplex.h"
+
+namespace themis {
+namespace {
+
+TEST(SimplexTest, SolvesBasicLp) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ->  x=2, y=2, obj=10.
+  LinearProgram lp;
+  lp.objective = {3, 2};
+  lp.a = {{1, 1}, {1, 0}};
+  lp.b = {4, 2};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 10.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, BindingUpperBounds) {
+  // max x + y, x <= 1, y <= 1.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.a = {{1, 0}, {0, 1}};
+  lp.b = {1, 1};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.a = {};
+  lp.b = {};
+  auto sol = SolveLp(lp);
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(SimplexTest, RejectsMalformedInput) {
+  LinearProgram lp;
+  lp.objective = {};
+  EXPECT_FALSE(SolveLp(lp).ok());
+
+  LinearProgram lp2;
+  lp2.objective = {1};
+  lp2.a = {{1, 2}};  // wrong row width
+  lp2.b = {1};
+  EXPECT_FALSE(SolveLp(lp2).ok());
+
+  LinearProgram lp3;
+  lp3.objective = {1};
+  lp3.a = {{1}};
+  lp3.b = {-1};  // negative rhs unsupported
+  EXPECT_FALSE(SolveLp(lp3).ok());
+}
+
+TEST(SimplexTest, ZeroObjectiveIsFeasible) {
+  LinearProgram lp;
+  lp.objective = {0, 0};
+  lp.a = {{1, 1}};
+  lp.b = {1};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateTiesTerminate) {
+  // Multiple identical constraints force degenerate pivots; Bland's rule
+  // must still terminate.
+  LinearProgram lp;
+  lp.objective = {1, 1, 1};
+  lp.a = {{1, 1, 1}, {1, 1, 1}, {1, 0, 0}};
+  lp.b = {1, 1, 1};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 1.0, 1e-9);
+}
+
+TEST(FitBaselineTest, ThroughputMaxStarvesExpensiveQueries) {
+  // One node with capacity 1 cpu-sec/sec. Query A: cheap (0.001 s/tuple),
+  // query B: expensive (0.01 s/tuple), equal weights and rates. Throughput
+  // maximisation keeps all of A and only the leftover of B.
+  std::vector<FitQuery> queries(2);
+  queries[0].input_rate = 500;
+  queries[0].cost_per_node = {0.001};
+  queries[1].input_rate = 500;
+  queries[1].cost_per_node = {0.01};
+  auto sol = SolveFit(queries, {1.0});
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->keep_fraction[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol->keep_fraction[1], 0.1, 1e-6);  // (1 - 0.5)/5
+}
+
+TEST(FitBaselineTest, UnderloadedKeepsEverything) {
+  std::vector<FitQuery> queries(3);
+  for (auto& q : queries) {
+    q.input_rate = 10;
+    q.cost_per_node = {0.001};
+  }
+  auto sol = SolveFit(queries, {1.0});
+  ASSERT_TRUE(sol.ok());
+  for (double x : sol->keep_fraction) EXPECT_NEAR(x, 1.0, 1e-6);
+}
+
+TEST(FitBaselineTest, WeightsBias) {
+  // Same cost, one query weighted 10x: it wins the whole capacity.
+  std::vector<FitQuery> queries(2);
+  queries[0] = {10.0, 100, {0.01}};
+  queries[1] = {1.0, 100, {0.01}};
+  auto sol = SolveFit(queries, {1.0});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->keep_fraction[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol->keep_fraction[1], 0.0, 1e-6);
+}
+
+TEST(FitBaselineTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveFit({}, {1.0}).ok());
+  std::vector<FitQuery> q(1);
+  q[0].cost_per_node = {0.1, 0.2};  // 2 nodes declared, 1 capacity given
+  EXPECT_FALSE(SolveFit(q, {1.0}).ok());
+}
+
+TEST(NetworkUtilityTest, SymmetricQueriesShareEqually) {
+  std::vector<FitQuery> queries(4);
+  for (auto& q : queries) {
+    q.input_rate = 100;
+    q.cost_per_node = {0.01};  // full load would need 4 cpu-sec/sec
+  }
+  auto sol = SolveLogUtility(queries, {2.0});
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  for (double x : sol->keep_fraction) EXPECT_NEAR(x, 0.5, 0.05);
+  EXPECT_NEAR(JainIndex(sol->normalized_utility), 1.0, 1e-6);
+}
+
+TEST(NetworkUtilityTest, LogUtilityNeverStarves) {
+  // Same asymmetric instance that FIT starves: log utility keeps a non-zero
+  // share for the expensive query (proportional fairness).
+  std::vector<FitQuery> queries(2);
+  queries[0].input_rate = 500;
+  queries[0].cost_per_node = {0.001};
+  queries[1].input_rate = 500;
+  queries[1].cost_per_node = {0.01};
+  auto sol = SolveLogUtility(queries, {1.0});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->keep_fraction[1], 0.05);
+}
+
+TEST(NetworkUtilityTest, RespectsCapacity) {
+  std::vector<FitQuery> queries(3);
+  for (auto& q : queries) {
+    q.input_rate = 100;
+    q.cost_per_node = {0.01};
+  }
+  auto sol = SolveLogUtility(queries, {1.5});
+  ASSERT_TRUE(sol.ok());
+  double load = 0;
+  for (double x : sol->keep_fraction) load += x * 100 * 0.01;
+  EXPECT_LE(load, 1.5 * 1.05);  // small tolerance for the penalty method
+}
+
+TEST(NetworkUtilityTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveLogUtility({}, {1.0}).ok());
+  std::vector<FitQuery> q(1);
+  q[0].input_rate = 0.0;
+  q[0].cost_per_node = {0.1};
+  EXPECT_FALSE(SolveLogUtility(q, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace themis

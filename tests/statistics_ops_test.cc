@@ -1,0 +1,139 @@
+// Tests for the extended statistics operators (variance, quantile, distinct
+// count, EWMA, delta).
+#include <gtest/gtest.h>
+
+#include "runtime/operators/statistics.h"
+
+namespace themis {
+namespace {
+
+Tuple T1(SimTime ts, double v, double sic = 0.1) {
+  return Tuple(ts, sic, {Value(v)});
+}
+
+Tuple TK(SimTime ts, int64_t k, double sic = 0.1) {
+  return Tuple(ts, sic, {Value(k)});
+}
+
+std::vector<Tuple> Advance(Operator& op, SimTime wm) {
+  std::vector<Tuple> out;
+  op.Advance(wm, &out);
+  return out;
+}
+
+TEST(VarianceOpTest, PopulationVariance) {
+  VarianceOp op(0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 2), T1(2, 4), T1(3, 4), T1(4, 4), T1(5, 5), T1(6, 5),
+             T1(7, 7), T1(8, 9)},
+            0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 4.0);  // stddev 2 -> var 4
+  EXPECT_NEAR(out[0].sic, 0.8, 1e-12);                // Eq. (3): pane mass
+}
+
+TEST(VarianceOpTest, SingleValueIsZero) {
+  VarianceOp op(0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 42)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 0.0);
+}
+
+TEST(QuantileOpTest, MedianNearestRank) {
+  QuantileOp op(0.5, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(1, 10), T1(2, 20), T1(3, 30), T1(4, 40), T1(5, 50)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  // Nearest rank: ceil(0.5*5) = 3rd smallest = 30.
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 30.0);
+}
+
+TEST(QuantileOpTest, ExtremeQuantiles) {
+  QuantileOp p01(0.01, 0, WindowSpec::TumblingTime(kSecond));
+  QuantileOp p99(0.99, 0, WindowSpec::TumblingTime(kSecond));
+  std::vector<Tuple> in;
+  for (int i = 1; i <= 100; ++i) in.push_back(T1(i, i));
+  p01.Ingest(in, 0);
+  p99.Ingest(in, 0);
+  EXPECT_DOUBLE_EQ(AsDouble(Advance(p01, kSecond)[0].values[0]), 1.0);
+  EXPECT_DOUBLE_EQ(AsDouble(Advance(p99, kSecond)[0].values[0]), 99.0);
+}
+
+TEST(DistinctCountOpTest, CountsUniqueKeys) {
+  DistinctCountOp op(0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({TK(1, 7), TK(2, 7), TK(3, 9), TK(4, 7), TK(5, 3)}, 0);
+  auto out = Advance(op, kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(AsInt(out[0].values[0]), 3);
+}
+
+TEST(EwmaOpTest, SmoothsAcrossPanes) {
+  EwmaOp op(0.5, 0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(100, 10)}, 0);
+  auto out1 = Advance(op, kSecond);
+  ASSERT_EQ(out1.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out1[0].values[0]), 10.0);  // initialised
+
+  op.Ingest({T1(kSecond + 100, 20)}, 0);
+  auto out2 = Advance(op, 2 * kSecond);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out2[0].values[0]), 15.0);  // 0.5*20 + 0.5*10
+}
+
+TEST(DeltaOpTest, EmitsDifferenceOfConsecutivePaneMeans) {
+  DeltaOp op(0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(100, 10), T1(200, 20)}, 0);  // mean 15
+  EXPECT_TRUE(Advance(op, kSecond).empty());  // first pane: no predecessor
+
+  op.Ingest({T1(kSecond + 100, 40)}, 0);  // mean 40
+  auto out = Advance(op, 2 * kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 25.0);
+}
+
+TEST(DeltaOpTest, EmptyPanesDoNotDisturbState) {
+  DeltaOp op(0, WindowSpec::TumblingTime(kSecond));
+  op.Ingest({T1(100, 10)}, 0);
+  Advance(op, kSecond);
+  // Nothing arrives in windows 2-3; next data in window 4.
+  op.Ingest({T1(3 * kSecond + 100, 25)}, 0);
+  auto out = Advance(op, 4 * kSecond);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[0]), 15.0);
+}
+
+// Property: every statistics operator emits exactly one tuple per non-empty
+// pane carrying the pane's full SIC mass (they are all 1-output aggregates).
+class StatisticsSicTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatisticsSicTest, OneOutputWithPaneMass) {
+  std::unique_ptr<Operator> op;
+  switch (GetParam()) {
+    case 0:
+      op = std::make_unique<VarianceOp>(0, WindowSpec::TumblingTime(kSecond));
+      break;
+    case 1:
+      op = std::make_unique<QuantileOp>(0.9, 0,
+                                        WindowSpec::TumblingTime(kSecond));
+      break;
+    case 2:
+      op = std::make_unique<DistinctCountOp>(0,
+                                             WindowSpec::TumblingTime(kSecond));
+      break;
+    default:
+      op = std::make_unique<EwmaOp>(0.3, 0, WindowSpec::TumblingTime(kSecond));
+      break;
+  }
+  op->Ingest({T1(1, 1, 0.25), T1(2, 2, 0.25), T1(3, 3, 0.5)}, 0);
+  std::vector<Tuple> out;
+  op->Advance(kSecond, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].sic, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStatsOps, StatisticsSicTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace themis

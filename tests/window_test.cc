@@ -1,0 +1,137 @@
+// Unit tests for the window model (runtime/window.h): tumbling, sliding and
+// count windows, SIC mass conservation across panes, late-data policy.
+#include <gtest/gtest.h>
+
+#include "common/time_types.h"
+#include "runtime/window.h"
+
+namespace themis {
+namespace {
+
+Tuple MakeTuple(SimTime ts, double sic, double v = 0.0) {
+  return Tuple(ts, sic, {Value(v)});
+}
+
+TEST(TumblingWindowTest, PanesCloseAtWatermark) {
+  WindowBuffer w(WindowSpec::TumblingTime(kSecond));
+  w.Add(MakeTuple(100, 0.1));
+  w.Add(MakeTuple(900000, 0.1));          // same pane [0, 1s)
+  w.Add(MakeTuple(kSecond + 1, 0.1));     // pane [1s, 2s)
+
+  auto panes = w.Advance(kSecond);
+  ASSERT_EQ(panes.size(), 1u);
+  EXPECT_EQ(panes[0].start, 0);
+  EXPECT_EQ(panes[0].end, kSecond);
+  EXPECT_EQ(panes[0].tuples.size(), 2u);
+  EXPECT_DOUBLE_EQ(panes[0].TotalSic(), 0.2);
+
+  panes = w.Advance(2 * kSecond);
+  ASSERT_EQ(panes.size(), 1u);
+  EXPECT_EQ(panes[0].tuples.size(), 1u);
+}
+
+TEST(TumblingWindowTest, NoPaneBeforeWatermark) {
+  WindowBuffer w(WindowSpec::TumblingTime(kSecond));
+  w.Add(MakeTuple(100, 0.5));
+  EXPECT_TRUE(w.Advance(kSecond - 1).empty());
+  EXPECT_EQ(w.buffered(), 1u);
+}
+
+TEST(TumblingWindowTest, LateTupleFoldsIntoOpenPane) {
+  WindowBuffer w(WindowSpec::TumblingTime(kSecond));
+  w.Add(MakeTuple(500, 0.1));
+  auto panes = w.Advance(kSecond);
+  ASSERT_EQ(panes.size(), 1u);
+  // A tuple whose timestamp is in the already-released window must not be
+  // lost: it lands in the earliest still-open pane.
+  w.Add(MakeTuple(600, 0.7));
+  panes = w.Advance(2 * kSecond);
+  ASSERT_EQ(panes.size(), 1u);
+  EXPECT_DOUBLE_EQ(panes[0].TotalSic(), 0.7);
+}
+
+TEST(TumblingWindowTest, MultiplePanesReleasedInOrder) {
+  WindowBuffer w(WindowSpec::TumblingTime(kSecond));
+  for (int s = 0; s < 5; ++s) w.Add(MakeTuple(s * kSecond + 10, 0.1));
+  auto panes = w.Advance(5 * kSecond);
+  ASSERT_EQ(panes.size(), 5u);
+  for (size_t i = 1; i < panes.size(); ++i) {
+    EXPECT_LT(panes[i - 1].end, panes[i].end);
+  }
+}
+
+TEST(SlidingWindowTest, OverlapDividesSic) {
+  // range 2s, slide 1s: each tuple appears in 2 panes with half its SIC.
+  WindowBuffer w(WindowSpec::SlidingTime(2 * kSecond, kSecond));
+  w.Add(MakeTuple(kSecond / 2, 1.0));
+  auto panes = w.Advance(3 * kSecond);
+  double total = 0.0;
+  size_t appearances = 0;
+  for (const Pane& p : panes) {
+    total += p.TotalSic();
+    appearances += p.tuples.size();
+  }
+  EXPECT_EQ(appearances, 2u);
+  EXPECT_DOUBLE_EQ(total, 1.0);  // SIC mass conserved across panes
+}
+
+TEST(SlidingWindowTest, PaneEndsAtSlideBoundaries) {
+  WindowBuffer w(WindowSpec::SlidingTime(2 * kSecond, kSecond));
+  w.Add(MakeTuple(100, 0.3));
+  auto panes = w.Advance(2 * kSecond + 1);
+  ASSERT_GE(panes.size(), 1u);
+  for (const Pane& p : panes) {
+    EXPECT_EQ(p.end % kSecond, 0);
+    EXPECT_EQ(p.end - p.start, 2 * kSecond);
+  }
+}
+
+TEST(CountWindowTest, EmitsWhenFull) {
+  WindowBuffer w(WindowSpec::Count(3));
+  w.Add(MakeTuple(1, 0.1));
+  w.Add(MakeTuple(2, 0.1));
+  EXPECT_TRUE(w.Advance(kSecond).empty());
+  w.Add(MakeTuple(3, 0.1));
+  auto panes = w.Advance(kSecond);
+  ASSERT_EQ(panes.size(), 1u);
+  EXPECT_EQ(panes[0].tuples.size(), 3u);
+  EXPECT_EQ(w.buffered(), 0u);
+}
+
+TEST(CountWindowTest, MultipleFullPanes) {
+  WindowBuffer w(WindowSpec::Count(2));
+  for (int i = 0; i < 7; ++i) w.Add(MakeTuple(i, 1.0));
+  auto panes = w.Advance(0);
+  EXPECT_EQ(panes.size(), 3u);
+  EXPECT_EQ(w.buffered(), 1u);
+}
+
+// Property sweep: SIC mass entering a window equals SIC mass leaving it once
+// all panes are released, for any (range, slide) combination.
+class SlidingConservationTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SlidingConservationTest, SicMassConserved) {
+  auto [range_ms, slide_ms] = GetParam();
+  WindowBuffer w(WindowSpec::SlidingTime(Millis(range_ms), Millis(slide_ms)));
+  double in_mass = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    double sic = 0.01 + (i % 7) * 0.001;
+    w.Add(MakeTuple(Millis(10) * i, sic));
+    in_mass += sic;
+  }
+  // Push the watermark far enough that every tuple has left every pane.
+  auto panes = w.Advance(Millis(10) * 200 + Millis(range_ms) * 2);
+  double out_mass = 0.0;
+  for (const Pane& p : panes) out_mass += p.TotalSic();
+  EXPECT_NEAR(out_mass, in_mass, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RangeSlideCombos, SlidingConservationTest,
+    ::testing::Values(std::make_pair(1000, 250), std::make_pair(1000, 500),
+                      std::make_pair(2000, 1000), std::make_pair(500, 100),
+                      std::make_pair(250, 250)));
+
+}  // namespace
+}  // namespace themis

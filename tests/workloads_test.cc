@@ -1,0 +1,173 @@
+// Tests for the Table 1 workload factory: query shapes, operator counts,
+// source counts, fragment layouts and value distributions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "workload/distributions.h"
+#include "workload/planetlab.h"
+#include "workload/workloads.h"
+
+namespace themis {
+namespace {
+
+TEST(WorkloadFactoryTest, AggregateQueriesAreSingleFragment) {
+  WorkloadFactory f(1);
+  std::vector<BuiltQuery> queries;
+  queries.push_back(f.MakeAvg(1));
+  queries.push_back(f.MakeMax(2));
+  queries.push_back(f.MakeCount(3));
+  for (auto& built : queries) {
+    ASSERT_NE(built.graph, nullptr);
+    EXPECT_EQ(built.graph->num_fragments(), 1u);
+    EXPECT_EQ(built.graph->num_sources(), 1u);
+    EXPECT_EQ(built.graph->num_operators(), 3u);  // recv -> agg -> out
+    EXPECT_EQ(built.sources.size(), 1u);
+  }
+}
+
+TEST(WorkloadFactoryTest, SourceIdsAreGloballyUnique) {
+  WorkloadFactory f(1);
+  auto a = f.MakeAvg(1);
+  auto b = f.MakeTop5(2, {});
+  auto c = f.MakeCov(3, {});
+  std::set<SourceId> all;
+  for (const auto* built : {&a, &b, &c}) {
+    for (const auto& [src, model] : built->sources) {
+      EXPECT_TRUE(all.insert(src).second) << "duplicate source id " << src;
+    }
+  }
+}
+
+TEST(WorkloadFactoryTest, AvgAllFragmentLayout) {
+  WorkloadFactory f(1);
+  ComplexQueryOptions opts;
+  opts.fragments = 3;
+  opts.sources_per_fragment = 10;
+  auto built = f.MakeAvgAll(7, opts);
+  EXPECT_EQ(built.graph->num_fragments(), 3u);
+  EXPECT_EQ(built.graph->num_sources(), 30u);
+  // Non-root fragments carry 13 operators (10 receivers + union + avg +
+  // forward), matching Table 1; the root adds final-avg and output.
+  EXPECT_EQ(built.graph->fragment_ops(1).size(), 13u);
+  EXPECT_EQ(built.graph->fragment_ops(2).size(), 13u);
+  EXPECT_EQ(built.graph->fragment_ops(0).size(), 15u);
+  EXPECT_EQ(built.graph->root_fragment(), 0);
+}
+
+TEST(WorkloadFactoryTest, Top5FragmentLayout) {
+  WorkloadFactory f(1);
+  ComplexQueryOptions opts;
+  opts.fragments = 2;
+  opts.sources_per_fragment = 20;  // 10 CPU/memory pairs
+  auto built = f.MakeTop5(8, opts);
+  EXPECT_EQ(built.graph->num_fragments(), 2u);
+  EXPECT_EQ(built.graph->num_sources(), 40u);
+  // 20 receivers + 2 merges + filter + 2 group-by-avgs + join + top-k = 27
+  // per fragment (the paper's 29 counts window operators separately; ours
+  // embed windows in each operator). The last fragment adds the output op.
+  EXPECT_EQ(built.graph->fragment_ops(0).size(), 27u);
+  EXPECT_EQ(built.graph->fragment_ops(1).size(), 28u);
+  EXPECT_EQ(built.graph->root_fragment(), 1);
+}
+
+TEST(WorkloadFactoryTest, CovFragmentLayout) {
+  WorkloadFactory f(1);
+  ComplexQueryOptions opts;
+  opts.fragments = 4;
+  auto built = f.MakeCov(9, opts);
+  EXPECT_EQ(built.graph->num_fragments(), 4u);
+  EXPECT_EQ(built.graph->num_sources(), 8u);  // 2 per fragment
+  // 2 receivers + cov + merge + forward = 5 operators (Table 1).
+  EXPECT_EQ(built.graph->fragment_ops(0).size(), 5u);
+  EXPECT_EQ(built.graph->fragment_ops(3).size(), 6u);  // + output
+  EXPECT_EQ(built.graph->root_fragment(), 3);
+}
+
+TEST(WorkloadFactoryTest, ChainQueriesLinkConsecutiveFragments) {
+  WorkloadFactory f(1);
+  ComplexQueryOptions opts;
+  opts.fragments = 3;
+  auto built = f.MakeCov(10, opts);
+  // There must be a cross-fragment edge from fragment i to fragment i+1.
+  int cross_edges = 0;
+  for (size_t op = 0; op < built.graph->num_operators(); ++op) {
+    for (const Edge& e : built.graph->out_edges(static_cast<OperatorId>(op))) {
+      FragmentId from = built.graph->fragment_of(e.from);
+      FragmentId to = built.graph->fragment_of(e.to);
+      if (from != to) {
+        EXPECT_EQ(to, from + 1);
+        ++cross_edges;
+      }
+    }
+  }
+  EXPECT_EQ(cross_edges, 2);
+}
+
+TEST(WorkloadFactoryTest, BurstinessPropagatesToSourceModels) {
+  WorkloadFactory f(1);
+  ComplexQueryOptions opts;
+  opts.burst_prob = 0.1;
+  opts.burst_multiplier = 10.0;
+  auto built = f.MakeCov(11, opts);
+  for (const auto& [src, model] : built.sources) {
+    EXPECT_DOUBLE_EQ(model.burst_prob, 0.1);
+    EXPECT_DOUBLE_EQ(model.burst_multiplier, 10.0);
+  }
+}
+
+TEST(WorkloadFactoryTest, RandomComplexIsDeterministicPerSeed) {
+  WorkloadFactory f1(5), f2(5);
+  ComplexQueryOptions opts;
+  for (int i = 0; i < 10; ++i) {
+    auto a = f1.MakeRandomComplex(i, opts);
+    auto b = f2.MakeRandomComplex(i, opts);
+    EXPECT_EQ(a.graph->label(), b.graph->label());
+  }
+}
+
+TEST(DistributionsTest, MeansRoughlyFifty) {
+  for (Dataset d : {Dataset::kGaussian, Dataset::kUniform,
+                    Dataset::kExponential, Dataset::kMixed}) {
+    auto gen = ValueGenerator::Make(d, Rng(3), 50.0);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += gen->Next(Millis(i));
+    EXPECT_NEAR(sum / n, 50.0, 3.0) << DatasetName(d);
+  }
+}
+
+TEST(DistributionsTest, NamesMatchFigureLegends) {
+  EXPECT_EQ(DatasetName(Dataset::kGaussian), "gaussian");
+  EXPECT_EQ(DatasetName(Dataset::kPlanetLab), "planetlab");
+}
+
+TEST(PlanetLabTraceTest, StaysInRangeAndAutocorrelated) {
+  PlanetLabTrace trace(Rng(9));
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(trace.Next(Millis(100) * i));
+  double lag1 = 0, var = 0, mean = 0;
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 100.0);
+    mean += x;
+  }
+  mean /= xs.size();
+  for (size_t i = 1; i < xs.size(); ++i) {
+    lag1 += (xs[i] - mean) * (xs[i - 1] - mean);
+    var += (xs[i] - mean) * (xs[i] - mean);
+  }
+  // AR(1) with phi=0.95 should show strong positive lag-1 autocorrelation,
+  // unlike the i.i.d. synthetic datasets.
+  EXPECT_GT(lag1 / var, 0.5);
+}
+
+TEST(ComplexKindNameTest, AllNamed) {
+  EXPECT_EQ(ComplexKindName(ComplexKind::kAvgAll), "AVG-all");
+  EXPECT_EQ(ComplexKindName(ComplexKind::kTop5), "TOP-5");
+  EXPECT_EQ(ComplexKindName(ComplexKind::kCov), "COV");
+}
+
+}  // namespace
+}  // namespace themis
