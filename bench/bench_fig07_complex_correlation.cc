@@ -30,8 +30,9 @@ void RunTop5() {
     CorrelationRun perfect = RunCorrelation(CorrelationQuery::kTop5, d,
                                             kQueries, 0.0, kRunTime, 11);
     for (double keep : keep_levels) {
-      CorrelationRun degraded = RunCorrelation(
-          CorrelationQuery::kTop5, d, kQueries, saturation * keep, kRunTime, 11);
+      CorrelationRun degraded =
+          RunCorrelation(CorrelationQuery::kTop5, d, kQueries,
+                         saturation * keep, kRunTime, 11);
       std::vector<double> sics, distances;
       for (int q = 0; q < kQueries; ++q) {
         sics.push_back(degraded.queries[q].final_sic);

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
       // (characteristic C1), which is precisely where blind random shedding
       // becomes unfair across queries.
       cfg.placement = PlacementPolicy::kUniformRandom;
-      cfg.policy = i == 0 ? SheddingPolicy::kBalanceSic : SheddingPolicy::kRandom;
+      cfg.policy =
+          i == 0 ? SheddingPolicy::kBalanceSic : SheddingPolicy::kRandom;
       cfg.balance.prefer_high_sic = !fifo;
       cfg.warmup = Seconds(20);
       cfg.measure = Seconds(15);

@@ -18,7 +18,8 @@ int main() {
   for (const TestbedSpec& spec : {LocalTestbed(), EmulabTestbed(18)}) {
     reporter.AddRow(spec.name,
                     {static_cast<double>(spec.processing_nodes),
-                     spec.source_rate, static_cast<double>(spec.batches_per_sec),
+                     spec.source_rate,
+                     static_cast<double>(spec.batches_per_sec),
                      static_cast<double>(spec.link_latency) / kMillisecond,
                      spec.cpu_speed});
   }

@@ -110,6 +110,7 @@ int main() {
   }
   std::printf("\ntuples shed: %llu — shedding balanced the custom queries "
               "without knowing their semantics.\n",
-              static_cast<unsigned long long>(fsps.TotalNodeStats().tuples_shed));
+              static_cast<unsigned long long>(
+                  fsps.TotalNodeStats().tuples_shed));
   return 0;
 }

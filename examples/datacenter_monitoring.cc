@@ -62,7 +62,9 @@ RunOutcome RunWith(SheddingPolicy policy) {
   for (int s = 0; s < kSamples; ++s) {
     fsps.RunFor(Millis(1500));
     auto now_sics = fsps.AllQuerySics();
-    for (int q = 0; q < kQueries; ++q) outcome.sics[q] += now_sics[q] / kSamples;
+    for (int q = 0; q < kQueries; ++q) {
+      outcome.sics[q] += now_sics[q] / kSamples;
+    }
   }
   return outcome;
 }
@@ -84,7 +86,8 @@ int main() {
   std::printf("\n%-12s %12.3f %12.3f\n", "Jain index",
               themis::JainIndex(fair.sics), themis::JainIndex(random.sics));
   auto minmax_fair = std::minmax_element(fair.sics.begin(), fair.sics.end());
-  auto minmax_rand = std::minmax_element(random.sics.begin(), random.sics.end());
+  auto minmax_rand =
+      std::minmax_element(random.sics.begin(), random.sics.end());
   std::printf("%-12s %6.3f-%-6.3f %6.3f-%-6.3f\n", "SIC range",
               *minmax_fair.first, *minmax_fair.second, *minmax_rand.first,
               *minmax_rand.second);

@@ -49,6 +49,7 @@ int main() {
   std::printf("tuples processed: %llu, tuples shed: %llu\n",
               static_cast<unsigned long long>(
                   fsps.TotalNodeStats().tuples_processed),
-              static_cast<unsigned long long>(fsps.TotalNodeStats().tuples_shed));
+              static_cast<unsigned long long>(
+                  fsps.TotalNodeStats().tuples_shed));
   return 0;
 }

@@ -130,7 +130,9 @@ int main() {
   }
   auto co_query = BuildCoQuery(1, co_sensors);
   if (co_query == nullptr) return 1;
-  if (!fsps.Deploy(std::move(co_query), {{0, mexico}, {1, paris}}).ok()) return 1;
+  if (!fsps.Deploy(std::move(co_query), {{0, mexico}, {1, paris}}).ok()) {
+    return 1;
+  }
   if (!fsps.AttachSources(1, co_models).ok()) return 1;
 
   // Local Paris covariance query between two sensors.

@@ -25,13 +25,17 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void Logging::SetLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void Logging::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level));
+}
 
 LogLevel Logging::GetLevel() { return static_cast<LogLevel>(g_level.load()); }
 
-void Logging::Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+void Logging::Emit(LogLevel level, const char* file, int line,
+                   const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, msg.c_str());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               msg.c_str());
 }
 
 }  // namespace themis

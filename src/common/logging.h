@@ -9,7 +9,13 @@
 
 namespace themis {
 
-enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4
+};
 
 /// Process-wide logging configuration.
 class Logging {
@@ -19,7 +25,8 @@ class Logging {
   static LogLevel GetLevel();
 
   /// Emits one line (implementation detail of the THEMIS_LOG macro).
-  static void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& msg);
 };
 
 namespace internal {
@@ -47,10 +54,11 @@ class LogMessage {
 }  // namespace internal
 }  // namespace themis
 
-#define THEMIS_LOG(level)                                                       \
-  if (static_cast<int>(::themis::LogLevel::k##level) >=                         \
-      static_cast<int>(::themis::Logging::GetLevel()))                          \
-  ::themis::internal::LogMessage(::themis::LogLevel::k##level, __FILE__, __LINE__)
+#define THEMIS_LOG(level)                                                \
+  if (static_cast<int>(::themis::LogLevel::k##level) >=                  \
+      static_cast<int>(::themis::Logging::GetLevel()))                   \
+  ::themis::internal::LogMessage(::themis::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
 
 /// Invariant check that survives NDEBUG builds; aborts with a message.
 #define THEMIS_CHECK(cond)                                                   \

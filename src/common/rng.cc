@@ -33,7 +33,9 @@ int64_t Rng::Zipf(int64_t n, double s) {
   // nodes or queries in our experiments, so an O(n) scan is fine.
   if (n <= 1) return 0;
   double norm = 0.0;
-  for (int64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(static_cast<double>(k), s);
+  for (int64_t k = 1; k <= n; ++k) {
+    norm += 1.0 / std::pow(static_cast<double>(k), s);
+  }
   double u = NextDouble() * norm;
   double acc = 0.0;
   for (int64_t k = 1; k <= n; ++k) {

@@ -20,7 +20,8 @@ double StdDev(const std::vector<double>& xs) {
   return std::sqrt(acc / static_cast<double>(xs.size()));
 }
 
-double Covariance(const std::vector<double>& xs, const std::vector<double>& ys) {
+double Covariance(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
   if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
   double mx = Mean(xs), my = Mean(ys);
   double acc = 0.0;

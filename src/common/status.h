@@ -34,7 +34,8 @@ class Status {
   Status() : code_(StatusCode::kOk) {}
 
   /// Constructs a status with the given code and message.
-  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -66,7 +67,9 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
-  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }

@@ -22,7 +22,8 @@ void QueryCoordinator::Start() {
   }
 }
 
-void QueryCoordinator::OnResult(SimTime now, const std::vector<Tuple>& results) {
+void QueryCoordinator::OnResult(SimTime now,
+                                const std::vector<Tuple>& results) {
   if (stopped_) return;
   double sic = 0.0;
   for (const Tuple& t : results) sic += t.sic;
@@ -35,7 +36,9 @@ void QueryCoordinator::OnResult(SimTime now, const std::vector<Tuple>& results) 
   }
 }
 
-double QueryCoordinator::CurrentSic() { return tracker_.QuerySic(queue_->now()); }
+double QueryCoordinator::CurrentSic() {
+  return tracker_.QuerySic(queue_->now());
+}
 
 void QueryCoordinator::Disseminate() {
   if (stopped_) return;  // do not reschedule: the query was undeployed

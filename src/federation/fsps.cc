@@ -64,7 +64,9 @@ Node* Fsps::node(NodeId id) {
 std::vector<NodeId> Fsps::node_ids() const {
   std::vector<NodeId> ids;
   ids.reserve(nodes_.size());
-  for (size_t i = 0; i < nodes_.size(); ++i) ids.push_back(static_cast<NodeId>(i));
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    ids.push_back(static_cast<NodeId>(i));
+  }
   return ids;
 }
 
@@ -90,8 +92,8 @@ Status Fsps::Deploy(std::unique_ptr<QueryGraph> graph,
   }
 
   QueryCoordinator::Options copts = options_.coordinator;
-  auto coordinator =
-      std::make_unique<QueryCoordinator>(graph.get(), copts, &queue_, &network_);
+  auto coordinator = std::make_unique<QueryCoordinator>(graph.get(), copts,
+                                                        &queue_, &network_);
   NodeId home = placement.at(graph->root_fragment());
   coordinator->SetHome(home);
 
@@ -120,15 +122,18 @@ Status Fsps::AttachSources(QueryId q,
 
   for (const SourceBinding& sb : graph->sources()) {
     SourceModel model = fallback;
-    if (auto it = models.find(sb.source); it != models.end()) model = it->second;
+    if (auto it = models.find(sb.source); it != models.end()) {
+      model = it->second;
+    }
 
     NodeId dest = placement.at(graph->fragment_of(sb.target));
     Node* dest_node = nodes_[dest].get();
     auto deliver = [this, dest, dest_node](Batch b) {
       size_t bytes = BatchBytes(b);
       auto shared = std::make_shared<Batch>(std::move(b));
-      network_.Send(/*from=*/kInvalidId, dest, bytes,
-                    [dest_node, shared] { dest_node->Receive(std::move(*shared)); });
+      network_.Send(/*from=*/kInvalidId, dest, bytes, [dest_node, shared] {
+        dest_node->Receive(std::move(*shared));
+      });
     };
     sources_.push_back(std::make_unique<SourceDriver>(
         sb.source, q, sb.target, sb.port, model, &queue_, rng_.Fork(),
@@ -240,8 +245,9 @@ void Fsps::RouteBatch(NodeId from, QueryId query, FragmentId to_fragment,
   Node* dest_node = nodes_[dest].get();
   size_t bytes = BatchBytes(batch);
   auto shared = std::make_shared<Batch>(std::move(batch));
-  network_.Send(from, dest, bytes,
-                [dest_node, shared] { dest_node->Receive(std::move(*shared)); });
+  network_.Send(from, dest, bytes, [dest_node, shared] {
+    dest_node->Receive(std::move(*shared));
+  });
 }
 
 void Fsps::DeliverResult(QueryId query, SimTime now,

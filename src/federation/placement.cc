@@ -50,7 +50,9 @@ std::map<FragmentId, NodeId> PlaceFragments(const QueryGraph& graph,
       rng->UniformInt(0, static_cast<int64_t>(nodes.size()) - 1));
   switch (policy) {
     case PlacementPolicy::kRoundRobin:
-      draw = [&rr_cursor, &nodes]() mutable { return rr_cursor++ % nodes.size(); };
+      draw = [&rr_cursor, &nodes]() mutable {
+        return rr_cursor++ % nodes.size();
+      };
       break;
     case PlacementPolicy::kUniformRandom:
       draw = [rng, &nodes] {

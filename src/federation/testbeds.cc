@@ -24,7 +24,8 @@ TestbedSpec EmulabTestbed(int processing_nodes) {
   return spec;
 }
 
-std::unique_ptr<Fsps> MakeTestbed(const TestbedSpec& spec, FspsOptions options) {
+std::unique_ptr<Fsps> MakeTestbed(const TestbedSpec& spec,
+                                  FspsOptions options) {
   options.default_link_latency = spec.link_latency;
   options.source_link_latency = spec.link_latency;
   options.node.cpu_speed = spec.cpu_speed;

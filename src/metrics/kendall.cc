@@ -10,8 +10,12 @@ double KendallTopKDistance(const std::vector<int64_t>& a,
   if (a.empty() && b.empty()) return 0.0;
 
   std::map<int64_t, int> rank_a, rank_b;
-  for (size_t i = 0; i < a.size(); ++i) rank_a.emplace(a[i], static_cast<int>(i));
-  for (size_t i = 0; i < b.size(); ++i) rank_b.emplace(b[i], static_cast<int>(i));
+  for (size_t i = 0; i < a.size(); ++i) {
+    rank_a.emplace(a[i], static_cast<int>(i));
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    rank_b.emplace(b[i], static_cast<int>(i));
+  }
 
   // Union of elements appearing in either list.
   std::vector<int64_t> all;

@@ -88,7 +88,9 @@ void Node::Receive(Batch batch) {
   ScheduleProcessing();
 }
 
-void Node::UpdateQuerySic(QueryId query, double sic) { query_sic_[query] = sic; }
+void Node::UpdateQuerySic(QueryId query, double sic) {
+  query_sic_[query] = sic;
+}
 
 size_t Node::CurrentCapacity() const {
   return cost_model_.EstimateCapacity(options_.shed_interval);
@@ -245,7 +247,8 @@ void Node::OnShedTimer() {
     ctx.now = now;
     ctx.query_sic = &query_sic_;
     ctx.local_accepted_sic = &accepted_snapshot_;
-    std::vector<size_t> keep = shedder_->SelectBatchesToKeep(ib_.batches(), ctx);
+    std::vector<size_t> keep =
+        shedder_->SelectBatchesToKeep(ib_.batches(), ctx);
     size_t before_batches = ib_.num_batches();
     size_t dropped = ib_.RetainIndices(keep);
     if (dropped > 0) {

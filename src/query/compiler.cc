@@ -287,9 +287,8 @@ Result<CompiledQuery> QueryCompiler::Compile(QueryId query_id,
   return compiled;
 }
 
-Result<CompiledQuery> QueryCompiler::CompileString(QueryId query_id,
-                                                   const std::string& text,
-                                                   SourceId* next_source) const {
+Result<CompiledQuery> QueryCompiler::CompileString(
+    QueryId query_id, const std::string& text, SourceId* next_source) const {
   auto stmt = ParseQuery(text);
   if (!stmt.ok()) return stmt.status();
   return Compile(query_id, *stmt, next_source);

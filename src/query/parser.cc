@@ -10,7 +10,9 @@ namespace {
 
 std::string Lower(const std::string& s) {
   std::string out = s;
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
@@ -20,7 +22,9 @@ class Cursor {
   explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   const Token& Peek() const { return tokens_[pos_]; }
-  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  const Token& Next() {
+    return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+  }
   bool Done() const { return Peek().Is(TokenKind::kEnd); }
 
   Status Error(const std::string& msg) const {
@@ -114,7 +118,9 @@ Result<SimDuration> ParseWindow(Cursor* c) {
   THEMIS_RETURN_NOT_OK(c->Expect(TokenKind::kLBracket, "'['"));
   if (!c->Peek().IsWord("range")) return c->Error("expected 'Range'");
   c->Next();
-  if (!c->Peek().Is(TokenKind::kNumber)) return c->Error("expected window size");
+  if (!c->Peek().Is(TokenKind::kNumber)) {
+    return c->Error("expected window size");
+  }
   double amount = c->Next().number;
   SimDuration unit;
   if (c->Peek().IsWord("sec") || c->Peek().IsWord("s")) {

@@ -33,14 +33,18 @@ void WindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
   }
 }
 
-void BinaryWindowedOperator::Ingest(const std::vector<Tuple>& tuples, int port) {
+void BinaryWindowedOperator::Ingest(const std::vector<Tuple>& tuples,
+                                    int port) {
   WindowBuffer& w = (port == 0) ? left_ : right_;
   for (const Tuple& t : tuples) w.Add(t);
 }
 
-void BinaryWindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
+void BinaryWindowedOperator::Advance(SimTime watermark,
+                                     std::vector<Tuple>* out) {
   for (Pane& p : left_.Advance(watermark)) pending_left_[p.end] = std::move(p);
-  for (Pane& p : right_.Advance(watermark)) pending_right_[p.end] = std::move(p);
+  for (Pane& p : right_.Advance(watermark)) {
+    pending_right_[p.end] = std::move(p);
+  }
 
   // Process every window end that the watermark has passed, pairing panes and
   // substituting an empty pane when one side is silent.
@@ -51,7 +55,8 @@ void BinaryWindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out)
     } else if (pending_right_.empty()) {
       end = pending_left_.begin()->first;
     } else {
-      end = std::min(pending_left_.begin()->first, pending_right_.begin()->first);
+      end = std::min(pending_left_.begin()->first,
+                     pending_right_.begin()->first);
     }
     if (end > watermark) break;
 

@@ -86,7 +86,8 @@ class WindowedOperator : public Operator {
 /// of both panes.
 class BinaryWindowedOperator : public Operator {
  public:
-  BinaryWindowedOperator(std::string name, WindowSpec spec, double cost_us_per_tuple)
+  BinaryWindowedOperator(std::string name, WindowSpec spec,
+                         double cost_us_per_tuple)
       : Operator(std::move(name), cost_us_per_tuple),
         left_(spec),
         right_(spec) {}

@@ -90,7 +90,8 @@ GroupByAggregateOp::GroupByAggregateOp(AggregateKind kind, int key_field,
       key_field_(key_field),
       value_field_(value_field) {}
 
-void GroupByAggregateOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
+void GroupByAggregateOp::ProcessPane(const Pane& pane,
+                                     std::vector<Tuple>* out) {
   std::map<int64_t, Accumulator> groups;
   for (const Tuple& t : pane.tuples) {
     if (static_cast<size_t>(key_field_) >= t.values.size() ||

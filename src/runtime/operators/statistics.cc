@@ -20,6 +20,15 @@ std::vector<double> FieldValues(const Pane& pane, int field) {
   return xs;
 }
 
+// Builds the operator name ("q50", "q99", ...) via append rather than
+// `const char* + std::string&&`, whose libstdc++ insert path trips a GCC 12
+// -Wrestrict false positive at -O2 (GCC PR 105329).
+std::string QuantileOpName(double q) {
+  std::string name = "q";
+  name += std::to_string(static_cast<int>(q * 100));
+  return name;
+}
+
 }  // namespace
 
 VarianceOp::VarianceOp(int field, WindowSpec spec, double cost_us_per_tuple)
@@ -41,8 +50,7 @@ void VarianceOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
 
 QuantileOp::QuantileOp(double q, int field, WindowSpec spec,
                        double cost_us_per_tuple)
-    : WindowedOperator("q" + std::to_string(static_cast<int>(q * 100)), spec,
-                       cost_us_per_tuple),
+    : WindowedOperator(QuantileOpName(q), spec, cost_us_per_tuple),
       q_(q),
       field_(field) {}
 

@@ -18,12 +18,14 @@ void TopKOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
     if (static_cast<size_t>(value_field_) >= t.values.size()) continue;
     sorted.push_back(&t);
   }
-  std::sort(sorted.begin(), sorted.end(), [this](const Tuple* a, const Tuple* b) {
-    double va = AsDouble(a->values[value_field_]);
-    double vb = AsDouble(b->values[value_field_]);
-    if (va != vb) return va > vb;
-    return AsInt(a->values[key_field_]) < AsInt(b->values[key_field_]);
-  });
+  std::sort(sorted.begin(), sorted.end(),
+            [this](const Tuple* a, const Tuple* b) {
+              double va = AsDouble(a->values[value_field_]);
+              double vb = AsDouble(b->values[value_field_]);
+              if (va != vb) return va > vb;
+              return AsInt(a->values[key_field_]) <
+                     AsInt(b->values[key_field_]);
+            });
   size_t take = std::min(k_, sorted.size());
   for (size_t i = 0; i < take; ++i) {
     Tuple copy = *sorted[i];

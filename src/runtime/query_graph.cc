@@ -16,7 +16,9 @@ const std::vector<Edge>& QueryGraph::out_edges(OperatorId id) const {
 }
 
 FragmentId QueryGraph::fragment_of(OperatorId id) const {
-  if (id < 0 || static_cast<size_t>(id) >= op_fragment_.size()) return kInvalidId;
+  if (id < 0 || static_cast<size_t>(id) >= op_fragment_.size()) {
+    return kInvalidId;
+  }
   return op_fragment_[id];
 }
 
@@ -55,7 +57,8 @@ QueryBuilder::QueryBuilder(QueryId id, std::string label)
   graph_->label_ = std::move(label);
 }
 
-OperatorId QueryBuilder::Add(std::unique_ptr<Operator> op, FragmentId fragment) {
+OperatorId QueryBuilder::Add(std::unique_ptr<Operator> op,
+                             FragmentId fragment) {
   OperatorId id = static_cast<OperatorId>(graph_->ops_.size());
   op->set_id(id);
   graph_->ops_.push_back(std::move(op));
@@ -68,7 +71,8 @@ QueryBuilder& QueryBuilder::Connect(OperatorId from, OperatorId to, int port) {
   size_t n = graph_->ops_.size();
   if (from < 0 || to < 0 || static_cast<size_t>(from) >= n ||
       static_cast<size_t>(to) >= n) {
-    deferred_error_ = Status::InvalidArgument("Connect: operator id out of range");
+    deferred_error_ =
+        Status::InvalidArgument("Connect: operator id out of range");
     return *this;
   }
   if (port < 0 || port >= graph_->ops_[to]->num_ports()) {
@@ -82,7 +86,8 @@ QueryBuilder& QueryBuilder::Connect(OperatorId from, OperatorId to, int port) {
 QueryBuilder& QueryBuilder::BindSource(SourceId source, OperatorId target,
                                        int port) {
   if (target < 0 || static_cast<size_t>(target) >= graph_->ops_.size()) {
-    deferred_error_ = Status::InvalidArgument("BindSource: bad target operator");
+    deferred_error_ =
+        Status::InvalidArgument("BindSource: bad target operator");
     return *this;
   }
   graph_->sources_.push_back({source, target, port});

@@ -35,9 +35,9 @@ class Schema {
   std::string ToString() const;
 
   /// Common schemas used by the Table 1 workloads.
-  static Schema SingleValue();            ///< (v: double)
-  static Schema IdValue();                ///< (id: int64, v: double)
-  static Schema IdCpuMem();               ///< (id: int64, cpu: double, mem: double)
+  static Schema SingleValue();  ///< (v: double)
+  static Schema IdValue();      ///< (id: int64, v: double)
+  static Schema IdCpuMem();     ///< (id: int64, cpu: double, mem: double)
 
  private:
   std::vector<Field> fields_;

@@ -96,7 +96,9 @@ std::vector<size_t> BalanceSicShedder::SelectBatchesToKeep(
         // source forever, permanently starving the other input port of a
         // join/covariance operator.
         std::map<SourceId, std::vector<size_t>> per_source;
-        for (size_t idx : idxs) per_source[ib[idx].header.source].push_back(idx);
+        for (size_t idx : idxs) {
+          per_source[ib[idx].header.source].push_back(idx);
+        }
         std::vector<std::vector<size_t>*> lanes;
         lanes.reserve(per_source.size());
         for (auto& [src, v] : per_source) lanes.push_back(&v);

@@ -19,7 +19,8 @@ Result<LpSolution> SolveLp(const LinearProgram& lp) {
   }
   for (double rhs : lp.b) {
     if (rhs < 0.0) {
-      return Status::InvalidArgument("negative rhs requires phase-1 (unsupported)");
+      return Status::InvalidArgument(
+          "negative rhs requires phase-1 (unsupported)");
     }
   }
 

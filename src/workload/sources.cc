@@ -28,7 +28,8 @@ void SourceDriver::Start() {
   if (started_) return;
   started_ = true;
   // Stagger the first emission so sources do not fire in lockstep.
-  SimDuration offset = static_cast<SimDuration>(rng_.UniformInt(0, period_ - 1));
+  SimDuration offset =
+      static_cast<SimDuration>(rng_.UniformInt(0, period_ - 1));
   queue_->ScheduleAfter(offset, [this] { GenerateBatch(); });
 }
 

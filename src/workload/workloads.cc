@@ -150,7 +150,8 @@ BuiltQuery WorkloadFactory::MakeTop5(QueryId q,
     OperatorId mem_filter = b.Add(
         std::make_unique<FilterOp>(
             [mem_threshold](const Tuple& t) {
-              return t.values.size() > 1 && AsDouble(t.values[1]) >= mem_threshold;
+              return t.values.size() > 1 &&
+                     AsDouble(t.values[1]) >= mem_threshold;
             },
             win),
         frag);
@@ -161,7 +162,8 @@ BuiltQuery WorkloadFactory::MakeTop5(QueryId q,
                                    AggregateKind::kAvg, 0, 1, win),
                                frag);
     OperatorId join =
-        b.Add(std::make_unique<HashJoinOp>(/*left_key=*/0, /*right_key=*/0, win),
+        b.Add(std::make_unique<HashJoinOp>(/*left_key=*/0, /*right_key=*/0,
+                                           win),
               frag);
     OperatorId topk = b.Add(
         std::make_unique<TopKOp>(opts.top_k, /*value_field=*/1, /*key_field=*/0,
@@ -203,7 +205,8 @@ BuiltQuery WorkloadFactory::MakeTop5(QueryId q,
       built.sources[cpu_src] = cpu_model;
 
       SourceModel mem_model = cpu_model;
-      mem_model.payload = [monitored, mem_gen](SimTime now) -> std::vector<Value> {
+      mem_model.payload =
+          [monitored, mem_gen](SimTime now) -> std::vector<Value> {
         return {Value(monitored), Value(2000.0 * mem_gen->Next(now))};
       };
       built.sources[mem_src] = mem_model;
@@ -220,7 +223,8 @@ BuiltQuery WorkloadFactory::MakeTop5(QueryId q,
   return built;
 }
 
-BuiltQuery WorkloadFactory::MakeCov(QueryId q, const ComplexQueryOptions& opts) {
+BuiltQuery WorkloadFactory::MakeCov(QueryId q,
+                                    const ComplexQueryOptions& opts) {
   // Chain layout: each fragment computes the covariance of its two CPU
   // streams and merges it with the covariances flowing down the chain
   // (5 operators per fragment, matching Table 1).

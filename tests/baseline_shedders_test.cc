@@ -16,7 +16,8 @@ Batch B(QueryId q, size_t n, double sic = 0.1) {
   return MakeBatch(q, 0, 0, 0, std::move(ts));
 }
 
-size_t KeptTuples(const std::deque<Batch>& ib, const std::vector<size_t>& keep) {
+size_t KeptTuples(const std::deque<Batch>& ib,
+                  const std::vector<size_t>& keep) {
   size_t n = 0;
   for (size_t i : keep) n += ib[i].size();
   return n;

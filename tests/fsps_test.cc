@@ -14,10 +14,11 @@ namespace themis {
 namespace {
 
 // Deploys `built` on `fsps`, spreading fragments round-robin over all nodes.
-Status DeploySpread(Fsps* fsps, BuiltQuery built, Rng* rng) {
-  auto placement = PlaceFragments(*built.graph, fsps->node_ids(),
+// `built` stays owned by the caller so its sources can still be attached.
+Status DeploySpread(Fsps* fsps, BuiltQuery* built, Rng* rng) {
+  auto placement = PlaceFragments(*built->graph, fsps->node_ids(),
                                   PlacementPolicy::kRoundRobin, 0.0, rng);
-  THEMIS_RETURN_NOT_OK(fsps->Deploy(std::move(built.graph), placement));
+  THEMIS_RETURN_NOT_OK(fsps->Deploy(std::move(built->graph), placement));
   return Status::OK();
 }
 
@@ -27,7 +28,8 @@ TEST(FspsDeployTest, RejectsMissingPlacement) {
   WorkloadFactory f(1);
   auto built = f.MakeCov(1, {.fragments = 2});
   std::map<FragmentId, NodeId> placement = {{0, 0}};  // fragment 1 missing
-  EXPECT_TRUE(fsps.Deploy(std::move(built.graph), placement).IsInvalidArgument());
+  EXPECT_TRUE(
+      fsps.Deploy(std::move(built.graph), placement).IsInvalidArgument());
 }
 
 TEST(FspsDeployTest, RejectsUnknownNode) {
@@ -36,7 +38,8 @@ TEST(FspsDeployTest, RejectsUnknownNode) {
   WorkloadFactory f(1);
   auto built = f.MakeAvg(1);
   std::map<FragmentId, NodeId> placement = {{0, 99}};
-  EXPECT_TRUE(fsps.Deploy(std::move(built.graph), placement).IsInvalidArgument());
+  EXPECT_TRUE(
+      fsps.Deploy(std::move(built.graph), placement).IsInvalidArgument());
 }
 
 TEST(FspsDeployTest, RejectsDuplicateQuery) {
@@ -179,9 +182,7 @@ TEST(FspsIntegrationTest, BalanceSicFairerThanRandomUnderOverload) {
       co.sources_per_fragment = 4;
       co.source_rate = 100;
       auto built = f.MakeRandomComplex(q, co);
-      auto placement = PlaceFragments(*built.graph, fsps.node_ids(),
-                                      PlacementPolicy::kRoundRobin, 0.0, &rng);
-      EXPECT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+      EXPECT_TRUE(DeploySpread(&fsps, &built, &rng).ok());
       EXPECT_TRUE(fsps.AttachSources(q, built.sources).ok());
     }
     fsps.RunFor(Seconds(40));
@@ -209,9 +210,7 @@ TEST(FspsIntegrationTest, BurstySourcesStillConverge) {
     co.burst_prob = 0.1;
     co.burst_multiplier = 10.0;
     auto built = f.MakeCov(q, co);
-    auto placement = PlaceFragments(*built.graph, fsps.node_ids(),
-                                    PlacementPolicy::kRoundRobin, 0.0, &rng);
-    ASSERT_TRUE(fsps.Deploy(std::move(built.graph), placement).ok());
+    ASSERT_TRUE(DeploySpread(&fsps, &built, &rng).ok());
     ASSERT_TRUE(fsps.AttachSources(q, built.sources).ok());
   }
   fsps.RunFor(Seconds(40));
@@ -244,8 +243,9 @@ TEST(PlacementTest, FragmentsOfOneQueryOnDistinctNodes) {
   auto built = f.MakeCov(1, {.fragments = 4});
   Rng rng(5);
   std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5};
-  for (auto policy : {PlacementPolicy::kRoundRobin,
-                      PlacementPolicy::kUniformRandom, PlacementPolicy::kZipf}) {
+  for (auto policy :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kUniformRandom,
+        PlacementPolicy::kZipf}) {
     auto placement = PlaceFragments(*built.graph, nodes, policy, 1.0, &rng);
     ASSERT_EQ(placement.size(), 4u);
     std::set<NodeId> used;

@@ -102,7 +102,9 @@ TEST_F(LifecycleTest, ChurnLoopStaysHealthy) {
   for (QueryId q = 0; q < 10; ++q) {
     ASSERT_TRUE(DeployCov(q).ok());
     fsps_->RunFor(Seconds(3));
-    if (q >= 2) ASSERT_TRUE(fsps_->Undeploy(q - 2).ok());
+    if (q >= 2) {
+      ASSERT_TRUE(fsps_->Undeploy(q - 2).ok());
+    }
   }
   fsps_->RunFor(Seconds(5));
   EXPECT_EQ(fsps_->query_ids().size(), 2u);

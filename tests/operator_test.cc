@@ -49,7 +49,8 @@ TEST(WindowedOperatorTest, EmptyOutputLosesSic) {
   // Fig. 2.
   class DropAllOp : public WindowedOperator {
    public:
-    DropAllOp() : WindowedOperator("drop", WindowSpec::TumblingTime(kSecond), 1) {}
+    DropAllOp()
+        : WindowedOperator("drop", WindowSpec::TumblingTime(kSecond), 1) {}
 
    protected:
     void ProcessPane(const Pane&, std::vector<Tuple>*) override {}
@@ -143,7 +144,8 @@ TEST(SicPropagationTest, Figure2WithShedding) {
 TEST(BinaryWindowedOperatorTest, PairsPanesByEnd) {
   class ConcatOp : public BinaryWindowedOperator {
    public:
-    ConcatOp() : BinaryWindowedOperator("cc", WindowSpec::TumblingTime(kSecond), 1) {}
+    ConcatOp()
+        : BinaryWindowedOperator("cc", WindowSpec::TumblingTime(kSecond), 1) {}
     int left_count = -1, right_count = -1;
 
    protected:

@@ -115,7 +115,7 @@ TEST(ParserTest, SyntaxErrorsArePositioned) {
   }
 }
 
-// ---- compiler ----------------------------------------------------------------
+// ---- compiler ---------------------------------------------------------------
 
 class CompilerTest : public ::testing::Test {
  protected:

@@ -57,7 +57,8 @@ TEST(WindowRobustnessTest, ShuffledIngestionConservesMass) {
   for (int i = 0; i < 300; ++i) {
     double sic = rng.Uniform(0.001, 0.01);
     in_mass += sic;
-    tuples.push_back(Tuple(rng.UniformInt(0, Seconds(5) - 1), sic, {Value(0.0)}));
+    tuples.push_back(
+        Tuple(rng.UniformInt(0, Seconds(5) - 1), sic, {Value(0.0)}));
   }
   rng.Shuffle(&tuples);
   WindowBuffer w(WindowSpec::TumblingTime(kSecond));

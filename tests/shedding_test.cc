@@ -28,7 +28,8 @@ Batch Bn(QueryId q, size_t n, double sic) {
   return MakeBatch(q, 0, 0, 0, std::move(ts));
 }
 
-size_t KeptTuples(const std::deque<Batch>& ib, const std::vector<size_t>& keep) {
+size_t KeptTuples(const std::deque<Batch>& ib,
+                  const std::vector<size_t>& keep) {
   size_t n = 0;
   for (size_t i : keep) n += ib[i].size();
   return n;

@@ -1,8 +1,9 @@
 // themis_sim — command-line runner for custom federation scenarios.
 //
-//   $ themis_sim --nodes=6 --queries=80 --fragments=3 --overload=3 \
-//                --policy=balance-sic --seconds=40 [--zipf=1.0] [--seed=42] \
-//                [--interval-ms=250] [--burst=0.1] [--csv]
+//   $ themis_sim --nodes=6 --queries=80 --fragments=3 --overload=3
+//
+// with optional flags --policy=balance-sic|random|fifo --seconds=40
+// --zipf=1.0 --seed=42 --interval-ms=250 --burst=0.1 --csv
 //
 // Deploys a mixed complex workload (AVG-all / TOP-5 / COV) with the given
 // shape and prints per-second fairness metrics, so deployments can be
@@ -139,7 +140,8 @@ int main(int argc, char** argv) {
     BuiltQuery built = factory.MakeRandomComplex(q, co);
     auto placement = PlaceFragments(
         *built.graph, fsps.node_ids(),
-        flags.zipf > 0 ? PlacementPolicy::kZipf : PlacementPolicy::kUniformRandom,
+        flags.zipf > 0 ? PlacementPolicy::kZipf
+                       : PlacementPolicy::kUniformRandom,
         flags.zipf, &place_rng);
     Status st = fsps.Deploy(std::move(built.graph), placement);
     if (!st.ok()) {
