@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
 namespace themis {
@@ -35,21 +36,43 @@ MixConfig BaseConfig() {
 }  // namespace bench
 }  // namespace themis
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_ablation");
   std::printf("Ablations of the BALANCE-SIC implementation (DESIGN.md "
               "sections 4b/5) on a fixed 6-node mixed scenario.\n");
 
   Reporter reporter("Ablation study",
                     {"configuration", "jain", "mean_SIC", "std"});
 
-  auto add = [&](const char* label, const MixConfig& cfg) {
+  auto add = [&](const char* label, MixConfig cfg) {
+    if (perf.quick()) {
+      cfg.num_queries = 40;
+      cfg.warmup = Seconds(8);
+      cfg.measure = Seconds(8);
+      cfg.samples = 3;
+    }
+    perf.BeginRun(label);
     MixResult r = RunComplexMix(cfg);
+    perf.EndRun(r.tuples_processed);
     reporter.AddRow(label, {r.jain, r.mean_sic, r.std_sic});
   };
 
   add("full (BALANCE-SIC)", BaseConfig());
+
+  if (perf.quick()) {
+    // Quick smoke: the full configuration plus one ablation and one
+    // baseline policy exercise all code paths in seconds.
+    MixConfig cfg = BaseConfig();
+    cfg.balance.prefer_high_sic = false;
+    add("no max(x_SIC) (FIFO selection)", cfg);
+    cfg = BaseConfig();
+    cfg.policy = SheddingPolicy::kRandom;
+    add("policy: random", cfg);
+    reporter.Print();
+    return 0;
+  }
 
   {
     MixConfig cfg = BaseConfig();

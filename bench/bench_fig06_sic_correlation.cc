@@ -9,8 +9,10 @@
 // approaches 1; COUNT shows the strongest correlation (error ~ shed
 // fraction), AVG/MAX the weakest on stationary synthetic data.
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "common/stats.h"
 #include "metrics/reporter.h"
 
@@ -20,27 +22,34 @@ namespace {
 
 constexpr int kQueries = 12;
 constexpr double kSourceRate = 200.0;
-const SimDuration kRunTime = Seconds(40);
 
 // Per-tuple pipeline cost of the aggregate queries is ~1.1 us (receiver +
 // aggregate shares); node saturation speed for the deployed load.
 double SaturationSpeed() { return kQueries * kSourceRate * 1.3e-6; }
 
-void RunOne(CorrelationQuery type, const char* type_name) {
+void RunOne(CorrelationQuery type, const char* type_name,
+            PerfRecorder* perf) {
   Reporter reporter(std::string("Figure 6: ") + type_name +
                         " — SIC vs mean absolute error",
                     {"dataset", "mean_SIC", "mean_abs_error"});
-  const Dataset datasets[] = {Dataset::kGaussian, Dataset::kUniform,
-                              Dataset::kExponential, Dataset::kMixed,
-                              Dataset::kPlanetLab};
-  const double keep_levels[] = {0.15, 0.3, 0.5, 0.75, 1.5};
+  std::vector<Dataset> datasets = {Dataset::kGaussian, Dataset::kUniform,
+                                   Dataset::kExponential, Dataset::kMixed,
+                                   Dataset::kPlanetLab};
+  std::vector<double> keep_levels = {0.15, 0.3, 0.5, 0.75, 1.5};
+  SimDuration run_time = Seconds(40);
+  if (perf->quick()) {
+    datasets = {Dataset::kGaussian};
+    keep_levels = {0.3, 1.5};
+    run_time = Seconds(10);
+  }
 
   for (Dataset d : datasets) {
+    perf->BeginRun(std::string(type_name) + "/" + DatasetName(d));
     CorrelationRun perfect =
-        RunCorrelation(type, d, kQueries, /*cpu_speed=*/0.0, kRunTime, 7);
+        RunCorrelation(type, d, kQueries, /*cpu_speed=*/0.0, run_time, 7);
     for (double keep : keep_levels) {
       CorrelationRun degraded = RunCorrelation(
-          type, d, kQueries, SaturationSpeed() * keep, kRunTime, 7);
+          type, d, kQueries, SaturationSpeed() * keep, run_time, 7);
       std::vector<double> sics, errors;
       for (int q = 0; q < kQueries; ++q) {
         sics.push_back(degraded.queries[q].final_sic);
@@ -50,6 +59,7 @@ void RunOne(CorrelationQuery type, const char* type_name) {
       }
       reporter.AddRow(DatasetName(d), {Mean(sics), Mean(errors)});
     }
+    perf->EndRun(0);
   }
   reporter.Print();
 }
@@ -58,11 +68,15 @@ void RunOne(CorrelationQuery type, const char* type_name) {
 }  // namespace bench
 }  // namespace themis
 
-int main() {
+int main(int argc, char** argv) {
+  using themis::bench::CorrelationQuery;
+  themis::bench::PerfRecorder perf(argc, argv, "bench_fig06_sic_correlation");
   std::printf("Reproduces Figure 6 of the THEMIS paper (SIC correlation, "
               "aggregate workload).\n");
-  themis::bench::RunOne(themis::bench::CorrelationQuery::kAvg, "AVG");
-  themis::bench::RunOne(themis::bench::CorrelationQuery::kCount, "COUNT");
-  themis::bench::RunOne(themis::bench::CorrelationQuery::kMax, "MAX");
+  themis::bench::RunOne(CorrelationQuery::kAvg, "AVG", &perf);
+  if (!perf.quick()) {
+    themis::bench::RunOne(CorrelationQuery::kCount, "COUNT", &perf);
+    themis::bench::RunOne(CorrelationQuery::kMax, "MAX", &perf);
+  }
   return 0;
 }

@@ -6,8 +6,10 @@
 // Expected shape: Kendall distance falls as SIC rises; COV deviation is
 // larger on the non-stationary planetlab trace than on synthetic data.
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "common/stats.h"
 #include "metrics/kendall.h"
 #include "metrics/reporter.h"
@@ -16,23 +18,28 @@ namespace themis {
 namespace bench {
 namespace {
 
-const SimDuration kRunTime = Seconds(40);
+std::vector<Dataset> BenchDatasets(const PerfRecorder& perf) {
+  if (perf.quick()) return {Dataset::kGaussian};
+  return {Dataset::kGaussian, Dataset::kUniform, Dataset::kExponential,
+          Dataset::kMixed, Dataset::kPlanetLab};
+}
 
-void RunTop5() {
+void RunTop5(PerfRecorder* perf) {
+  const SimDuration run_time = perf->quick() ? Seconds(10) : Seconds(40);
   Reporter reporter("Figure 7(a): TOP-5 — SIC vs Kendall's distance",
                     {"dataset", "mean_SIC", "kendall_distance"});
   const int kQueries = 6;
   const double saturation = kQueries * 12 * 20.0 * 2.0e-6;
-  const double keep_levels[] = {0.2, 0.4, 0.6, 0.8, 1.5};
-  for (Dataset d : {Dataset::kGaussian, Dataset::kUniform,
-                    Dataset::kExponential, Dataset::kMixed,
-                    Dataset::kPlanetLab}) {
+  std::vector<double> keep_levels = {0.2, 0.4, 0.6, 0.8, 1.5};
+  if (perf->quick()) keep_levels = {0.4, 1.5};
+  for (Dataset d : BenchDatasets(*perf)) {
+    perf->BeginRun(std::string("top5/") + DatasetName(d));
     CorrelationRun perfect = RunCorrelation(CorrelationQuery::kTop5, d,
-                                            kQueries, 0.0, kRunTime, 11);
+                                            kQueries, 0.0, run_time, 11);
     for (double keep : keep_levels) {
       CorrelationRun degraded =
           RunCorrelation(CorrelationQuery::kTop5, d, kQueries,
-                         saturation * keep, kRunTime, 11);
+                         saturation * keep, run_time, 11);
       std::vector<double> sics, distances;
       for (int q = 0; q < kQueries; ++q) {
         sics.push_back(degraded.queries[q].final_sic);
@@ -52,22 +59,25 @@ void RunTop5() {
       }
       reporter.AddRow(DatasetName(d), {Mean(sics), Mean(distances)});
     }
+    perf->EndRun(0);
   }
   reporter.Print();
 }
 
-void RunCov() {
+void RunCov(PerfRecorder* perf) {
+  const SimDuration run_time = perf->quick() ? Seconds(10) : Seconds(40);
   Reporter reporter("Figure 7(b): COV — SIC vs std of covariance series",
                     {"dataset", "mean_SIC", "std"});
   const int kQueries = 10;
   const double saturation = kQueries * 2 * 200.0 * 1.3e-6;
-  const double keep_levels[] = {0.2, 0.4, 0.6, 0.8, 1.5};
-  for (Dataset d : {Dataset::kGaussian, Dataset::kUniform,
-                    Dataset::kExponential, Dataset::kMixed,
-                    Dataset::kPlanetLab}) {
+  std::vector<double> keep_levels = {0.2, 0.4, 0.6, 0.8, 1.5};
+  if (perf->quick()) keep_levels = {0.4, 1.5};
+  for (Dataset d : BenchDatasets(*perf)) {
+    perf->BeginRun(std::string("cov/") + DatasetName(d));
     for (double keep : keep_levels) {
       CorrelationRun degraded = RunCorrelation(
-          CorrelationQuery::kCov, d, kQueries, saturation * keep, kRunTime, 13);
+          CorrelationQuery::kCov, d, kQueries, saturation * keep, run_time,
+          13);
       std::vector<double> sics, stds;
       for (int q = 0; q < kQueries; ++q) {
         sics.push_back(degraded.queries[q].final_sic);
@@ -79,6 +89,7 @@ void RunCov() {
       }
       reporter.AddRow(DatasetName(d), {Mean(sics), Mean(stds)});
     }
+    perf->EndRun(0);
   }
   reporter.Print();
 }
@@ -87,10 +98,12 @@ void RunCov() {
 }  // namespace bench
 }  // namespace themis
 
-int main() {
+int main(int argc, char** argv) {
+  themis::bench::PerfRecorder perf(argc, argv,
+                                   "bench_fig07_complex_correlation");
   std::printf("Reproduces Figure 7 of the THEMIS paper (SIC correlation, "
               "complex workload).\n");
-  themis::bench::RunTop5();
-  themis::bench::RunCov();
+  themis::bench::RunTop5(&perf);
+  themis::bench::RunCov(&perf);
   return 0;
 }

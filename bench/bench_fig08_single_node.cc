@@ -7,17 +7,20 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_fig08_single_node");
   std::printf("Reproduces Figure 8 of the THEMIS paper (single-node "
               "fairness).\n");
 
   Reporter reporter("Figure 8: single-node fairness vs number of queries",
                     {"queries", "mean_SIC", "jain_index"});
-  for (int queries = 30; queries <= 330; queries += 60) {
+  const int step = perf.quick() ? 300 : 60;
+  for (int queries = 30; queries <= 330; queries += step) {
     MixConfig cfg;
     cfg.num_queries = queries;
     cfg.nodes = 1;
@@ -32,7 +35,13 @@ int main() {
     cfg.warmup = Seconds(20);
     cfg.measure = Seconds(15);
     cfg.seed = 100 + queries;
+    if (perf.quick()) {
+      cfg.warmup = Seconds(8);
+      cfg.measure = Seconds(8);
+    }
+    perf.BeginRun("queries=" + std::to_string(queries));
     MixResult r = RunComplexMix(cfg);
+    perf.EndRun(r.tuples_processed);
     reporter.AddRow(std::to_string(queries), {r.mean_sic, r.jain});
   }
   reporter.Print();

@@ -4,19 +4,24 @@
 // Expected shape: mean SIC and Jain's index are stable across intervals —
 // the algorithm converges regardless of the shedder invocation period.
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_fig09_interval");
   std::printf("Reproduces Figure 9 of the THEMIS paper (shedding "
               "interval).\n");
 
   Reporter reporter("Figure 9: fairness vs shedding interval",
                     {"interval_ms", "mean_SIC", "jain_index"});
-  for (int interval_ms : {25, 50, 100, 150, 200, 250}) {
+  std::vector<int> intervals = {25, 50, 100, 150, 200, 250};
+  if (perf.quick()) intervals = {250};
+  for (int interval_ms : intervals) {
     MixConfig cfg;
     cfg.num_queries = 200;
     cfg.nodes = 6;
@@ -29,7 +34,14 @@ int main() {
     cfg.warmup = Seconds(20);
     cfg.measure = Seconds(15);
     cfg.seed = 200 + interval_ms;
+    if (perf.quick()) {
+      cfg.num_queries = 120;
+      cfg.warmup = Seconds(8);
+      cfg.measure = Seconds(8);
+    }
+    perf.BeginRun("interval_ms=" + std::to_string(interval_ms));
     MixResult r = RunComplexMix(cfg);
+    perf.EndRun(r.tuples_processed);
     reporter.AddRow(std::to_string(interval_ms), {r.mean_sic, r.jain});
   }
   reporter.Print();

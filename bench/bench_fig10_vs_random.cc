@@ -12,11 +12,13 @@
 #include <cstring>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
 int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_fig10_vs_random");
   bool fifo = argc > 1 && std::strcmp(argv[1], "--selection=fifo") == 0;
   std::printf("Reproduces Figure 10 of the THEMIS paper (BALANCE-SIC vs "
               "random, 18 nodes, ~2000 fragments)%s.\n",
@@ -51,7 +53,14 @@ int main(int argc, char** argv) {
       cfg.warmup = Seconds(20);
       cfg.measure = Seconds(15);
       cfg.seed = 300 + frag_min * 10 + frag_max;
+      if (perf.quick()) {
+        cfg.num_queries = queries / 2;
+        cfg.warmup = Seconds(8);
+        cfg.measure = Seconds(8);
+      }
+      perf.BeginRun("frags=" + label + (i == 0 ? "/fair" : "/random"));
       results[i] = RunComplexMix(cfg);
+      perf.EndRun(results[i].tuples_processed);
     }
     reporter.AddRow(label,
                     {results[0].jain, results[1].jain, results[0].std_sic,
@@ -59,8 +68,12 @@ int main(int argc, char** argv) {
                      results[1].mean_sic});
   };
 
-  for (int f = 2; f <= 6; ++f) run(f, f, std::to_string(f));
-  run(1, 6, "mixed");
+  if (perf.quick()) {
+    run(2, 2, "2");
+  } else {
+    for (int f = 2; f <= 6; ++f) run(f, f, std::to_string(f));
+    run(1, 6, "mixed");
+  }
   reporter.Print();
   return 0;
 }

@@ -10,13 +10,16 @@
 // the Fig. 4 "without updateSIC(Q)" divergence.
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
 int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_fig11_multifrag");
   bool no_coord = argc > 1 && std::strcmp(argv[1], "--no-coordinator") == 0;
   std::printf("Reproduces Figure 11 of the THEMIS paper (multi-fragment "
               "ratio)%s.\n",
@@ -25,7 +28,9 @@ int main(int argc, char** argv) {
   const int kTotalFragments = 400;  // scaled from the paper's ~2000
   Reporter reporter("Figure 11: fairness vs ratio of 3-fragment queries",
                     {"ratio", "mean_SIC", "jain_index"});
-  for (double ratio : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+  std::vector<double> ratios = {0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  if (perf.quick()) ratios = {0.4};
+  for (double ratio : ratios) {
     // Total fragments constant: q * (r*3 + (1-r)*1) = kTotalFragments.
     int queries = static_cast<int>(kTotalFragments / (1.0 + 2.0 * ratio));
     MixConfig cfg;
@@ -40,7 +45,14 @@ int main(int argc, char** argv) {
     cfg.warmup = Seconds(20);
     cfg.measure = Seconds(15);
     cfg.seed = 400 + static_cast<int>(ratio * 10);
+    if (perf.quick()) {
+      cfg.num_queries = queries / 2;
+      cfg.warmup = Seconds(8);
+      cfg.measure = Seconds(8);
+    }
+    perf.BeginRun("ratio=" + std::to_string(ratio));
     MixResult r = RunComplexMix(cfg);
+    perf.EndRun(r.tuples_processed);
     char label[16];
     std::snprintf(label, sizeof(label), "%.1f", ratio);
     reporter.AddRow(label, {r.mean_sic, r.jain});

@@ -4,13 +4,16 @@
 // Expected shape: mean SIC rises with the node count (more capacity for the
 // same workload) while Jain's index stays near 1.
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_fig12_nodes");
   std::printf("Reproduces Figure 12 of the THEMIS paper (scalability in "
               "nodes).\n");
 
@@ -18,7 +21,9 @@ int main() {
                     {"nodes", "mean_SIC", "jain_index"});
   const int kQueries = 250;         // scaled from the paper's 500
   const int kCapacityBaseline = 9;  // overload calibrated at 9 nodes
-  for (int nodes : {9, 12, 18, 24}) {
+  std::vector<int> node_counts = {9, 12, 18, 24};
+  if (perf.quick()) node_counts = {9};
+  for (int nodes : node_counts) {
     MixConfig cfg;
     cfg.num_queries = kQueries;
     cfg.nodes = nodes;
@@ -38,7 +43,14 @@ int main() {
     cfg.warmup = Seconds(20);
     cfg.measure = Seconds(15);
     cfg.seed = 500 + nodes;
+    if (perf.quick()) {
+      cfg.num_queries = kQueries / 2;
+      cfg.warmup = Seconds(8);
+      cfg.measure = Seconds(8);
+    }
+    perf.BeginRun("nodes=" + std::to_string(nodes));
     MixResult r = RunComplexMix(cfg);
+    perf.EndRun(r.tuples_processed);
     reporter.AddRow(std::to_string(nodes), {r.mean_sic, r.jain});
   }
   reporter.Print();

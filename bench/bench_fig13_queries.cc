@@ -6,18 +6,21 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_fig13_queries");
   std::printf("Reproduces Figure 13 of the THEMIS paper (scalability in "
               "queries).\n");
 
   Reporter reporter("Figure 13: fairness vs number of queries (18 nodes)",
                     {"queries", "mean_SIC", "jain_index"});
   const int kBaselineQueries = 180;  // capacity calibrated at the low end
-  for (int queries = 180; queries <= 900; queries += 180) {
+  const int last = perf.quick() ? 180 : 900;
+  for (int queries = 180; queries <= last; queries += 180) {
     MixConfig cfg;
     cfg.num_queries = queries;
     cfg.nodes = 18;
@@ -32,7 +35,14 @@ int main() {
     cfg.warmup = Seconds(20);
     cfg.measure = Seconds(15);
     cfg.seed = 600 + queries;
+    if (perf.quick()) {
+      cfg.num_queries = queries / 2;
+      cfg.warmup = Seconds(8);
+      cfg.measure = Seconds(8);
+    }
+    perf.BeginRun("queries=" + std::to_string(queries));
     MixResult r = RunComplexMix(cfg);
+    perf.EndRun(r.tuples_processed);
     reporter.AddRow(std::to_string(queries), {r.mean_sic, r.jain});
   }
   reporter.Print();

@@ -9,11 +9,13 @@
 #include <string>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_fig14_burst_wan");
   std::printf("Reproduces Figure 14 of the THEMIS paper (burstiness and "
               "wide-area networks).\n");
 
@@ -31,7 +33,9 @@ int main() {
       {"LAN-bursty", Millis(5), 0.1},
       {"FSPS-bursty", Millis(50), 0.1},
   };
-  for (const Deployment& d : deployments) {
+  const size_t num_deployments = perf.quick() ? 1 : 4;
+  for (size_t di = 0; di < num_deployments; ++di) {
+    const Deployment& d = deployments[di];
     double row[4];
     int i = 0;
     for (int queries : {20, 40}) {
@@ -49,7 +53,14 @@ int main() {
       cfg.warmup = Seconds(20);
       cfg.measure = Seconds(15);
       cfg.seed = 700 + queries;
+      if (perf.quick()) {
+        cfg.warmup = Seconds(8);
+        cfg.measure = Seconds(8);
+      }
+      perf.BeginRun(std::string(d.name) + "/queries=" +
+                    std::to_string(queries));
       MixResult r = RunComplexMix(cfg);
+      perf.EndRun(r.tuples_processed);
       row[i++] = r.mean_sic;
       row[i++] = r.jain;
     }

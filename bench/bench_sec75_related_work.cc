@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/perf.h"
 #include "metrics/jain.h"
 #include "metrics/reporter.h"
 #include "solver/fit_baseline.h"
@@ -88,7 +89,7 @@ void RunZhaoSimple() {
               "BALANCE-SIC.)\n");
 }
 
-void RunComplexComparison() {
+void RunComplexComparison(PerfRecorder* perf) {
   // Complex deployment: 20 AVG-all (3 fragments), 20 COV and 20 TOP-5
   // (2 fragments each) with fragments randomly placed on 4 nodes.
   Rng rng(3);
@@ -137,7 +138,13 @@ void RunComplexComparison() {
   cfg.warmup = Seconds(20);
   cfg.measure = Seconds(15);
   cfg.seed = 75;
+  if (perf->quick()) {
+    cfg.warmup = Seconds(8);
+    cfg.measure = Seconds(8);
+  }
+  perf->BeginRun("complex-vs-zhao");
   MixResult balance = RunComplexMix(cfg);
+  perf->EndRun(balance.tuples_processed);
 
   Reporter reporter("Sec 7.5: complex deployment, Zhao [44] vs BALANCE-SIC",
                     {"approach", "jain_index"});
@@ -151,11 +158,14 @@ void RunComplexComparison() {
 }  // namespace bench
 }  // namespace themis
 
-int main() {
+int main(int argc, char** argv) {
+  themis::bench::PerfRecorder perf(argc, argv, "bench_sec75_related_work");
   std::printf("Reproduces the Sec 7.5 related-work comparison of the THEMIS "
               "paper.\n");
+  perf.BeginRun("solvers");
   themis::bench::RunFitComparison();
   themis::bench::RunZhaoSimple();
-  themis::bench::RunComplexComparison();
+  perf.EndRun(0);
+  themis::bench::RunComplexComparison(&perf);
   return 0;
 }

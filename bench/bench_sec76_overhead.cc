@@ -8,7 +8,9 @@
 // stay small.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <deque>
+#include <vector>
 
 #include "common/rng.h"
 #include "shedding/balance_sic_shedder.h"
@@ -101,4 +103,24 @@ BENCHMARK(BM_MetadataBytes)->Iterations(1);
 }  // namespace
 }  // namespace themis
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): Google Benchmark aborts on
+// unknown flags, so the harness-wide `--quick` / `--json PATH` arguments are
+// stripped before Initialize(). Quick mode needs no further scaling — the
+// default min_time already finishes in seconds.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) continue;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,11 +4,15 @@
 // fragment, 29 for TOP-5 incl. separate window operators, 5 for COV).
 #include <cstdio>
 
+#include "bench/perf.h"
 #include "metrics/reporter.h"
 #include "workload/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
+  // Table 1 is structural (no simulation); quick and full runs coincide.
+  bench::PerfRecorder perf(argc, argv, "bench_table1_workloads");
+  perf.BeginRun("build-workloads");
   std::printf("Reproduces Table 1 of the THEMIS paper (query workloads).\n");
   std::printf("Note: the paper counts time-window operators separately; this "
               "implementation embeds windows in each operator, so TOP-5 "
@@ -47,5 +51,6 @@ int main() {
   report("COV(2 frags)", f.MakeCov(6, cov));
 
   reporter.Print();
+  perf.EndRun(0);
   return 0;
 }

@@ -3,12 +3,14 @@
 // derived capacities.
 #include <cstdio>
 
+#include "bench/perf.h"
 #include "federation/testbeds.h"
 #include "metrics/reporter.h"
 #include "workload/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace themis;
+  bench::PerfRecorder perf(argc, argv, "bench_table2_testbeds");
   std::printf("Reproduces Table 2 of the THEMIS paper (test-bed set-ups) as "
               "simulator presets.\n");
 
@@ -38,7 +40,9 @@ int main() {
     std::map<FragmentId, NodeId> placement = {{0, 0}};
     if (!fsps->Deploy(std::move(built.graph), placement).ok()) continue;
     if (!fsps->AttachSources(1, built.sources).ok()) continue;
-    fsps->RunFor(Seconds(15));
+    perf.BeginRun(std::string("smoke/") + spec.name);
+    fsps->RunFor(perf.quick() ? Seconds(5) : Seconds(15));
+    perf.EndRun(fsps->TotalNodeStats().tuples_processed);
     smoke.AddRow(spec.name, {fsps->QuerySic(1)});
   }
   smoke.Print();

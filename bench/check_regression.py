@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a merged BENCH_results.json against a committed baseline.
+
+Usage: check_regression.py RESULTS_JSON BASELINE_JSON [--tolerance 0.20]
+
+For every (bench, config) run present in both files with a non-zero
+throughput, fail (exit 1) when the measured tuples/s — normalized by each
+file's `calib_ops_per_sec` CPU score, which cancels machine-class and host-
+load differences — falls more than TOLERANCE below the baseline. Configs
+missing from either side are reported but not fatal (benches evolve);
+zero-throughput runs (no tuple notion) are skipped.
+
+Refresh the baseline with `bench/run_benches.sh build bench/baseline.json
+--quick` (see EXPERIMENTS.md, "Refreshing the baseline").
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    """Returns {(bench, config): calibration-normalized throughput}.
+
+    Prefers tuples per CPU second (robust against host contention); falls
+    back to wall-clock throughput for files written before cpu_s existed.
+    """
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    runs = {}
+    for entry in entries:
+        calib = entry.get("calib_ops_per_sec", 0.0)
+        for run in entry.get("runs", []):
+            tps = run.get("tuples_per_cpu_sec", 0.0) or run.get(
+                "tuples_per_sec", 0.0
+            )
+            runs[(entry["bench"], run["config"])] = (
+                tps / calib if calib > 0 else 0.0,
+                run.get("cpu_s", run.get("wall_s", 0.0)),
+            )
+    return runs
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("results")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument(
+        "--min-cpu-s", type=float, default=0.1,
+        help="skip runs whose baseline burned less CPU than this "
+             "(too short to measure reliably)")
+    args = parser.parse_args()
+
+    results = load_runs(args.results)
+    baseline = load_runs(args.baseline)
+
+    regressions = []
+    compared = 0
+    print("(throughputs below are tuples per CPU-second divided by each "
+          "file's CPU calibration score)")
+    print(f"{'bench/config':<60} {'base':>12} {'now':>12} {'ratio':>7}")
+    for key, (base_tps, base_cpu) in sorted(baseline.items()):
+        if base_tps <= 0:
+            continue
+        if base_cpu < args.min_cpu_s:
+            print(f"{key[0] + '/' + key[1]:<60} <too short to gate "
+                  f"({base_cpu:.3f}s cpu)>")
+            continue
+        if key not in results:
+            print(f"{key[0] + '/' + key[1]:<60} {'<missing in results>'}")
+            continue
+        now_tps, _ = results[key]
+        if now_tps <= 0:
+            continue
+        ratio = now_tps / base_tps
+        compared += 1
+        marker = " REGRESSION" if ratio < 1.0 - args.tolerance else ""
+        print(
+            f"{key[0] + '/' + key[1]:<60} {base_tps:>12.4f} {now_tps:>12.4f}"
+            f" {ratio:>6.2f}x{marker}"
+        )
+        if marker:
+            regressions.append((key, ratio))
+
+    for key in sorted(set(results) - set(baseline)):
+        print(f"{key[0] + '/' + key[1]:<60} <new, no baseline>")
+
+    if compared == 0:
+        print("error: no comparable runs between results and baseline",
+              file=sys.stderr)
+        return 1
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.tolerance:.0%} tolerance:", file=sys.stderr)
+        for (bench, config), ratio in regressions:
+            print(f"  {bench}/{config}: {ratio:.2f}x of baseline",
+                  file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} run(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs every bench binary found in a build tree sequentially, merging their
+# machine-readable output into one JSON file (see EXPERIMENTS.md).
+#
+# Usage: bench/run_benches.sh BUILD_DIR OUT_JSON [--quick]
+#
+# Sequential on purpose: the benches merge into one file, and concurrent
+# writers would race. Refresh bench/baseline.json with:
+#   bench/run_benches.sh build bench/baseline.json --quick
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 BUILD_DIR OUT_JSON [--quick]" >&2
+  exit 2
+fi
+
+build_dir=$1
+out_json=$2
+quick_flag=${3:-}
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir does not exist (build the benches first)" >&2
+  exit 1
+fi
+
+rm -f "$out_json"
+for bin in "$bench_dir"/bench_*; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name=$(basename "$bin")
+  if [[ "$name" == "bench_sec76_overhead" ]]; then
+    # Google-Benchmark binary: no PerfRecorder JSON; run it for smoke only.
+    echo "== $name (no JSON) =="
+    "$bin" ${quick_flag:+--quick} > /dev/null
+    continue
+  fi
+  echo "== $name =="
+  "$bin" ${quick_flag:+--quick} --json "$out_json" > /dev/null
+done
+
+echo "merged results written to $out_json"

@@ -95,7 +95,7 @@ SourceModel SensorModel(int64_t sensor, double mean, double rate, Rng rng) {
   m.tuples_per_sec = rate;
   m.batches_per_sec = 5;
   auto gen = std::make_shared<Rng>(rng);
-  m.payload = [sensor, mean, gen](SimTime) -> std::vector<Value> {
+  m.payload = [sensor, mean, gen](SimTime) -> ValueList {
     return {Value(sensor), Value(std::max(0.0, gen->Gaussian(mean, mean / 3)))};
   };
   // Rush hour: 10% of seconds the sensors report at 10x the rate.

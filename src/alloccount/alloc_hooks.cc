@@ -1,0 +1,65 @@
+// Opt-in counting allocator: global operator new/delete overrides that feed
+// the AllocCounter atomics. Lives in its own library (themis::alloccount) so
+// only binaries that link it — and reference ForceLinkAllocCounter(), which
+// anchors this archive member — pay the (one relaxed atomic increment)
+// bookkeeping cost per allocation.
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_counter.h"
+
+namespace themis {
+
+void ForceLinkAllocCounter() {
+  internal::g_alloc_counting_active.store(true, std::memory_order_relaxed);
+}
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  internal::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  internal::g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  internal::g_free_count.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+}  // namespace themis
+
+void* operator new(std::size_t size) { return themis::CountedAlloc(size); }
+void* operator new[](std::size_t size) { return themis::CountedAlloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return themis::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return themis::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { themis::CountedFree(p); }
+void operator delete[](void* p) noexcept { themis::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { themis::CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+  themis::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  themis::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  themis::CountedFree(p);
+}

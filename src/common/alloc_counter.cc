@@ -1,0 +1,12 @@
+#include "common/alloc_counter.h"
+
+namespace themis {
+namespace internal {
+
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_free_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<bool> g_alloc_counting_active{false};
+
+}  // namespace internal
+}  // namespace themis

@@ -1,0 +1,55 @@
+// Process-wide heap-allocation counters, fed by the OPT-IN counting
+// allocator in src/alloccount. By default the counters stay at zero and
+// `active()` is false; a binary opts in by linking `themis::alloccount` and
+// calling ForceLinkAllocCounter() (which pulls the operator new/delete
+// overrides into the link and arms the counters).
+//
+// The bench harness uses this to report allocations per run, and the
+// data-plane regression test uses it to pin steady-state allocation counts.
+#ifndef THEMIS_COMMON_ALLOC_COUNTER_H_
+#define THEMIS_COMMON_ALLOC_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace themis {
+
+namespace internal {
+// Written by the alloccount hooks; read through AllocCounter.
+extern std::atomic<uint64_t> g_alloc_count;
+extern std::atomic<uint64_t> g_free_count;
+extern std::atomic<uint64_t> g_alloc_bytes;
+extern std::atomic<bool> g_alloc_counting_active;
+}  // namespace internal
+
+/// \brief Read-side view of the counting allocator.
+class AllocCounter {
+ public:
+  /// True when the counting allocator is linked in and armed.
+  static bool active() {
+    return internal::g_alloc_counting_active.load(std::memory_order_relaxed);
+  }
+  /// Heap allocations (operator new calls) since process start.
+  static uint64_t allocations() {
+    return internal::g_alloc_count.load(std::memory_order_relaxed);
+  }
+  /// Heap frees (operator delete calls) since process start.
+  static uint64_t frees() {
+    return internal::g_free_count.load(std::memory_order_relaxed);
+  }
+  /// Total bytes requested from operator new since process start.
+  static uint64_t bytes_allocated() {
+    return internal::g_alloc_bytes.load(std::memory_order_relaxed);
+  }
+};
+
+/// Defined in src/alloccount (themis::alloccount). Calling it references the
+/// translation unit holding the global operator new/delete overrides, which
+/// forces the archive member into the link and arms the counters. Without
+/// this call (or without linking themis::alloccount) allocation behaviour is
+/// completely unchanged.
+void ForceLinkAllocCounter();
+
+}  // namespace themis
+
+#endif  // THEMIS_COMMON_ALLOC_COUNTER_H_

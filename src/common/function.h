@@ -1,0 +1,135 @@
+// Move-only callable wrapper for the event-driven core.
+//
+// std::function requires copyable callables, which forced batch hand-offs
+// through shared_ptr (one control-block allocation per simulated network
+// message). UniqueFunction accepts move-only captures — a Batch moves
+// through the scheduler — and stores callables up to kInlineSize bytes
+// inline, so scheduling an event does not allocate.
+#ifndef THEMIS_COMMON_FUNCTION_H_
+#define THEMIS_COMMON_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace themis {
+
+/// \brief Move-only `void()` function with small-buffer storage.
+class UniqueFunction {
+ public:
+  /// Inline storage size; sized for a lambda capturing a node pointer plus a
+  /// moved Batch (the hottest event payload in the simulator).
+  static constexpr size_t kInlineSize = 64;
+
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT: implicit like std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+    }
+    vtable_ = VTableFor<Fn>();
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { MoveFrom(other); }
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { Reset(); }
+
+  void operator()() { vtable_->invoke(Target()); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* target);
+    /// Moves the target from `from_fn`'s storage into `to_fn` (inline
+    /// callables only; heap callables transfer by pointer).
+    void (*relocate)(UniqueFunction* to_fn, UniqueFunction* from_fn);
+    void (*destroy)(void* target);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool kFitsInline =
+      sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static void InvokeImpl(void* target) {
+    (*static_cast<Fn*>(target))();
+  }
+
+  template <typename Fn>
+  static void RelocateImpl(UniqueFunction* to_fn, UniqueFunction* from_fn) {
+    if constexpr (kFitsInline<Fn>) {
+      Fn* src = static_cast<Fn*>(static_cast<void*>(from_fn->storage_));
+      ::new (static_cast<void*>(to_fn->storage_)) Fn(std::move(*src));
+      src->~Fn();
+    } else {
+      to_fn->heap_ = from_fn->heap_;
+      from_fn->heap_ = nullptr;
+    }
+  }
+
+  template <typename Fn>
+  static void DestroyImpl(void* target) {
+    if constexpr (kFitsInline<Fn>) {
+      static_cast<Fn*>(target)->~Fn();
+    } else {
+      delete static_cast<Fn*>(target);
+    }
+  }
+
+  template <typename Fn>
+  static const VTable* VTableFor() {
+    static constexpr VTable vt = {&InvokeImpl<Fn>, &RelocateImpl<Fn>,
+                                  &DestroyImpl<Fn>, kFitsInline<Fn>};
+    return &vt;
+  }
+
+  void* Target() {
+    return vtable_ != nullptr && vtable_->inline_stored
+               ? static_cast<void*>(storage_)
+               : heap_;
+  }
+
+  void Reset() {
+    if (vtable_ == nullptr) return;
+    vtable_->destroy(Target());
+    vtable_ = nullptr;
+    heap_ = nullptr;
+  }
+
+  void MoveFrom(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) vtable_->relocate(this, &other);
+    other.vtable_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  void* heap_ = nullptr;
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_COMMON_FUNCTION_H_

@@ -4,30 +4,6 @@
 
 namespace themis {
 
-double Rng::NextDouble() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
-
-double Rng::Uniform(double lo, double hi) {
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
-}
-
-int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
-}
-
-double Rng::Gaussian(double mean, double stddev) {
-  return std::normal_distribution<double>(mean, stddev)(engine_);
-}
-
-double Rng::Exponential(double mean) {
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
-}
-
-bool Rng::Bernoulli(double p) {
-  return std::bernoulli_distribution(p)(engine_);
-}
-
 int64_t Rng::Zipf(int64_t n, double s) {
   // Inverse-CDF sampling over the (small) rank domain; n is the number of
   // nodes or queries in our experiments, so an O(n) scan is fine.

@@ -15,18 +15,36 @@ class Rng {
  public:
   explicit Rng(uint64_t seed = 42) : engine_(seed), seed_(seed) {}
 
+  // The distribution helpers are inline: sources draw one or more values per
+  // generated tuple, making these the hottest calls in a simulation run.
+  // Distributions are constructed per call on purpose — their internal state
+  // (e.g. the Box-Muller spare value) must not persist, or the historical
+  // draw sequences (and every regenerated figure) would change.
+
   /// Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
   /// Uniform double in [lo, hi).
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
   /// Uniform integer in [lo, hi] inclusive.
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
   /// Gaussian with the given mean and standard deviation.
-  double Gaussian(double mean, double stddev);
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
   /// Exponential with the given mean (= 1/lambda).
-  double Exponential(double mean);
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
   /// Bernoulli trial with probability p of true.
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
   /// Zipf-distributed rank in [0, n) with skew parameter s (s=0 -> uniform).
   int64_t Zipf(int64_t n, double s);
 

@@ -21,7 +21,7 @@ namespace themis {
 struct ResultRecord {
   SimTime time = 0;
   double sic = 0.0;
-  std::vector<Value> values;
+  ValueList values;
 };
 
 /// \brief Tracks and disseminates one query's result SIC.

@@ -130,14 +130,14 @@ Status Fsps::AttachSources(QueryId q,
     Node* dest_node = nodes_[dest].get();
     auto deliver = [this, dest, dest_node](Batch b) {
       size_t bytes = BatchBytes(b);
-      auto shared = std::make_shared<Batch>(std::move(b));
-      network_.Send(/*from=*/kInvalidId, dest, bytes, [dest_node, shared] {
-        dest_node->Receive(std::move(*shared));
-      });
+      network_.Send(/*from=*/kInvalidId, dest, bytes,
+                    [dest_node, b = std::move(b)]() mutable {
+                      dest_node->Receive(std::move(b));
+                    });
     };
     sources_.push_back(std::make_unique<SourceDriver>(
         sb.source, q, sb.target, sb.port, model, &queue_, rng_.Fork(),
-        std::move(deliver)));
+        std::move(deliver), dest_node->batch_pool()));
     if (started_) sources_.back()->Start();
   }
   return Status::OK();
@@ -244,9 +244,8 @@ void Fsps::RouteBatch(NodeId from, QueryId query, FragmentId to_fragment,
   NodeId dest = fit->second;
   Node* dest_node = nodes_[dest].get();
   size_t bytes = BatchBytes(batch);
-  auto shared = std::make_shared<Batch>(std::move(batch));
-  network_.Send(from, dest, bytes, [dest_node, shared] {
-    dest_node->Receive(std::move(*shared));
+  network_.Send(from, dest, bytes, [dest_node, b = std::move(batch)]() mutable {
+    dest_node->Receive(std::move(b));
   });
 }
 

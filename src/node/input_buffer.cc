@@ -18,18 +18,24 @@ std::optional<Batch> InputBuffer::Pop() {
 }
 
 size_t InputBuffer::RetainIndices(const std::vector<size_t>& keep_indices) {
-  std::deque<Batch> kept;
+  // Compact in place: the write position only ever trails the read
+  // position (keep_indices is ascending), so kept batches move forward and
+  // dropped ones are released to the pool before their slot is reused.
   size_t kept_tuples = 0;
   size_t cursor = 0;
+  size_t write = 0;
   for (size_t i = 0; i < batches_.size(); ++i) {
     if (cursor < keep_indices.size() && keep_indices[cursor] == i) {
       kept_tuples += batches_[i].size();
-      kept.push_back(std::move(batches_[i]));
+      if (write != i) batches_[write] = std::move(batches_[i]);
+      ++write;
       ++cursor;
+    } else if (pool_ != nullptr) {
+      pool_->Release(std::move(batches_[i]));
     }
   }
   size_t dropped = num_tuples_ - kept_tuples;
-  batches_ = std::move(kept);
+  batches_.resize(write);
   num_tuples_ = kept_tuples;
   return dropped;
 }
@@ -38,7 +44,10 @@ size_t InputBuffer::RemoveQuery(QueryId q) {
   std::deque<Batch> kept;
   size_t kept_tuples = 0;
   for (Batch& b : batches_) {
-    if (b.header.query_id == q) continue;
+    if (b.header.query_id == q) {
+      if (pool_ != nullptr) pool_->Release(std::move(b));
+      continue;
+    }
     kept_tuples += b.size();
     kept.push_back(std::move(b));
   }

@@ -8,12 +8,17 @@
 #include <vector>
 
 #include "runtime/batch.h"
+#include "runtime/batch_pool.h"
 
 namespace themis {
 
 /// \brief FIFO batch queue with tuple-count accounting and shedder support.
 class InputBuffer {
  public:
+  /// Dropped batches (shedding, query removal) are released to `pool` so
+  /// their buffers recycle instead of churning the allocator. May be null.
+  void set_pool(BatchPool* pool) { pool_ = pool; }
+
   void Push(Batch b);
   /// Removes and returns the oldest batch; nullopt when empty.
   std::optional<Batch> Pop();
@@ -40,6 +45,7 @@ class InputBuffer {
  private:
   std::deque<Batch> batches_;
   size_t num_tuples_ = 0;
+  BatchPool* pool_ = nullptr;
 };
 
 }  // namespace themis

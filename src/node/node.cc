@@ -15,25 +15,41 @@ Node::Node(NodeId id, NodeOptions options, EventQueue* queue,
       queue_(queue),
       router_(router),
       shedder_(std::move(shedder)),
-      detector_(options.headroom) {}
+      detector_(options.headroom) {
+  ib_.set_pool(&pool_);
+}
 
 void Node::HostFragment(const QueryGraph* graph, FragmentId fragment) {
-  graphs_[graph->id()] = graph;
-  hosted_fragments_[graph->id()].insert(fragment);
-  for (OperatorId op : graph->fragment_ops(fragment)) {
-    hosted_ops_[graph->id()].insert(op);
+  QueryId q = graph->id();
+  if (static_cast<size_t>(q) >= hosted_.size()) {
+    hosted_.resize(q + 1);
+  }
+  hosted_fragments_[q].insert(fragment);
+
+  // Rebuild the flattened pump order and hosted-operator flags from the
+  // fragment set (ascending fragments, topo order within a fragment).
+  HostedState& hs = hosted_[q];
+  hs.graph = graph;
+  hs.pump_ops.clear();
+  hs.hosted_op.assign(graph->num_operators(), 0);
+  for (FragmentId frag : hosted_fragments_[q]) {
+    for (OperatorId op : graph->fragment_ops(frag)) {
+      hs.pump_ops.push_back(op);
+      hs.hosted_op[op] = 1;
+    }
   }
 }
 
 void Node::UnhostQuery(QueryId q) {
-  graphs_.erase(q);
+  if (q >= 0 && static_cast<size_t>(q) < hosted_.size()) {
+    hosted_[q] = HostedState{};
+  }
   hosted_fragments_.erase(q);
-  hosted_ops_.erase(q);
   query_sic_.erase(q);
   accepted_sic_.erase(q);
   efficiency_.erase(q);
-  for (auto it = rate_estimators_.begin(); it != rate_estimators_.end();) {
-    it = it->first.first == q ? rate_estimators_.erase(it) : std::next(it);
+  for (auto& slot : rate_estimators_) {
+    std::erase_if(slot, [q](const auto& entry) { return entry.first == q; });
   }
   ib_.RemoveQuery(q);
 }
@@ -62,26 +78,46 @@ void Node::Receive(Batch batch) {
   stats_.batches_received += 1;
   stats_.tuples_received += batch.size();
 
-  auto graph_it = graphs_.find(batch.header.query_id);
-  if (graph_it == graphs_.end()) {
+  const HostedState* hs = hosted_state(batch.header.query_id);
+  if (hs == nullptr) {
     // Unknown query: either never hosted here or undeployed while this
-    // batch was in flight. Drop at ingress.
+    // batch was in flight. Drop at ingress (recycling the buffer).
+    pool_.Release(std::move(batch));
     return;
   }
 
   // Source batches carry unstamped tuples; apply Eq. (1) using the online
   // rate estimate for this (query, source) pair (§6 "SIC maintenance").
   if (batch.header.source != kInvalidId) {
-    const QueryGraph* graph = graph_it->second;
-    auto key = std::make_pair(batch.header.query_id, batch.header.source);
-    auto [est_it, inserted] =
-        rate_estimators_.try_emplace(key, RateEstimator(options_.stw));
-    RateEstimator& est = est_it->second;
-    est.Observe(now, batch.size());
-    double per_stw = est.TuplesPerStw(now);
+    const QueryGraph* graph = hs->graph;
+    SourceId src = batch.header.source;
+    if (static_cast<size_t>(src) >= rate_estimators_.size()) {
+      rate_estimators_.resize(src + 1);
+    }
+    auto& slot = rate_estimators_[src];
+    RateEstimator* est = nullptr;
+    for (auto& [q, e] : slot) {
+      if (q == batch.header.query_id) {
+        est = &e;
+        break;
+      }
+    }
+    if (est == nullptr) {
+      slot.emplace_back(batch.header.query_id, RateEstimator(options_.stw));
+      est = &slot.back().second;
+    }
+    est->Observe(now, batch.size());
+    double per_stw = est->TuplesPerStw(now);
     double sic = SourceTupleSic(per_stw, graph->num_sources());
-    for (Tuple& t : batch.tuples) t.sic = sic;
-    batch.RefreshHeaderSic();
+    // Stamp and refresh the header in one pass. The sum loop (rather than
+    // sic * n) reproduces RefreshHeaderSic()'s exact rounding so shedding
+    // decisions — and therefore figure outputs — stay bit-identical.
+    double sum = 0.0;
+    for (Tuple& t : batch.tuples) {
+      t.sic = sic;
+      sum += sic;
+    }
+    batch.header.sic = sum;
   }
 
   ib_.Push(std::move(batch));
@@ -103,8 +139,9 @@ double Node::AcceptedSic(QueryId q, SimTime now) {
 
 std::vector<QueryId> Node::HostedQueries() const {
   std::vector<QueryId> out;
-  out.reserve(graphs_.size());
-  for (const auto& [q, graph] : graphs_) out.push_back(q);
+  for (size_t q = 0; q < hosted_.size(); ++q) {
+    if (hosted_[q].graph != nullptr) out.push_back(static_cast<QueryId>(q));
+  }
   return out;
 }
 
@@ -126,8 +163,12 @@ void Node::ProcessNext() {
   std::optional<Batch> batch = ib_.Pop();
   if (!batch) return;
 
-  auto [acc_it, inserted] = accepted_sic_.try_emplace(
-      batch->header.query_id, StwTracker(options_.stw));
+  QueryId batch_query = batch->header.query_id;
+  auto acc_it = accepted_sic_.find(batch_query);
+  if (acc_it == accepted_sic_.end()) {
+    acc_it =
+        accepted_sic_.emplace(batch_query, StwTracker(options_.stw)).first;
+  }
   acc_it->second.AddResultSic(now, batch->header.sic);
 
   double work_us = ExecuteBatch(*batch);
@@ -138,50 +179,52 @@ void Node::ProcessNext() {
   stats_.batches_processed += 1;
   stats_.tuples_processed += batch->size();
   interval_tuples_ += batch->size();
+  pool_.Release(std::move(*batch));
 
   ScheduleProcessing();
 }
 
 double Node::ExecuteBatch(const Batch& batch) {
-  auto graph_it = graphs_.find(batch.header.query_id);
-  if (graph_it == graphs_.end()) {
+  const HostedState* hs = hosted_state(batch.header.query_id);
+  if (hs == nullptr) {
     THEMIS_LOG(Warn) << "node " << id_ << ": batch for unknown query "
                      << batch.header.query_id;
     return 0.0;
   }
-  const QueryGraph* graph = graph_it->second;
-  Operator* target = graph->op(batch.header.dest_op);
+  Operator* target = hs->graph->op(batch.header.dest_op);
   if (target == nullptr) return 0.0;
 
   double work_us =
       static_cast<double>(batch.size()) * target->cost_us_per_tuple() /
       options_.cpu_speed;
   target->Ingest(batch.tuples, batch.header.dest_port);
-  PumpGraph(graph, &work_us);
+  PumpGraph(*hs, &work_us);
   return work_us;
 }
 
-void Node::PumpGraph(const QueryGraph* graph, double* work_us) {
-  const auto& hosted = hosted_ops_[graph->id()];
+void Node::PumpGraph(const HostedState& hs, double* work_us) {
+  const QueryGraph* graph = hs.graph;
   SimTime wm = Watermark();
-  // Fragments store operators topologically, so one pass suffices for chains
-  // within a fragment: upstream emissions are ingested (and re-advanced)
-  // before downstream operators are visited.
-  for (FragmentId frag : hosted_fragments_[graph->id()]) {
-    for (OperatorId op_id : graph->fragment_ops(frag)) {
-      if (hosted.find(op_id) == hosted.end()) continue;
-      Operator* op = graph->op(op_id);
-      std::vector<Tuple> outputs;
-      op->Advance(wm, &outputs);
-      if (!outputs.empty()) RouteOutputs(graph, op_id, outputs, work_us);
+  // pump_ops stores hosted fragments' operators topologically, so one pass
+  // suffices for chains within a fragment: upstream emissions are ingested
+  // (and re-advanced) before downstream operators are visited.
+  for (OperatorId op_id : hs.pump_ops) {
+    Operator* op = graph->op(op_id);
+    // Reuse one scratch buffer for all pumped operators: RouteOutputs
+    // finishes synchronously (consumers copy on Ingest) before the next
+    // operator overwrites it.
+    scratch_outputs_.clear();
+    op->Advance(wm, &scratch_outputs_);
+    if (!scratch_outputs_.empty()) {
+      RouteOutputs(hs, op_id, scratch_outputs_, work_us);
     }
   }
 }
 
-void Node::RouteOutputs(const QueryGraph* graph, OperatorId op,
+void Node::RouteOutputs(const HostedState& hs, OperatorId op,
                         const std::vector<Tuple>& outputs, double* work_us) {
   SimTime now = queue_->now();
-  const auto& hosted = hosted_ops_[graph->id()];
+  const QueryGraph* graph = hs.graph;
 
   if (op == graph->root()) {
     router_->DeliverResult(graph->id(), now, outputs);
@@ -189,7 +232,7 @@ void Node::RouteOutputs(const QueryGraph* graph, OperatorId op,
   }
 
   for (const Edge& e : graph->out_edges(op)) {
-    if (hosted.find(e.to) != hosted.end()) {
+    if (hs.hosted_op[e.to] != 0) {
       Operator* consumer = graph->op(e.to);
       if (work_us != nullptr) {
         *work_us += static_cast<double>(outputs.size()) *
@@ -197,11 +240,23 @@ void Node::RouteOutputs(const QueryGraph* graph, OperatorId op,
       }
       consumer->Ingest(outputs, e.port);
     } else {
-      Batch b = MakeBatch(graph->id(), e.to, e.port, now, outputs);
+      Batch b = BuildBatch(graph->id(), e.to, e.port, now, outputs);
       router_->RouteBatch(id_, graph->id(), graph->fragment_of(e.to),
                           std::move(b));
     }
   }
+}
+
+Batch Node::BuildBatch(QueryId query, OperatorId op, int port, SimTime created,
+                       const std::vector<Tuple>& tuples) {
+  Batch b = pool_.Acquire();
+  b.header.query_id = query;
+  b.header.dest_op = op;
+  b.header.dest_port = port;
+  b.header.created = created;
+  b.tuples.assign(tuples.begin(), tuples.end());
+  b.RefreshHeaderSic();
+  return b;
 }
 
 void Node::OnShedTimer() {
@@ -214,7 +269,10 @@ void Node::OnShedTimer() {
   interval_busy_ = 0;
 
   // Close windows that became due even if no batch arrived lately.
-  for (const auto& [q, graph] : graphs_) PumpGraph(graph, nullptr);
+  // (Ascending query order, as the former map iteration did.)
+  for (const HostedState& hs : hosted_) {
+    if (hs.graph != nullptr) PumpGraph(hs, nullptr);
+  }
 
   size_t capacity = cost_model_.EstimateCapacity(options_.shed_interval);
   stats_.last_capacity = capacity;
@@ -234,11 +292,14 @@ void Node::OnShedTimer() {
   }
 
   if (detector_.IsOverloaded(ib_.num_tuples(), capacity)) {
-    accepted_snapshot_.clear();
+    accepted_snapshot_.assign(hosted_.size(), 0.0);
     for (auto& [q, tracker] : accepted_sic_) {
       double eff = 1.0;
       if (auto it = efficiency_.find(q); it != efficiency_.end()) {
         if (it->second.has_value()) eff = std::max(it->second.value(), 0.05);
+      }
+      if (static_cast<size_t>(q) >= accepted_snapshot_.size()) {
+        accepted_snapshot_.resize(q + 1, 0.0);
       }
       accepted_snapshot_[q] = tracker.QuerySic(now) * eff;
     }

@@ -12,6 +12,7 @@
 
 #include "common/time_types.h"
 #include "node/input_buffer.h"
+#include "runtime/batch_pool.h"
 #include "runtime/query_graph.h"
 #include "shedding/cost_model.h"
 #include "shedding/overload_detector.h"
@@ -97,6 +98,9 @@ class Node {
   const NodeStats& stats() const { return stats_; }
   const NodeOptions& options() const { return options_; }
   const InputBuffer& input_buffer() const { return ib_; }
+  /// Batch free-list of this node. Producers targeting this node (sources,
+  /// upstream fragments) may Acquire() from it so batch churn recycles.
+  BatchPool* batch_pool() { return &pool_; }
   /// Latest capacity estimate c (tuples per shedding interval).
   size_t CurrentCapacity() const;
   /// Queries with at least one hosted fragment.
@@ -114,14 +118,34 @@ class Node {
   /// Executes one admitted batch through the hosted part of its query graph.
   /// Returns the simulated work in microseconds.
   double ExecuteBatch(const Batch& batch);
-  /// Advances windows of all hosted operators of `graph`'s hosted fragments,
+  /// Per-query hosted state, flattened for O(1) per-batch access (query and
+  /// operator ids are small dense ints). `graph == nullptr` means the query
+  /// is not hosted here.
+  struct HostedState {
+    const QueryGraph* graph = nullptr;
+    /// Operators of hosted fragments in pump order (fragments ascending,
+    /// topologically sorted within a fragment).
+    std::vector<OperatorId> pump_ops;
+    /// hosted_op[op] != 0 iff `op` runs on this node; indexed by OperatorId.
+    std::vector<char> hosted_op;
+  };
+
+  const HostedState* hosted_state(QueryId q) const {
+    if (q < 0 || static_cast<size_t>(q) >= hosted_.size()) return nullptr;
+    return hosted_[q].graph != nullptr ? &hosted_[q] : nullptr;
+  }
+
+  /// Advances windows of all hosted operators of `hs`'s hosted fragments,
   /// routing any emissions. Adds incurred work to `*work_us` if non-null.
-  void PumpGraph(const QueryGraph* graph, double* work_us);
-  /// Routes tuples emitted by `op` of `graph` along its out-edges; local
-  /// consumers ingest immediately (cost added to *work_us), remote fragments
-  /// go through the router, root emissions become results.
-  void RouteOutputs(const QueryGraph* graph, OperatorId op,
+  void PumpGraph(const HostedState& hs, double* work_us);
+  /// Routes tuples emitted by `op` along its out-edges; local consumers
+  /// ingest immediately (cost added to *work_us), remote fragments go
+  /// through the router, root emissions become results.
+  void RouteOutputs(const HostedState& hs, OperatorId op,
                     const std::vector<Tuple>& outputs, double* work_us);
+  /// Builds a pooled batch addressed to `(query, op, port)` from `tuples`.
+  Batch BuildBatch(QueryId query, OperatorId op, int port, SimTime created,
+                   const std::vector<Tuple>& tuples);
   void OnShedTimer();
   SimTime Watermark() const;
 
@@ -132,16 +156,26 @@ class Node {
   std::unique_ptr<Shedder> shedder_;
 
   InputBuffer ib_;
+  BatchPool pool_;
   CostModel cost_model_;
   OverloadDetector detector_;
+  // Scratch buffer reused by PumpGraph for operator emissions; never holds
+  // data across events, only avoids a fresh vector per pumped operator.
+  std::vector<Tuple> scratch_outputs_;
 
-  // Hosted state.
-  std::map<QueryId, const QueryGraph*> graphs_;
+  // Hosted state, indexed by QueryId (dense; entries with a null graph are
+  // not hosted). Iteration in index order matches the former std::map's
+  // ascending-query order, which the deterministic event sequence relies on.
+  std::vector<HostedState> hosted_;
   std::map<QueryId, std::set<FragmentId>> hosted_fragments_;
-  std::map<QueryId, std::set<OperatorId>> hosted_ops_;
 
-  // Eq. (1) stamping state.
-  std::map<std::pair<QueryId, SourceId>, RateEstimator> rate_estimators_;
+  // Eq. (1) stamping state, indexed by SourceId (globally dense). A slot
+  // holds (query, estimator) pairs: source ids are globally unique in
+  // practice, so the inner vector has one entry, but two queries binding
+  // the same source id still get independent estimates (the pre-flattening
+  // map was keyed by the (query, source) pair).
+  std::vector<std::vector<std::pair<QueryId, RateEstimator>>>
+      rate_estimators_;
 
   // Latest disseminated result SIC per hosted query.
   std::map<QueryId, double> query_sic_;
@@ -154,7 +188,8 @@ class Node {
   // low-efficiency queries permanently below the water level.
   std::map<QueryId, StwTracker> accepted_sic_;
   std::map<QueryId, Ewma> efficiency_;
-  std::map<QueryId, double> accepted_snapshot_;
+  // Reused per shed tick; indexed by QueryId (see ShedContext).
+  std::vector<double> accepted_snapshot_;
 
   // Processing bookkeeping.
   bool processing_scheduled_ = false;

@@ -1,0 +1,67 @@
+// Free-list of batch tuple buffers. Batches are the unit of transfer on the
+// data plane: a node receives, processes, drops (sheds) and re-emits
+// thousands of batches per simulated second, and without recycling every one
+// of them costs a vector allocation. BatchPool keeps the tuple buffers of
+// retired batches and hands their capacity to the next Acquire(), so batch
+// churn is allocation-free in steady state.
+#ifndef THEMIS_RUNTIME_BATCH_POOL_H_
+#define THEMIS_RUNTIME_BATCH_POOL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/batch.h"
+
+namespace themis {
+
+/// \brief Recycles Batch tuple buffers. Single-threaded, like the simulator.
+class BatchPool {
+ public:
+  /// \param max_pooled retired buffers kept at most (excess ones are freed)
+  explicit BatchPool(size_t max_pooled = 4096) : max_pooled_(max_pooled) {}
+
+  BatchPool(const BatchPool&) = delete;
+  BatchPool& operator=(const BatchPool&) = delete;
+
+  /// Returns an empty batch with a default header. Its tuple buffer reuses
+  /// the capacity of a previously released batch when one is available.
+  Batch Acquire() {
+    Batch b;
+    if (!free_.empty()) {
+      b.tuples = std::move(free_.back());
+      free_.pop_back();
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    return b;
+  }
+
+  /// Retires `b`, keeping its tuple buffer for a future Acquire(). The
+  /// buffer is cleared (tuples destroyed, spilled payloads freed) but its
+  /// vector capacity is retained.
+  void Release(Batch&& b) { ReleaseTuples(std::move(b.tuples)); }
+
+  /// Same, for a bare tuple buffer.
+  void ReleaseTuples(std::vector<Tuple>&& tuples) {
+    if (tuples.capacity() == 0 || free_.size() >= max_pooled_) return;
+    tuples.clear();
+    free_.push_back(std::move(tuples));
+  }
+
+  size_t pooled() const { return free_.size(); }
+  /// Acquire() calls served from the free list / from the allocator.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<std::vector<Tuple>> free_;
+  size_t max_pooled_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_BATCH_POOL_H_

@@ -30,6 +30,7 @@ void WindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
     size_t first = out->size();
     ProcessPane(pane, out);
     FinalizeOutputs(pane.TotalSic(), pane.end, first, out);
+    window_.Recycle(std::move(pane.tuples));
   }
 }
 
@@ -74,6 +75,8 @@ void BinaryWindowedOperator::Advance(SimTime watermark,
     size_t first = out->size();
     ProcessPanes(left, right, out);
     FinalizeOutputs(left.TotalSic() + right.TotalSic(), end, first, out);
+    left_.Recycle(std::move(left.tuples));
+    right_.Recycle(std::move(right.tuples));
   }
 }
 

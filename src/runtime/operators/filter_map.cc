@@ -17,8 +17,8 @@ void FilterOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
   }
 }
 
-MapOp::MapOp(std::function<std::vector<Value>(const Tuple&)> fn,
-             WindowSpec spec, double cost_us_per_tuple)
+MapOp::MapOp(std::function<ValueList(const Tuple&)> fn, WindowSpec spec,
+             double cost_us_per_tuple)
     : WindowedOperator("map", spec, cost_us_per_tuple), fn_(std::move(fn)) {}
 
 void MapOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {

@@ -31,14 +31,14 @@ class MapOp : public WindowedOperator {
  public:
   /// \param fn transformation applied to each pane tuple's payload; the
   ///        returned payload replaces the tuple's values.
-  MapOp(std::function<std::vector<Value>(const Tuple&)> fn, WindowSpec spec,
+  MapOp(std::function<ValueList(const Tuple&)> fn, WindowSpec spec,
         double cost_us_per_tuple = 0.6);
 
  protected:
   void ProcessPane(const Pane& pane, std::vector<Tuple>* out) override;
 
  private:
-  std::function<std::vector<Value>(const Tuple&)> fn_;
+  std::function<ValueList(const Tuple&)> fn_;
 };
 
 }  // namespace themis

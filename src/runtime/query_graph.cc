@@ -5,23 +5,6 @@
 
 namespace themis {
 
-Operator* QueryGraph::op(OperatorId id) const {
-  if (id < 0 || static_cast<size_t>(id) >= ops_.size()) return nullptr;
-  return ops_[id].get();
-}
-
-const std::vector<Edge>& QueryGraph::out_edges(OperatorId id) const {
-  if (id < 0 || static_cast<size_t>(id) >= out_edges_.size()) return no_edges_;
-  return out_edges_[id];
-}
-
-FragmentId QueryGraph::fragment_of(OperatorId id) const {
-  if (id < 0 || static_cast<size_t>(id) >= op_fragment_.size()) {
-    return kInvalidId;
-  }
-  return op_fragment_[id];
-}
-
 const std::vector<OperatorId>& QueryGraph::fragment_ops(FragmentId frag) const {
   static const std::vector<OperatorId> kEmpty;
   auto it = fragments_.find(frag);

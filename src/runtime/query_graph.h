@@ -42,10 +42,25 @@ class QueryGraph {
   size_t num_fragments() const { return fragments_.size(); }
   size_t num_sources() const { return sources_.size(); }
 
-  Operator* op(OperatorId id) const;
+  // The three accessors below are on the per-batch hot path (ExecuteBatch /
+  // RouteOutputs); they are defined inline for that reason.
+  Operator* op(OperatorId id) const {
+    if (id < 0 || static_cast<size_t>(id) >= ops_.size()) return nullptr;
+    return ops_[id].get();
+  }
   /// Edges leaving `id` (empty vector if none).
-  const std::vector<Edge>& out_edges(OperatorId id) const;
-  FragmentId fragment_of(OperatorId id) const;
+  const std::vector<Edge>& out_edges(OperatorId id) const {
+    if (id < 0 || static_cast<size_t>(id) >= out_edges_.size()) {
+      return no_edges_;
+    }
+    return out_edges_[id];
+  }
+  FragmentId fragment_of(OperatorId id) const {
+    if (id < 0 || static_cast<size_t>(id) >= op_fragment_.size()) {
+      return kInvalidId;
+    }
+    return op_fragment_[id];
+  }
   /// Operator ids of one fragment, in topological order.
   const std::vector<OperatorId>& fragment_ops(FragmentId frag) const;
   /// All fragment ids, ascending.

@@ -17,9 +17,7 @@ const char* TypeName(FieldType t) {
 }  // namespace
 
 Result<int> Schema::IndexOf(const std::string& name) const {
-  for (size_t i = 0; i < fields_.size(); ++i) {
-    if (fields_[i].name == name) return static_cast<int>(i);
-  }
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
   return Status::NotFound("no field named '" + name + "'");
 }
 

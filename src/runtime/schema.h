@@ -2,10 +2,13 @@
 #ifndef THEMIS_RUNTIME_SCHEMA_H_
 #define THEMIS_RUNTIME_SCHEMA_H_
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "runtime/string_pool.h"
 
 namespace themis {
 
@@ -19,17 +22,30 @@ struct Field {
 };
 
 /// \brief Ordered field list describing a tuple payload.
+///
+/// Field-name resolution happens once, at query-compile time; the resolved
+/// integer indices are what operators carry, so the tuple hot path never
+/// compares strings. IndexOf is backed by a hash map built on construction.
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+    index_.reserve(fields_.size());
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      index_.emplace(fields_[i].name, static_cast<int>(i));
+    }
+  }
 
-  /// Index of the field with the given name, or NotFound.
+  /// Index of the field with the given name, or NotFound. O(1).
   Result<int> IndexOf(const std::string& name) const;
 
   const std::vector<Field>& fields() const { return fields_; }
   size_t num_fields() const { return fields_.size(); }
   const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Interning pool for string-typed payload values of this schema's stream.
+  /// Created with the schema, so every copy — whenever taken — shares it.
+  StringPool& pool() const { return *pool_; }
 
   /// Renders "name:type, ..." for debugging.
   std::string ToString() const;
@@ -41,6 +57,8 @@ class Schema {
 
  private:
   std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+  std::shared_ptr<StringPool> pool_ = std::make_shared<StringPool>();
 };
 
 }  // namespace themis

@@ -1,0 +1,18 @@
+#include "runtime/string_pool.h"
+
+namespace themis {
+
+uint32_t StringPool::Intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+StringPool& StringPool::Default() {
+  static StringPool pool;
+  return pool;
+}
+
+}  // namespace themis

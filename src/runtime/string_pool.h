@@ -1,0 +1,47 @@
+// String interning for the data plane. Tuple payloads never carry owned
+// strings: a string-typed Value stores a 32-bit id into a StringPool, so
+// Values stay 16 bytes and copying a tuple never allocates.
+#ifndef THEMIS_RUNTIME_STRING_POOL_H_
+#define THEMIS_RUNTIME_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace themis {
+
+/// \brief Append-only deduplicating string table.
+///
+/// Interning the same string twice yields the same id, so string equality on
+/// the hot path is an integer compare. Ids are dense and never invalidated.
+/// Each Schema owns a pool for its stream's payloads; `Default()` is the
+/// process-wide pool used when no schema is in scope (tests, ad-hoc values).
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Returns the id of `s`, inserting it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// The string for `id`; `id` must come from this pool.
+  const std::string& Get(uint32_t id) const { return strings_[id]; }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+  /// Process-wide pool backing Value's string constructors.
+  static StringPool& Default();
+
+ private:
+  // deque: stable references, so index_ keys can view into stored strings.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_STRING_POOL_H_

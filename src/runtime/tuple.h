@@ -1,14 +1,135 @@
 // The tuple model of §3: t = (timestamp, SIC, payload values).
+//
+// Payloads use a small-buffer ValueList: up to kInlineCapacity values live
+// inside the tuple itself (all Table 1 schemas fit), so creating or copying
+// a tuple is allocation-free and a Batch's tuple vector is one contiguous
+// block. Wider payloads (joins) spill to a heap block transparently.
 #ifndef THEMIS_RUNTIME_TUPLE_H_
 #define THEMIS_RUNTIME_TUPLE_H_
 
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
 #include <utility>
-#include <vector>
 
 #include "common/time_types.h"
 #include "runtime/value.h"
 
 namespace themis {
+
+/// \brief Vector-like payload container with a 4-value inline buffer.
+///
+/// Values are trivially copyable, so all element moves are memcpy; only
+/// payloads wider than kInlineCapacity ever allocate (one heap block that
+/// doubles geometrically, like std::vector).
+class ValueList {
+ public:
+  static constexpr uint32_t kInlineCapacity = 4;
+
+  ValueList() = default;
+  ValueList(std::initializer_list<Value> init) {
+    for (const Value& v : init) push_back(v);
+  }
+  ValueList(const ValueList& other) { CopyFrom(other); }
+  ValueList(ValueList&& other) noexcept { MoveFrom(std::move(other)); }
+  ValueList& operator=(const ValueList& other) {
+    if (this != &other) {
+      size_ = 0;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  ValueList& operator=(ValueList&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~ValueList() { FreeHeap(); }
+
+  void push_back(const Value& v) {
+    if (size_ == capacity()) Grow(size_ + 1);
+    data()[size_++] = v;
+  }
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(Value(std::forward<Args>(args)...));
+  }
+
+  /// Drops all values; spilled capacity is kept for reuse.
+  void clear() { size_ = 0; }
+  void reserve(size_t n) {
+    if (n > capacity()) Grow(static_cast<uint32_t>(n));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// True when the payload lives in a heap block rather than inline.
+  bool spilled() const { return heap_ != nullptr; }
+
+  Value& operator[](size_t i) { return data()[i]; }
+  const Value& operator[](size_t i) const { return data()[i]; }
+  Value* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const Value* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  Value* begin() { return data(); }
+  Value* end() { return data() + size_; }
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
+
+  friend bool operator==(const ValueList& a, const ValueList& b) {
+    if (a.size_ != b.size_) return false;
+    for (uint32_t i = 0; i < a.size_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  uint32_t capacity() const {
+    return heap_ != nullptr ? heap_capacity_ : kInlineCapacity;
+  }
+
+  void Grow(uint32_t min_capacity) {
+    uint32_t cap = capacity() * 2;
+    if (cap < min_capacity) cap = min_capacity;
+    Value* block = new Value[cap];
+    std::memcpy(block, data(), size_ * sizeof(Value));
+    FreeHeap();
+    heap_ = block;
+    heap_capacity_ = cap;
+  }
+
+  void CopyFrom(const ValueList& other) {
+    if (other.size_ > capacity()) Grow(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(Value));
+    size_ = other.size_;
+  }
+
+  void MoveFrom(ValueList&& other) noexcept {
+    heap_ = other.heap_;
+    heap_capacity_ = other.heap_capacity_;
+    size_ = other.size_;
+    if (heap_ == nullptr) {
+      std::memcpy(inline_, other.inline_, size_ * sizeof(Value));
+    }
+    other.heap_ = nullptr;
+    other.heap_capacity_ = 0;
+    other.size_ = 0;
+  }
+
+  void FreeHeap() {
+    delete[] heap_;
+    heap_ = nullptr;
+    heap_capacity_ = 0;
+  }
+
+  Value inline_[kInlineCapacity];
+  Value* heap_ = nullptr;
+  uint32_t heap_capacity_ = 0;
+  uint32_t size_ = 0;
+};
 
 /// \brief One stream tuple: logical timestamp, SIC meta-data and payload.
 ///
@@ -18,10 +139,10 @@ namespace themis {
 struct Tuple {
   SimTime timestamp = 0;
   double sic = 0.0;
-  std::vector<Value> values;
+  ValueList values;
 
   Tuple() = default;
-  Tuple(SimTime ts, double sic_value, std::vector<Value> vals)
+  Tuple(SimTime ts, double sic_value, ValueList vals)
       : timestamp(ts), sic(sic_value), values(std::move(vals)) {}
 };
 

@@ -35,19 +35,39 @@ double Pane::TotalSic() const {
 
 WindowBuffer::WindowBuffer(WindowSpec spec) : spec_(spec) {}
 
+void WindowBuffer::Recycle(std::vector<Tuple>&& tuples) {
+  if (tuples.capacity() == 0 || recycled_.size() >= kMaxRecycled) return;
+  tuples.clear();
+  recycled_.push_back(std::move(tuples));
+}
+
+std::vector<Tuple> WindowBuffer::TakeBuffer() {
+  if (recycled_.empty()) return {};
+  std::vector<Tuple> buf = std::move(recycled_.back());
+  recycled_.pop_back();
+  return buf;
+}
+
 void WindowBuffer::Add(const Tuple& t) {
   switch (spec_.kind) {
     case WindowKind::kTumblingTime: {
       SimTime ts = std::max(t.timestamp, released_up_to_);
       int64_t idx = ts / spec_.range;
-      Pane& p = open_[idx];
-      if (p.tuples.empty()) {
-        p.start = idx * spec_.range;
-        p.end = p.start + spec_.range;
+      Pane* p = cached_pane_;
+      if (idx != cached_idx_ || p == nullptr) {
+        auto [it, inserted] = open_.try_emplace(idx);
+        p = &it->second;
+        if (inserted) {
+          p->start = idx * spec_.range;
+          p->end = p->start + spec_.range;
+          p->tuples = TakeBuffer();
+        }
+        cached_idx_ = idx;
+        cached_pane_ = p;
       }
-      p.tuples.push_back(t);
-      if (p.tuples.back().timestamp < released_up_to_) {
-        p.tuples.back().timestamp = released_up_to_;
+      p->tuples.push_back(t);
+      if (p->tuples.back().timestamp < released_up_to_) {
+        p->tuples.back().timestamp = released_up_to_;
       }
       break;
     }
@@ -62,7 +82,7 @@ void WindowBuffer::Add(const Tuple& t) {
         p.start = count_buf_.front().timestamp;
         p.end = count_buf_.back().timestamp;
         p.tuples = std::move(count_buf_);
-        count_buf_.clear();
+        count_buf_ = TakeBuffer();
         ready_.push_back(std::move(p));
       }
       break;
@@ -88,6 +108,10 @@ std::vector<Pane> WindowBuffer::Advance(SimTime watermark) {
 std::vector<Pane> WindowBuffer::AdvanceTumbling(SimTime watermark) {
   std::vector<Pane> out;
   auto it = open_.begin();
+  if (it != open_.end() && it->second.end <= watermark) {
+    cached_idx_ = -1;
+    cached_pane_ = nullptr;
+  }
   while (it != open_.end() && it->second.end <= watermark) {
     out.push_back(std::move(it->second));
     it = open_.erase(it);
@@ -116,6 +140,7 @@ std::vector<Pane> WindowBuffer::AdvanceSliding(SimTime watermark) {
     Pane p;
     p.start = start;
     p.end = end;
+    p.tuples = TakeBuffer();
     for (const Tuple& t : sliding_buf_) {
       if (t.timestamp >= start && t.timestamp < end) {
         Tuple copy = t;

@@ -58,17 +58,31 @@ class WindowBuffer {
   /// became full (count windows), in order.
   std::vector<Pane> Advance(SimTime watermark);
 
+  /// Hands a consumed pane's tuple buffer back for reuse by future panes,
+  /// keeping pane assembly allocation-free in steady state. Callers pass the
+  /// buffers of panes they got from Advance() once done with them.
+  void Recycle(std::vector<Tuple>&& tuples);
+
   const WindowSpec& spec() const { return spec_; }
   /// Number of buffered (not yet released) tuples.
   size_t buffered() const;
 
  private:
+  static constexpr size_t kMaxRecycled = 8;
+
   std::vector<Pane> AdvanceTumbling(SimTime watermark);
   std::vector<Pane> AdvanceSliding(SimTime watermark);
+  /// A cleared tuple buffer, recycled when one is available.
+  std::vector<Tuple> TakeBuffer();
 
   WindowSpec spec_;
+  std::vector<std::vector<Tuple>> recycled_;
   // Tumbling: open panes keyed by pane index (timestamp / range).
   std::map<int64_t, Pane> open_;
+  // Most batches land in the pane of the previous tuple; cache it to skip
+  // the map lookup (map nodes are stable, Advance invalidates the cache).
+  int64_t cached_idx_ = -1;
+  Pane* cached_pane_ = nullptr;
   SimTime released_up_to_ = 0;
   // Sliding: time-ordered buffer; panes are cut at slide boundaries.
   std::deque<Tuple> sliding_buf_;

@@ -9,6 +9,10 @@
 #ifndef THEMIS_SHEDDING_BALANCE_SIC_SHEDDER_H_
 #define THEMIS_SHEDDING_BALANCE_SIC_SHEDDER_H_
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 #include "shedding/shedder.h"
 
@@ -56,8 +60,40 @@ class BalanceSicShedder : public Shedder {
   const char* name() const override { return "balance-sic"; }
 
  private:
+  struct QueryState {
+    QueryId query = kInvalidId;
+    double projected_sic = 0.0;   // plays the role of q_SIC during the loop
+    std::vector<size_t> batches;  // candidate batch indices, best-first
+    size_t next = 0;              // cursor into `batches`
+
+    bool Exhausted() const { return next >= batches.size(); }
+  };
+
   Rng rng_;
   BalanceSicOptions options_;
+
+  // Scratch reused across invocations: the selection runs every shedding
+  // interval over the whole input buffer, and re-allocating its per-query
+  // index vectors each time dominated profiles. The nested vectors keep
+  // their capacity; *_used_ counters track the live prefix.
+  std::vector<QueryState> states_;
+  // Query -> states_ slot, generation-stamped so resetting between
+  // invocations is O(1) (query ids are small dense ints).
+  struct IndexSlot {
+    uint64_t generation = 0;
+    uint32_t slot = 0;
+  };
+  std::vector<IndexSlot> state_index_;
+  uint64_t generation_ = 0;
+  std::vector<std::pair<int64_t, std::vector<size_t>>> buckets_;
+  size_t buckets_used_ = 0;
+  std::vector<std::pair<SourceId, std::vector<size_t>>> per_source_;
+  size_t per_source_used_ = 0;
+  std::vector<std::pair<double, int64_t>> bucket_order_;
+  std::vector<size_t> flattened_;
+  // All states' projected SIC values, kept sorted during the acceptance
+  // loop so the q'' target level is an upper_bound instead of a scan.
+  std::vector<double> sorted_sic_;
 };
 
 }  // namespace themis

@@ -23,10 +23,11 @@ struct ShedContext {
   /// (from the query coordinators, §5.2 updateSIC). May be null.
   const std::map<QueryId, double>* query_sic = nullptr;
   /// SIC mass this node accepted for processing per query over the trailing
-  /// STW. Lag-free local counterpart of `query_sic`: disseminated values
-  /// trail reality by the end-to-end window-cascade latency, and balancing
-  /// on them alone over-corrects (§6 projection heuristic). May be null.
-  const std::map<QueryId, double>* local_accepted_sic = nullptr;
+  /// STW, indexed by QueryId (0.0 for queries without accepted mass).
+  /// Lag-free local counterpart of `query_sic`: disseminated values trail
+  /// reality by the end-to-end window-cascade latency, and balancing on
+  /// them alone over-corrects (§6 projection heuristic). May be null.
+  const std::vector<double>* local_accepted_sic = nullptr;
 };
 
 /// \brief Strategy deciding which input-buffer batches survive an overload.

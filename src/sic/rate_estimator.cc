@@ -4,30 +4,51 @@
 
 namespace themis {
 
+void RateEstimator::Grow() {
+  size_t cap = ring_.empty() ? 64 : ring_.size() * 2;
+  std::vector<Sample> next(cap);
+  for (size_t i = 0; i < size_; ++i) next[i] = At(i);
+  ring_ = std::move(next);
+  head_ = 0;
+}
+
 void RateEstimator::Observe(SimTime now, size_t count) {
   if (first_observation_ < 0) first_observation_ = now;
-  samples_.push_back({now, count});
+  if (size_ == ring_.size()) Grow();
+  ring_[(head_ + size_) & (ring_.size() - 1)] = {now, count};
+  ++size_;
   in_window_ += count;
   Prune(now);
 }
 
 void RateEstimator::Prune(SimTime now) {
   SimTime horizon = now - stw_;
-  while (!samples_.empty() && samples_.front().time <= horizon) {
-    in_window_ -= samples_.front().count;
-    samples_.pop_front();
+  while (size_ > 0 && ring_[head_].time <= horizon) {
+    in_window_ -= ring_[head_].count;
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --size_;
   }
 }
 
 double RateEstimator::TuplesPerStw(SimTime now) const {
-  if (samples_.empty() || first_observation_ < 0) return 0.0;
+  if (size_ == 0 || first_observation_ < 0) return 0.0;
   SimTime elapsed = now - first_observation_;
-  // Count arrivals currently inside (now - stw, now].
+  // Count arrivals currently inside (now - stw, now]. The common caller
+  // (node ingress) asks at the same `now` it just observed at, so the whole
+  // ring is in-window and the maintained sum answers in O(1); the scan only
+  // runs when `now` moved past stale samples. Counts are small integers, so
+  // the integer sum and the double sum are bit-identical.
   SimTime horizon = now - stw_;
-  double count = 0.0;
-  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-    if (it->time <= horizon) break;
-    count += static_cast<double>(it->count);
+  double count;
+  if (ring_[head_].time > horizon) {
+    count = static_cast<double>(in_window_);
+  } else {
+    count = 0.0;
+    for (size_t i = size_; i > 0; --i) {
+      const Sample& s = At(i - 1);
+      if (s.time <= horizon) break;
+      count += static_cast<double>(s.count);
+    }
   }
   if (elapsed <= 0) {
     // Single instantaneous observation: the best available estimate is the

@@ -6,13 +6,18 @@
 #define THEMIS_SIC_RATE_ESTIMATOR_H_
 
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "common/time_types.h"
 
 namespace themis {
 
 /// \brief Sliding-window arrival counter for one source.
+///
+/// Samples live in a power-of-two ring buffer: one estimator runs per
+/// (query, source) pair and is fed on every batch arrival, so the window
+/// maintenance must neither allocate nor chase deque blocks in steady
+/// state.
 class RateEstimator {
  public:
   /// \param stw source time window duration the estimate is expressed in
@@ -37,9 +42,15 @@ class RateEstimator {
   };
 
   void Prune(SimTime now);
+  void Grow();
+  const Sample& At(size_t i) const {  // i-th oldest in-window sample
+    return ring_[(head_ + i) & (ring_.size() - 1)];
+  }
 
   SimDuration stw_;
-  std::deque<Sample> samples_;
+  std::vector<Sample> ring_;  // power-of-two capacity
+  size_t head_ = 0;           // index of the oldest sample
+  size_t size_ = 0;           // live samples
   size_t in_window_ = 0;
   SimTime first_observation_ = -1;
 };

@@ -6,7 +6,16 @@
 namespace themis {
 
 void EventQueue::Schedule(SimTime t, Callback cb) {
-  queue_.push({std::max(t, now_), next_seq_++, std::move(cb)});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(cb));
+  }
+  queue_.push({std::max(t, now_), next_seq_++, slot});
 }
 
 void EventQueue::ScheduleAfter(SimDuration delay, Callback cb) {
@@ -15,13 +24,15 @@ void EventQueue::ScheduleAfter(SimDuration delay, Callback cb) {
 
 bool EventQueue::RunNext() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  Event ev = queue_.top();
   queue_.pop();
   now_ = ev.time;
   ++executed_;
-  ev.cb();
+  // Move the callback out before running: the callback may schedule new
+  // events, which may reuse the freed slot.
+  Callback cb = std::move(slots_[ev.slot]);
+  free_slots_.push_back(ev.slot);
+  cb();
   return true;
 }
 

@@ -8,18 +8,22 @@
 #define THEMIS_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/function.h"
 #include "common/time_types.h"
 
 namespace themis {
 
 /// \brief Priority queue of timed callbacks with a simulated clock.
+///
+/// Callbacks are move-only UniqueFunctions: events can own their payload
+/// (e.g. an in-flight Batch) and small callables are stored inline, so
+/// scheduling does not allocate in steady state.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction;
 
   /// Schedules `cb` at absolute simulated time `t` (clamped to now()).
   void Schedule(SimTime t, Callback cb);
@@ -39,10 +43,14 @@ class EventQueue {
   uint64_t executed() const { return executed_; }
 
  private:
+  // Heap entries are 24-byte PODs; the callbacks live in a slab of stable
+  // slots on the side. Heap sifts therefore memcpy small entries instead of
+  // vtable-relocating UniqueFunctions, and retired slots recycle so
+  // scheduling is allocation-free in steady state.
   struct Event {
     SimTime time;
-    uint64_t seq;  // tie-break: FIFO among equal-time events
-    Callback cb;
+    uint64_t seq;   // tie-break: FIFO among equal-time events
+    uint32_t slot;  // index into slots_
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -52,6 +60,8 @@ class EventQueue {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Callback> slots_;
+  std::vector<uint32_t> free_slots_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;

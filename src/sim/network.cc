@@ -17,7 +17,7 @@ SimDuration Network::Latency(NodeId a, NodeId b) const {
 }
 
 void Network::Send(NodeId from, NodeId to, size_t payload_bytes,
-                   std::function<void()> on_delivery) {
+                   UniqueFunction on_delivery) {
   ++messages_;
   bytes_ += payload_bytes;
   SimDuration lat = Latency(from, to);

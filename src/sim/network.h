@@ -5,10 +5,10 @@
 #define THEMIS_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <utility>
 
+#include "common/function.h"
 #include "common/rng.h"
 #include "common/time_types.h"
 #include "runtime/ids.h"
@@ -33,9 +33,10 @@ class Network {
   SimDuration Latency(NodeId a, NodeId b) const;
 
   /// Delivers `on_delivery` at the destination after the link latency.
-  /// `payload_bytes` only feeds the traffic statistics.
+  /// `payload_bytes` only feeds the traffic statistics. The callback may own
+  /// its payload (move-only): batches move through the network, not copy.
   void Send(NodeId from, NodeId to, size_t payload_bytes,
-            std::function<void()> on_delivery);
+            UniqueFunction on_delivery);
 
   uint64_t messages_sent() const { return messages_; }
   uint64_t bytes_sent() const { return bytes_; }

@@ -10,10 +10,15 @@ PlanetLabTrace::PlanetLabTrace(Rng rng, PlanetLabTraceOptions options)
     : rng_(rng), options_(options), state_(options.mean) {}
 
 double PlanetLabTrace::Next(SimTime now) {
-  // Slow diurnal drift of the process mean.
-  double phase = 2.0 * std::numbers::pi * static_cast<double>(now) /
-                 static_cast<double>(options_.diurnal_period);
-  double level = options_.mean + options_.diurnal_amp * std::sin(phase);
+  // Slow diurnal drift of the process mean (cached per `now`: all tuples of
+  // one batch share their generation time).
+  if (now != level_now_) {
+    double phase = 2.0 * std::numbers::pi * static_cast<double>(now) /
+                   static_cast<double>(options_.diurnal_period);
+    level_now_ = now;
+    level_ = options_.mean + options_.diurnal_amp * std::sin(phase);
+  }
+  double level = level_;
 
   // AR(1) step around the drifting level.
   state_ = level + options_.phi * (state_ - level) +

@@ -40,6 +40,10 @@ class PlanetLabTrace : public ValueGenerator {
   Rng rng_;
   PlanetLabTraceOptions options_;
   double state_;
+  // The diurnal level depends only on `now`, and every tuple of a batch is
+  // generated at the same `now` — cache it so sin() runs once per batch.
+  SimTime level_now_ = -1;
+  double level_ = 0.0;
 };
 
 }  // namespace themis

@@ -8,7 +8,7 @@ namespace themis {
 SourceDriver::SourceDriver(SourceId source, QueryId query, OperatorId target_op,
                            int target_port, SourceModel model,
                            EventQueue* queue, Rng rng,
-                           std::function<void(Batch)> deliver)
+                           std::function<void(Batch)> deliver, BatchPool* pool)
     : source_(source),
       query_(query),
       target_op_(target_op),
@@ -16,12 +16,15 @@ SourceDriver::SourceDriver(SourceId source, QueryId query, OperatorId target_op,
       model_(model),
       queue_(queue),
       rng_(rng),
-      deliver_(std::move(deliver)) {
+      deliver_(std::move(deliver)),
+      pool_(pool) {
   if (!model_.payload) {
     value_gen_ = ValueGenerator::Make(model_.dataset, rng_.Fork(), model_.mean);
   }
   int bps = std::max(model_.batches_per_sec, 1);
   period_ = kSecond / bps;
+  base_batch_size_ = static_cast<size_t>(
+      std::llround(std::max(model_.tuples_per_sec / bps, 1.0)));
 }
 
 void SourceDriver::Start() {
@@ -34,17 +37,16 @@ void SourceDriver::Start() {
 }
 
 size_t SourceDriver::CurrentBatchSize() {
-  SimTime now = queue_->now();
   if (model_.burst_prob > 0.0) {
-    SimTime second = now / kSecond;
+    SimTime second = queue_->now() / kSecond;
     if (second > burst_rolled_until_) {
       burst_rolled_until_ = second;
       bursting_ = rng_.Bernoulli(model_.burst_prob);
     }
   }
-  double rate = model_.tuples_per_sec;
-  if (bursting_) rate *= model_.burst_multiplier;
-  double per_batch = rate / std::max(model_.batches_per_sec, 1);
+  if (!bursting_) return base_batch_size_;  // precomputed constant rate
+  double per_batch = model_.tuples_per_sec * model_.burst_multiplier /
+                     std::max(model_.batches_per_sec, 1);
   return static_cast<size_t>(std::llround(std::max(per_batch, 1.0)));
 }
 
@@ -53,23 +55,26 @@ void SourceDriver::GenerateBatch() {
   SimTime now = queue_->now();
   size_t n = CurrentBatchSize();
 
-  std::vector<Tuple> tuples;
-  tuples.reserve(n);
+  // Generate straight into a (pooled) batch buffer; source tuples carry
+  // sic == 0 until Eq. (1) stamping at node ingress.
+  Batch b = pool_ != nullptr ? pool_->Acquire() : Batch{};
+  b.header.query_id = query_;
+  b.header.dest_op = target_op_;
+  b.header.dest_port = target_port_;
+  b.header.created = now;
+  b.header.source = source_;
+  b.tuples.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    Tuple t;
+    Tuple& t = b.tuples.emplace_back();
     t.timestamp = now;
-    t.sic = 0.0;  // stamped per Eq. (1) at node ingress
     if (model_.payload) {
       t.values = model_.payload(now);
     } else {
       t.values.push_back(value_gen_->Next(now));
     }
-    tuples.push_back(std::move(t));
   }
   tuples_generated_ += n;
-
-  Batch b = MakeBatch(query_, target_op_, target_port_, now, std::move(tuples));
-  b.header.source = source_;
+  b.RefreshHeaderSic();
   deliver_(std::move(b));
 
   queue_->ScheduleAfter(period_, [this] { GenerateBatch(); });

@@ -13,13 +13,14 @@
 #include "common/rng.h"
 #include "common/time_types.h"
 #include "runtime/batch.h"
+#include "runtime/batch_pool.h"
 #include "sim/event_queue.h"
 #include "workload/distributions.h"
 
 namespace themis {
 
 /// Builds the payload of one tuple at generation time.
-using PayloadFn = std::function<std::vector<Value>(SimTime now)>;
+using PayloadFn = std::function<ValueList(SimTime now)>;
 
 /// Declarative description of one source.
 struct SourceModel {
@@ -41,9 +42,11 @@ class SourceDriver {
  public:
   /// \param deliver sink receiving the generated batches (typically
   ///        Fsps-provided, shipping them over the simulated network)
+  /// \param pool optional free-list (usually the destination node's) that
+  ///        generated batches draw their tuple buffers from
   SourceDriver(SourceId source, QueryId query, OperatorId target_op,
                int target_port, SourceModel model, EventQueue* queue, Rng rng,
-               std::function<void(Batch)> deliver);
+               std::function<void(Batch)> deliver, BatchPool* pool = nullptr);
 
   /// Starts periodic generation; emits `batches_per_sec` batches per second.
   void Start();
@@ -69,8 +72,10 @@ class SourceDriver {
   EventQueue* queue_;
   Rng rng_;
   std::function<void(Batch)> deliver_;
+  BatchPool* pool_;
   std::unique_ptr<ValueGenerator> value_gen_;
   SimDuration period_;
+  size_t base_batch_size_ = 1;  ///< batch size at the non-burst rate
   // Burst state: whether the current second is bursty, re-rolled per second.
   SimTime burst_rolled_until_ = -1;
   bool bursting_ = false;

@@ -29,7 +29,7 @@ namespace {
 
 // Payload builder producing (id, value) pairs from a shared value generator.
 PayloadFn IdValuePayload(int64_t id, std::shared_ptr<ValueGenerator> gen) {
-  return [id, gen](SimTime now) -> std::vector<Value> {
+  return [id, gen](SimTime now) -> ValueList {
     return {Value(id), Value(gen->Next(now))};
   };
 }
@@ -206,7 +206,7 @@ BuiltQuery WorkloadFactory::MakeTop5(QueryId q,
 
       SourceModel mem_model = cpu_model;
       mem_model.payload =
-          [monitored, mem_gen](SimTime now) -> std::vector<Value> {
+          [monitored, mem_gen](SimTime now) -> ValueList {
         return {Value(monitored), Value(2000.0 * mem_gen->Next(now))};
       };
       built.sources[mem_src] = mem_model;

@@ -40,7 +40,7 @@ class FakeRouter : public BatchRouter {
   std::map<QueryId, double> result_sic;
   std::map<QueryId, double> post_warmup_sic;
   std::map<QueryId, int> result_tuples;
-  std::map<QueryId, std::vector<Value>> last_values;
+  std::map<QueryId, ValueList> last_values;
 };
 
 // Single-fragment AVG query: receiver -> avg(1s window) -> output.

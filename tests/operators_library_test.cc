@@ -95,7 +95,7 @@ TEST(FilterOpTest, NothingPassesLosesPaneSic) {
 
 TEST(MapOpTest, TransformsPayload) {
   MapOp op(
-      [](const Tuple& t) -> std::vector<Value> {
+      [](const Tuple& t) -> ValueList {
         return {Value(AsDouble(t.values[0]) * 2.0)};
       },
       WindowSpec::TumblingTime(kSecond));

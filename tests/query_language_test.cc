@@ -257,12 +257,12 @@ TEST_F(CompilerTest, CompiledTop5RunsEndToEnd) {
   auto gen = std::make_shared<Rng>(rng.Fork());
   SourceModel cpu;
   cpu.tuples_per_sec = 80;
-  cpu.payload = [gen](SimTime) -> std::vector<Value> {
+  cpu.payload = [gen](SimTime) -> ValueList {
     return {Value(gen->UniformInt(0, 7)), Value(gen->Uniform(0, 100))};
   };
   SourceModel mem = cpu;
   auto gen2 = std::make_shared<Rng>(rng.Fork());
-  mem.payload = [gen2](SimTime) -> std::vector<Value> {
+  mem.payload = [gen2](SimTime) -> ValueList {
     return {Value(gen2->UniformInt(0, 7)), Value(gen2->Uniform(0, 1e6))};
   };
   SourceId cpu_src = q->stream_sources.at("CPU");
