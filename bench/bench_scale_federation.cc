@@ -1,0 +1,130 @@
+// Federation-scale engine benchmark: the 64-node WAN-of-LANs scenario
+// (workload/scale_scenario.h) run on the sequential engine, the parallel
+// engine at 1 shard, and the parallel engine at `--shards N` (default 4).
+//
+// Two jobs in one binary:
+//  * Throughput: PerfRecorder captures tuples/s per engine config; CI gates
+//    the parallel speedup (shards=N vs shards=1) via
+//    bench/check_regression.py --min-speedup.
+//  * Determinism: the printed report contains only simulated quantities
+//    (tuple/message/event counts, SIC statistics) — never wall-clock — so
+//    its bytes are a pure function of the scenario. The binary itself fails
+//    if the shards=1 parallel run differs from the sequential run, and CI
+//    byte-diffs two full invocations (and the per-config report blocks
+//    against each other) to pin run-to-run determinism at every shard
+//    count.
+//
+// Flags (besides the PerfRecorder ones): --shards N, --nodes N,
+// --queries N.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/perf.h"
+#include "federation/scale_federation.h"
+#include "metrics/reporter.h"
+
+namespace {
+
+int FlagValue(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace themis;
+  using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_scale_federation");
+  std::printf("Federation-scale run: parallel engine (themis_parsim) vs the "
+              "sequential engine.\n");
+
+  ScaleScenarioOptions so;
+  so.nodes = FlagValue(argc, argv, "--nodes", 64);
+  so.queries = FlagValue(argc, argv, "--queries", 96);
+  // Heavier batches than the scenario default: more data-plane work per
+  // epoch makes the parallel-efficiency measurement robust against barrier
+  // overhead (and matches Table 2's higher-rate test-beds).
+  so.source_rate = 150.0;
+  SimDuration measure = Seconds(20);
+  if (perf.quick()) {
+    so.queries = FlagValue(argc, argv, "--queries", 64);
+    measure = Seconds(10);
+  }
+  const int parallel_shards = FlagValue(argc, argv, "--shards", 4);
+  ScaleScenario scenario = MakeScaleScenario(so);
+
+  Reporter reporter(
+      "Scale federation (" + std::to_string(so.nodes) + " nodes, " +
+          std::to_string(so.queries) + " queries, " +
+          std::to_string(so.clusters) + " LAN clusters over WAN)",
+      {"engine", "processed", "shed", "messages", "events", "mean_SIC",
+       "jain"});
+
+  struct EngineConfig {
+    std::string name;
+    int shards;
+    bool force_parsim;
+  };
+  std::vector<EngineConfig> configs = {
+      {"sequential", 1, false},
+      {"shards=1", 1, true},
+  };
+  if (parallel_shards > 1) {
+    // With --shards 1 the parallel engine is already covered by the config
+    // above; adding it again would emit two runs under one label.
+    configs.push_back(
+        {"shards=" + std::to_string(parallel_shards), parallel_shards, false});
+  }
+
+  std::string first_report;
+  bool identity_ok = true;
+  for (const EngineConfig& config : configs) {
+    FspsOptions fo;
+    fo.shards = config.shards;
+    fo.force_parsim_engine = config.force_parsim;
+    auto fsps = MakeScaleFederation(scenario, fo);
+    perf.BeginRun(config.name);
+    ScaleRunResult r = RunScaleScenario(fsps.get(), scenario, measure);
+    perf.EndRun(r.tuples_processed);
+
+    // One deterministic line per config; the sequential / shards=1 pair
+    // must match byte-for-byte (single-shard parallel fast path).
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "processed=%llu shed=%llu messages=%llu events=%llu "
+                  "mean_sic=%.9f jain=%.9f",
+                  static_cast<unsigned long long>(r.tuples_processed),
+                  static_cast<unsigned long long>(r.tuples_shed),
+                  static_cast<unsigned long long>(r.messages),
+                  static_cast<unsigned long long>(r.events), r.mean_sic,
+                  r.jain);
+    std::printf("[%s] %s\n", config.name.c_str(), line);
+    if (first_report.empty()) {
+      first_report = line;
+    } else if (config.force_parsim && first_report != line) {
+      identity_ok = false;
+    }
+
+    reporter.AddRow(config.name,
+                    {static_cast<double>(r.tuples_processed),
+                     static_cast<double>(r.tuples_shed),
+                     static_cast<double>(r.messages),
+                     static_cast<double>(r.events), r.mean_sic, r.jain});
+  }
+  reporter.Print();
+
+  if (!identity_ok) {
+    std::fprintf(stderr,
+                 "FAIL: parallel engine at shards=1 diverged from the "
+                 "sequential engine\n");
+    return 1;
+  }
+  std::printf("shards=1 parallel run byte-identical to sequential: OK\n");
+  return 0;
+}

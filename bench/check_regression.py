@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Compare a merged BENCH_results.json against a committed baseline.
 
-Usage: check_regression.py RESULTS_JSON BASELINE_JSON [--tolerance 0.20]
+Usage: check_regression.py RESULTS_JSON [BASELINE_JSON] [--tolerance 0.20]
+           [--min-speedup BENCH:FAST_CONFIG:BASE_CONFIG:RATIO ...]
 
 For every (bench, config) run present in both files with a non-zero
 throughput, fail (exit 1) when the measured tuples/s — normalized by each
@@ -9,6 +10,15 @@ file's `calib_ops_per_sec` CPU score, which cancels machine-class and host-
 load differences — falls more than TOLERANCE below the baseline. Configs
 missing from either side are reported but not fatal (benches evolve);
 zero-throughput runs (no tuple notion) are skipped.
+
+--min-speedup gates a within-results ratio: the *wall-clock* tuples/s of
+FAST_CONFIG must be at least RATIO times BASE_CONFIG's (both runs of BENCH
+in RESULTS_JSON). CI uses it to pin the parallel engine's speedup
+(bench_scale_federation:shards=4:shards=1:1.5); wall-clock is deliberate —
+a parallel run burns more CPU-seconds than it saves. BASELINE_JSON may be
+omitted for a speedup-only check (no baseline comparison), which CI does
+against a dedicated full-length bench run for a less noise-sensitive
+measurement than the --quick smoke.
 
 Refresh the baseline with `bench/run_benches.sh build bench/baseline.json
 --quick` (see EXPERIMENTS.md, "Refreshing the baseline").
@@ -41,16 +51,76 @@ def load_runs(path):
     return runs
 
 
+def load_wall_tps(path):
+    """Returns {(bench, config): wall-clock tuples_per_sec}."""
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    return {
+        (entry["bench"], run["config"]): run.get("tuples_per_sec", 0.0)
+        for entry in entries
+        for run in entry.get("runs", [])
+    }
+
+
+def check_speedups(results_path, specs):
+    """Evaluates BENCH:FAST:BASE:RATIO specs; returns a list of failures."""
+    wall = load_wall_tps(results_path)
+    failures = []
+    for spec in specs:
+        try:
+            bench, fast_config, base_config, ratio_s = spec.split(":")
+            min_ratio = float(ratio_s)
+        except ValueError:
+            failures.append(f"malformed --min-speedup spec: {spec!r}")
+            continue
+        fast = wall.get((bench, fast_config), 0.0)
+        base = wall.get((bench, base_config), 0.0)
+        if base <= 0 or fast <= 0:
+            failures.append(
+                f"{bench}: missing run(s) for speedup check "
+                f"({fast_config}={fast:.1f}, {base_config}={base:.1f})")
+            continue
+        ratio = fast / base
+        status = "OK" if ratio >= min_ratio else "FAIL"
+        print(f"speedup {bench} {fast_config} vs {base_config}: "
+              f"{ratio:.2f}x (wall-clock, need >= {min_ratio:.2f}x) {status}")
+        if ratio < min_ratio:
+            failures.append(
+                f"{bench}: {fast_config} is {ratio:.2f}x of {base_config}, "
+                f"below the required {min_ratio:.2f}x")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("results")
-    parser.add_argument("baseline")
+    parser.add_argument("baseline", nargs="?", default=None)
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument(
         "--min-cpu-s", type=float, default=0.1,
         help="skip runs whose baseline burned less CPU than this "
              "(too short to measure reliably)")
+    parser.add_argument(
+        "--min-speedup", action="append", default=[],
+        metavar="BENCH:FAST_CONFIG:BASE_CONFIG:RATIO",
+        help="require FAST_CONFIG's wall-clock tuples/s to be at least "
+             "RATIO x BASE_CONFIG's within the results file")
     args = parser.parse_args()
+
+    if args.baseline is None:
+        failures = check_speedups(args.results, args.min_speedup)
+        if failures:
+            print(f"\n{len(failures)} speedup gate failure(s):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        if not args.min_speedup:
+            print("error: no baseline and no --min-speedup: nothing to check",
+                  file=sys.stderr)
+            return 1
+        print("\nOK: all speedup gates passed")
+        return 0
 
     results = load_runs(args.results)
     baseline = load_runs(args.baseline)
@@ -86,9 +156,17 @@ def main():
     for key in sorted(set(results) - set(baseline)):
         print(f"{key[0] + '/' + key[1]:<60} <new, no baseline>")
 
+    speedup_failures = check_speedups(args.results, args.min_speedup)
+
     if compared == 0:
         print("error: no comparable runs between results and baseline",
               file=sys.stderr)
+        return 1
+    if speedup_failures:
+        print(f"\n{len(speedup_failures)} speedup gate failure(s):",
+              file=sys.stderr)
+        for failure in speedup_failures:
+            print(f"  {failure}", file=sys.stderr)
         return 1
     if regressions:
         print(

@@ -1,12 +1,33 @@
 #include "federation/fsps.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
+#include "parsim/parallel_engine.h"
 #include "shedding/baseline_shedders.h"
 #include "shedding/random_shedder.h"
 
 namespace themis {
+
+namespace {
+
+std::unique_ptr<Engine> MakeEngine(int shards, bool force_parsim) {
+  if (shards <= 1 && !force_parsim) {
+    return std::make_unique<SequentialEngine>();
+  }
+  return std::make_unique<ParallelEngine>(std::max(shards, 1));
+}
+
+// The jitter stream is derived from the run seed so two Fsps instances with
+// different seeds do not share a stream. XORing with (42 ^ 7) maps the
+// default seed 42 to the historical hardcoded jitter seed 7, keeping every
+// seed-42 figure output byte-identical.
+uint64_t DeriveJitterSeed(uint64_t seed) {
+  return seed ^ (42ULL ^ Network::kDefaultJitterSeed);
+}
+
+}  // namespace
 
 std::string SheddingPolicyName(SheddingPolicy policy) {
   switch (policy) {
@@ -27,16 +48,29 @@ std::string SheddingPolicyName(SheddingPolicy policy) {
 Fsps::Fsps(FspsOptions options)
     : options_(options),
       rng_(options.seed),
-      network_(&queue_, options.default_link_latency) {}
+      engine_(MakeEngine(options.shards, options.force_parsim_engine)),
+      network_(engine_->queue(0), options.default_link_latency,
+               DeriveJitterSeed(options.seed)) {}
 
 Fsps::~Fsps() = default;
 
-NodeId Fsps::AddNode() { return AddNode(options_.node); }
+NodeId Fsps::AddNode() { return AddNode(options_.node, kAutoShard); }
 
 NodeId Fsps::AddNode(NodeOptions node_options) {
+  return AddNode(node_options, kAutoShard);
+}
+
+NodeId Fsps::AddNode(NodeOptions node_options, int shard) {
   NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(
-      std::make_unique<Node>(id, node_options, &queue_, this, MakeShedder()));
+  int shards = engine_->num_shards();
+  // Multi-shard runs freeze the shard plan (and the lookahead derived from
+  // it) at Start().
+  THEMIS_CHECK(shards == 1 || !started_);
+  int s = shard == kAutoShard ? id % shards : shard;
+  THEMIS_CHECK(s >= 0 && s < shards);
+  shard_of_node_.push_back(s);
+  nodes_.push_back(std::make_unique<Node>(id, node_options, engine_->queue(s),
+                                          this, MakeShedder()));
   return id;
 }
 
@@ -91,10 +125,13 @@ Status Fsps::Deploy(std::unique_ptr<QueryGraph> graph,
     }
   }
 
-  QueryCoordinator::Options copts = options_.coordinator;
-  auto coordinator = std::make_unique<QueryCoordinator>(graph.get(), copts,
-                                                        &queue_, &network_);
+  // The coordinator is co-located with the root fragment's node: it runs on
+  // that node's shard queue, and result delivery (a direct call from the
+  // root operator's host) therefore stays shard-local.
   NodeId home = placement.at(graph->root_fragment());
+  QueryCoordinator::Options copts = options_.coordinator;
+  auto coordinator = std::make_unique<QueryCoordinator>(
+      graph.get(), copts, engine_->queue(shard_of_node_[home]), &network_);
   coordinator->SetHome(home);
 
   for (FragmentId frag : graph->fragment_ids()) {
@@ -135,9 +172,14 @@ Status Fsps::AttachSources(QueryId q,
                       dest_node->Receive(std::move(b));
                     });
     };
+    // The driver is pinned to its destination node's shard: it draws from
+    // that node's batch pool at generation time, and its deliveries stay
+    // shard-local (Network::Send maps kInvalidId senders to the
+    // destination's shard).
     sources_.push_back(std::make_unique<SourceDriver>(
-        sb.source, q, sb.target, sb.port, model, &queue_, rng_.Fork(),
-        std::move(deliver), dest_node->batch_pool()));
+        sb.source, q, sb.target, sb.port, model,
+        engine_->queue(shard_of_node_[dest]), rng_.Fork(), std::move(deliver),
+        dest_node->batch_pool()));
     if (started_) sources_.back()->Start();
   }
   return Status::OK();
@@ -173,15 +215,33 @@ void Fsps::Start() {
   // source nodes); model that with the pseudo source node kInvalidId.
   for (const auto& n : nodes_) {
     network_.SetLatency(kInvalidId, n->id(), options_.source_link_latency);
-    n->Start();
   }
+  if (engine_->num_shards() > 1) {
+    // Freeze the shard plan and derive the conservative epoch width: the
+    // minimum latency of any link whose endpoints live on different shards
+    // (sources and coordinators are pinned, so node-node links are the only
+    // cross-shard edges). Topology must not change after this point.
+    ShardPlan plan;
+    plan.shard_of_node = shard_of_node_;
+    for (int s = 0; s < engine_->num_shards(); ++s) {
+      plan.queues.push_back(engine_->queue(s));
+    }
+    plan.sink = engine_->sink();
+    network_.InstallShardPlan(std::move(plan));
+    SimDuration lookahead = network_.MinCrossShardLatency(shard_of_node_);
+    // A zero-latency cross-shard link admits no conservative parallel
+    // schedule; keep such nodes on one shard instead.
+    THEMIS_CHECK(lookahead != 0);
+    engine_->SetLookahead(lookahead);
+  }
+  for (const auto& n : nodes_) n->Start();
   for (auto& [q, coord] : coordinators_) coord->Start();
   for (auto& src : sources_) src->Start();
 }
 
 void Fsps::RunFor(SimDuration d) {
   Start();
-  queue_.RunUntil(queue_.now() + d);
+  engine_->RunUntil(engine_->now() + d);
 }
 
 std::vector<QueryId> Fsps::query_ids() const {

@@ -15,6 +15,7 @@
 #include "node/node.h"
 #include "runtime/query_graph.h"
 #include "shedding/balance_sic_shedder.h"
+#include "sim/engine.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "workload/sources.h"
@@ -44,6 +45,20 @@ struct FspsOptions {
   SimDuration default_link_latency = Millis(5);  ///< Table 2 LAN star
   SimDuration source_link_latency = Millis(5);   ///< source -> ingest node
   uint64_t seed = 42;
+  /// Simulation shards. 1 (default) runs the single-threaded
+  /// SequentialEngine — the historical behaviour, byte-for-byte. >1 runs
+  /// the conservative parallel engine (themis_parsim): nodes are
+  /// partitioned across `shards` worker threads synchronized in barrier
+  /// epochs of the minimum cross-shard link latency. Results are
+  /// deterministic run-to-run at any shard count. Multi-shard runs freeze
+  /// the cluster at Start(): add all nodes and set all link latencies
+  /// first, and only deploy/undeploy/observe between RunFor calls.
+  int shards = 1;
+  /// Runs the parallel engine even at shards == 1 (its single-shard fast
+  /// path, which must be byte-identical to SequentialEngine). Used by the
+  /// determinism tests and the CI identity byte-diff; no reason to set it
+  /// otherwise.
+  bool force_parsim_engine = false;
 };
 
 /// \brief A complete simulated FSPS deployment.
@@ -54,15 +69,34 @@ class Fsps : public BatchRouter {
 
   // --- cluster construction -------------------------------------------------
 
+  /// Auto shard assignment (round-robin over the engine's shards).
+  static constexpr int kAutoShard = -1;
+
   /// Adds a processing node using the options template; returns its id.
   NodeId AddNode();
   /// Adds a node with explicit options (heterogeneous capacities).
   NodeId AddNode(NodeOptions options);
+  /// Adds a node pinned to simulation shard `shard` (multi-shard runs;
+  /// topology-aware callers co-locate LAN clusters on one shard so only
+  /// long WAN links cross shards and the epoch stays wide). `kAutoShard`
+  /// round-robins node id over the shards.
+  NodeId AddNode(NodeOptions options, int shard);
 
   Node* node(NodeId id);
   std::vector<NodeId> node_ids() const;
+  /// Simulation shard hosting node `id` (always 0 with shards == 1;
+  /// unknown ids resolve to 0, mirroring ShardPlan::ShardOf).
+  int shard_of(NodeId id) const {
+    if (id < 0 || static_cast<size_t>(id) >= shard_of_node_.size()) return 0;
+    return shard_of_node_[id];
+  }
   Network* network() { return &network_; }
-  EventQueue* queue() { return &queue_; }
+  /// Shard 0's event queue. With shards > 1, use engine() for the others;
+  /// manual scheduling is only legal between RunFor calls.
+  EventQueue* queue() { return engine_->queue(0); }
+  Engine* engine() { return engine_.get(); }
+  /// Current simulated time (all shards agree between RunFor calls).
+  SimTime now() const { return engine_->now(); }
   Rng* rng() { return &rng_; }
 
   // --- query deployment -----------------------------------------------------
@@ -115,8 +149,11 @@ class Fsps : public BatchRouter {
 
   FspsOptions options_;
   Rng rng_;
-  EventQueue queue_;
+  // The engine owns the shard event queues; nodes, coordinators and sources
+  // hold pointers into them, so it is declared first (destroyed last).
+  std::unique_ptr<Engine> engine_;
   Network network_;
+  std::vector<int> shard_of_node_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<QueryId, std::unique_ptr<QueryGraph>> graphs_;
   std::map<QueryId, std::map<FragmentId, NodeId>> placements_;

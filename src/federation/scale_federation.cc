@@ -1,0 +1,134 @@
+#include "federation/scale_federation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "workload/workloads.h"
+
+namespace themis {
+
+namespace {
+
+// Estimated simulated cost (us) of one source tuple through a complex
+// pipeline at cpu_speed 1 — same constant the bench harness uses to turn an
+// overload target into a node speed; the online cost model measures the
+// true value during the run.
+constexpr double kPipelineCostUs = 1.6;
+
+double CpuSpeedForScenario(const ScaleScenario& scenario) {
+  const ScaleScenarioOptions& o = scenario.options;
+  double needed_us_per_sec = scenario.total_source_rate * kPipelineCostUs;
+  double available_us_per_sec = 1e6 * o.nodes * o.overload_factor;
+  return needed_us_per_sec / available_us_per_sec;
+}
+
+}  // namespace
+
+std::unique_ptr<Fsps> MakeScaleFederation(const ScaleScenario& scenario,
+                                          FspsOptions base) {
+  const ScaleScenarioOptions& o = scenario.options;
+  base.seed = o.seed;
+  base.default_link_latency = o.wan_latency;  // inter-cluster default
+  base.source_link_latency = o.source_link_latency;
+  base.node.cpu_speed = CpuSpeedForScenario(scenario);
+
+  auto fsps = std::make_unique<Fsps>(base);
+  int shards = fsps->engine()->num_shards();
+  for (int n = 0; n < o.nodes; ++n) {
+    // Whole clusters map to one shard: LAN links stay shard-local, so the
+    // conservative lookahead is the WAN latency, not the LAN one.
+    int cluster = scenario.cluster_of_node[n];
+    int shard = static_cast<int>(static_cast<int64_t>(cluster) * shards /
+                                 o.clusters);
+    fsps->AddNode(base.node, shard);
+  }
+  // Intra-cluster links run at LAN latency (default covers the WAN pairs).
+  for (int a = 0; a < o.nodes; ++a) {
+    for (int b = a + 1; b < o.nodes; ++b) {
+      if (scenario.cluster_of_node[a] == scenario.cluster_of_node[b]) {
+        fsps->network()->SetLatency(a, b, o.lan_latency);
+      }
+    }
+  }
+  return fsps;
+}
+
+ScaleRunResult RunScaleScenario(Fsps* fsps, const ScaleScenario& scenario,
+                                SimDuration measure) {
+  const ScaleScenarioOptions& o = scenario.options;
+
+  // Nodes of each cluster, in id order, with a round-robin cursor for
+  // fragment placement.
+  std::vector<std::vector<NodeId>> cluster_nodes(o.clusters);
+  for (int n = 0; n < o.nodes; ++n) {
+    cluster_nodes[scenario.cluster_of_node[n]].push_back(n);
+  }
+  std::vector<size_t> cursor(o.clusters, 0);
+  auto next_node = [&](int cluster) {
+    const std::vector<NodeId>& nodes = cluster_nodes[cluster];
+    THEMIS_CHECK(!nodes.empty());
+    NodeId id = nodes[cursor[cluster] % nodes.size()];
+    ++cursor[cluster];
+    return id;
+  };
+
+  WorkloadFactory factory(o.seed + 1);
+  for (const ScaleQuerySpec& spec : scenario.queries) {
+    // Advance the simulation to this arrival (waves share arrival times, so
+    // this is a no-op within a wave). Deployment happens between run
+    // segments — the only legal place on a sharded engine.
+    if (spec.arrival > fsps->now()) {
+      fsps->RunFor(spec.arrival - fsps->now());
+    }
+    ComplexQueryOptions co;
+    co.fragments = spec.fragments;
+    co.sources_per_fragment =
+        ScaleSourcesPerFragment(spec.kind, o.sources_per_fragment);
+    co.source_rate = o.source_rate;
+    co.batches_per_sec = o.batches_per_sec;
+    co.dataset = o.dataset;
+    BuiltQuery built = factory.MakeComplex(spec.kind, spec.id, co);
+
+    std::map<FragmentId, NodeId> placement;
+    std::vector<FragmentId> frags = built.graph->fragment_ids();
+    std::sort(frags.begin(), frags.end());
+    for (size_t i = 0; i < frags.size(); ++i) {
+      // WAN-spanning queries alternate fragments between the two clusters;
+      // others stay in the home cluster.
+      int cluster = (spec.peer_cluster >= 0 && i % 2 == 1)
+                        ? spec.peer_cluster
+                        : spec.home_cluster;
+      placement[frags[i]] = next_node(cluster);
+    }
+    THEMIS_CHECK(fsps->Deploy(std::move(built.graph), placement).ok());
+    THEMIS_CHECK(fsps->AttachSources(spec.id, built.sources).ok());
+  }
+  fsps->RunFor(measure);
+
+  ScaleRunResult result;
+  NodeStats stats = fsps->TotalNodeStats();
+  result.tuples_received = stats.tuples_received;
+  result.tuples_processed = stats.tuples_processed;
+  result.tuples_shed = stats.tuples_shed;
+  result.messages = fsps->network()->messages_sent();
+  result.bytes = fsps->network()->bytes_sent();
+  result.events = fsps->engine()->executed();
+  result.final_sics = fsps->AllQuerySics();
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (double sic : result.final_sics) {
+    sum += sic;
+    sum_sq += sic * sic;
+  }
+  size_t n = result.final_sics.size();
+  if (n > 0) {
+    result.mean_sic = sum / static_cast<double>(n);
+    if (sum_sq > 0.0) {
+      result.jain = (sum * sum) / (static_cast<double>(n) * sum_sq);
+    }
+  }
+  return result;
+}
+
+}  // namespace themis

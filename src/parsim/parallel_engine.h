@@ -1,0 +1,96 @@
+// themis_parsim: conservative parallel discrete-event engine.
+//
+// The federation's nodes are partitioned across `shards` worker threads,
+// each advancing its own EventQueue. Shards synchronize in barrier epochs
+// whose width is the lookahead — the minimum cross-shard link latency
+// (Fsps computes it from Network topology and node placement): any message
+// sent during an epoch is delivered strictly after the epoch's end, so each
+// shard can run one epoch without observing the others.
+//
+// Cross-shard Network::Send calls enqueue into per-(from, to) shard-pair
+// inbox rings (each written by exactly one worker, lock-free). At the epoch
+// barrier every destination shard merges its incoming rings in the
+// deterministic order (deliver_time, from_shard, ring_seq) and schedules
+// them onto its queue, so results are bit-identical run-to-run at any shard
+// count — and byte-identical to the SequentialEngine at shards = 1, where
+// the epoch machinery is bypassed entirely.
+//
+// Determinism argument, inductively over epochs: each shard's intra-epoch
+// execution is a deterministic function of its queue contents; the rings it
+// emits are therefore deterministic; and the merge order is a pure function
+// of ring contents. Wall-clock interleaving of the workers never orders
+// events, only the simulated-time epochs do.
+#ifndef THEMIS_PARSIM_PARALLEL_ENGINE_H_
+#define THEMIS_PARSIM_PARALLEL_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/function.h"
+#include "common/time_types.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+
+namespace themis {
+
+/// \brief Sharded barrier-epoch engine (see file comment).
+class ParallelEngine : public Engine, public CrossShardSink {
+ public:
+  /// \param shards number of worker shards (>= 1)
+  explicit ParallelEngine(int shards);
+  ~ParallelEngine() override;
+
+  int num_shards() const override { return static_cast<int>(queues_.size()); }
+  EventQueue* queue(int shard) override { return queues_[shard].get(); }
+  CrossShardSink* sink() override { return this; }
+
+  /// Sets the epoch width. Must be > 0 when cross-shard traffic exists (a
+  /// zero-latency cross-shard link admits no conservative parallel
+  /// schedule); <= 0 declares "no cross-shard traffic" and runs each shard
+  /// to the target in one stretch.
+  void SetLookahead(SimDuration lookahead) override {
+    lookahead_ = lookahead;
+  }
+
+  void RunUntil(SimTime t) override;
+  SimTime now() const override { return now_; }
+  uint64_t executed() const override;
+
+  // CrossShardSink — called from the worker thread running `from_shard`.
+  void EnqueueRemote(int from_shard, int to_shard, SimTime deliver_time,
+                     UniqueFunction cb) override;
+
+ private:
+  /// One buffered cross-shard delivery. Ring order encodes the send order
+  /// within (epoch, from_shard), which the merge sort preserves for equal
+  /// delivery times (stable sort over the time key).
+  struct Pending {
+    SimTime time;
+    UniqueFunction cb;
+  };
+
+  /// A shard-pair inbox ring, padded so rings written by different workers
+  /// never share a cache line.
+  struct alignas(64) Ring {
+    std::vector<Pending> items;
+  };
+
+  /// Per-destination merge buffer, padded for the same reason: all
+  /// destinations merge concurrently during the barrier's merge phase.
+  struct alignas(64) MergeScratch {
+    std::vector<Pending> items;
+  };
+
+  /// Merges rings_[* -> shard] into queues_[shard] in deterministic order.
+  void MergeInbox(int shard);
+
+  std::vector<std::unique_ptr<EventQueue>> queues_;
+  std::vector<Ring> rings_;          // [from * shards + to]
+  std::vector<MergeScratch> scratch_;
+  SimDuration lookahead_ = -1;
+  SimTime now_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_PARSIM_PARALLEL_ENGINE_H_

@@ -1,0 +1,115 @@
+// Simulation engine abstraction. The federation layer drives a simulation
+// through this interface instead of a raw EventQueue, so the same deployment
+// code runs on the single-threaded SequentialEngine (the historical
+// behaviour, bit-for-bit) or on the sharded parallel engine in
+// src/parsim (themis_parsim), which partitions nodes across worker-thread
+// shards synchronized in conservative barrier epochs.
+//
+// Vocabulary shared by both engines:
+//   * shard      — one EventQueue plus the entities pinned to it. Entities
+//                  on the same shard may interact directly; entities on
+//                  different shards may only interact through Network::Send,
+//                  whose link latency bounds how far one shard can run ahead
+//                  of another (the lookahead).
+//   * ShardPlan  — the node->shard map plus per-shard queues and the
+//                  cross-shard message sink, installed into the Network
+//                  before the first run.
+#ifndef THEMIS_SIM_ENGINE_H_
+#define THEMIS_SIM_ENGINE_H_
+
+#include <vector>
+
+#include "common/function.h"
+#include "common/time_types.h"
+#include "runtime/ids.h"
+#include "sim/event_queue.h"
+
+namespace themis {
+
+/// \brief Receiver of cross-shard messages (implemented by ParallelEngine).
+///
+/// A shard calling Network::Send with a destination on another shard hands
+/// the delivery callback here instead of scheduling it directly; the engine
+/// buffers it in a per-(from, to) shard-pair inbox ring and merges all rings
+/// deterministically at the next epoch barrier.
+class CrossShardSink {
+ public:
+  virtual ~CrossShardSink() = default;
+
+  /// Buffers a delivery for `to_shard` at simulated time `deliver_time`.
+  /// Must be called from the thread currently running `from_shard`.
+  virtual void EnqueueRemote(int from_shard, int to_shard,
+                             SimTime deliver_time, UniqueFunction cb) = 0;
+};
+
+/// \brief Node-to-shard assignment plus the per-shard delivery endpoints.
+struct ShardPlan {
+  /// Shard of each node, indexed by NodeId. Nodes beyond the vector (and
+  /// the pseudo source node kInvalidId) resolve to shard 0 via ShardOf —
+  /// callers that care (Network::Send) substitute the destination node for
+  /// kInvalidId senders, since source drivers are pinned to their
+  /// destination node's shard.
+  std::vector<int> shard_of_node;
+  /// Event queue of each shard (owned by the engine).
+  std::vector<EventQueue*> queues;
+  /// Cross-shard delivery sink; null when there is only one shard.
+  CrossShardSink* sink = nullptr;
+
+  int ShardOf(NodeId id) const {
+    if (id < 0 || static_cast<size_t>(id) >= shard_of_node.size()) return 0;
+    return shard_of_node[id];
+  }
+};
+
+/// \brief Discrete-event execution engine: one or more EventQueue shards
+/// advanced together to a common target time.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual int num_shards() const = 0;
+  /// The event queue of `shard` (0 <= shard < num_shards()). Entities pinned
+  /// to a shard schedule their callbacks on its queue.
+  virtual EventQueue* queue(int shard) = 0;
+
+  /// Sets the conservative lookahead (minimum cross-shard link latency):
+  /// the barrier-epoch width of the parallel engine. `lookahead <= 0` means
+  /// "no cross-shard traffic exists" and lets shards run to the target in
+  /// one stretch. No-op on the sequential engine. Must be called before the
+  /// first RunUntil when cross-shard links exist.
+  virtual void SetLookahead(SimDuration lookahead) = 0;
+
+  /// Cross-shard message sink, or nullptr for engines without one.
+  virtual CrossShardSink* sink() { return nullptr; }
+
+  /// Advances every shard to simulated time `t` (inclusive: events at `t`
+  /// run). Returns with all shard clocks equal to `t` and all cross-shard
+  /// inboxes drained. Only the driver thread may call this; observation and
+  /// control-plane mutation (deploy/undeploy) are only legal between calls.
+  virtual void RunUntil(SimTime t) = 0;
+
+  /// Common simulated time of all shards (between RunUntil calls).
+  virtual SimTime now() const = 0;
+
+  /// Total events executed across all shards (diagnostics).
+  virtual uint64_t executed() const = 0;
+};
+
+/// \brief The single-threaded engine: one shard, one EventQueue, events at
+/// equal times in FIFO order — the pre-parsim simulator, bit-for-bit.
+class SequentialEngine : public Engine {
+ public:
+  int num_shards() const override { return 1; }
+  EventQueue* queue(int) override { return &queue_; }
+  void SetLookahead(SimDuration) override {}
+  void RunUntil(SimTime t) override { queue_.RunUntil(t); }
+  SimTime now() const override { return queue_.now(); }
+  uint64_t executed() const override { return queue_.executed(); }
+
+ private:
+  EventQueue queue_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SIM_ENGINE_H_

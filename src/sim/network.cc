@@ -1,30 +1,111 @@
 #include "sim/network.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
 namespace themis {
 
-std::pair<NodeId, NodeId> Network::Key(NodeId a, NodeId b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+Network::Network(EventQueue* queue, SimDuration default_latency,
+                 uint64_t jitter_seed)
+    : queue_(queue),
+      default_latency_(default_latency),
+      jitter_seed_(jitter_seed) {
+  lanes_.emplace_back(jitter_seed);
+}
+
+void Network::EnsureDim(size_t need) {
+  if (need <= dim_) return;
+  size_t new_dim = std::max<size_t>(std::max(need, dim_ * 2), 8);
+  std::vector<SimDuration> grown(new_dim * new_dim, kNoOverride);
+  for (size_t a = 0; a < dim_; ++a) {
+    for (size_t b = 0; b < dim_; ++b) {
+      grown[a * new_dim + b] = matrix_[a * dim_ + b];
+    }
+  }
+  matrix_ = std::move(grown);
+  dim_ = new_dim;
 }
 
 void Network::SetLatency(NodeId a, NodeId b, SimDuration latency) {
-  links_[Key(a, b)] = latency;
+  THEMIS_CHECK(!sharded_);  // topology is frozen under a shard plan
+  size_t ia = Index(a), ib = Index(b);
+  EnsureDim(std::max(ia, ib) + 1);
+  matrix_[ia * dim_ + ib] = latency;
+  matrix_[ib * dim_ + ia] = latency;
 }
 
-SimDuration Network::Latency(NodeId a, NodeId b) const {
-  if (a == b) return 0;
-  auto it = links_.find(Key(a, b));
-  return it == links_.end() ? default_latency_ : it->second;
+void Network::SetDefaultLatency(SimDuration latency) {
+  THEMIS_CHECK(!sharded_);  // topology is frozen under a shard plan
+  default_latency_ = latency;
+}
+
+SimDuration Network::MinCrossShardLatency(
+    const std::vector<int>& shard_of_node) const {
+  SimDuration min_latency = -1;
+  size_t n = shard_of_node.size();
+  for (size_t a = 0; a + 1 < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (shard_of_node[a] == shard_of_node[b]) continue;
+      SimDuration lat = Latency(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      if (min_latency < 0 || lat < min_latency) min_latency = lat;
+    }
+  }
+  return min_latency;
+}
+
+void Network::InstallShardPlan(ShardPlan plan) {
+  plan_ = std::move(plan);
+  sharded_ = true;
+  // One lane per shard. Lane 0 keeps the primary jitter stream (so a
+  // one-shard plan is byte-identical to the unsharded path); the other lanes
+  // fork deterministic per-shard streams off the same seed.
+  size_t shards = plan_.queues.size();
+  lanes_.clear();
+  lanes_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    lanes_.emplace_back(jitter_seed_ + 0x9e3779b97f4a7c15ULL * s);
+  }
+}
+
+uint64_t Network::messages_sent() const {
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.messages;
+  return total;
+}
+
+uint64_t Network::bytes_sent() const {
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.bytes;
+  return total;
 }
 
 void Network::Send(NodeId from, NodeId to, size_t payload_bytes,
                    UniqueFunction on_delivery) {
-  ++messages_;
-  bytes_ += payload_bytes;
+  // The executing shard: `from`'s, except for the pseudo source node
+  // (kInvalidId), whose drivers are pinned to the destination's shard.
+  int shard = sharded_ ? plan_.ShardOf(from != kInvalidId ? from : to) : 0;
+  Lane& lane = lanes_[shard];
+  ++lane.messages;
+  lane.bytes += payload_bytes;
   SimDuration lat = Latency(from, to);
   if (jitter_ > 0) {
-    lat += static_cast<SimDuration>(jitter_rng_.UniformInt(0, jitter_));
+    lat += static_cast<SimDuration>(lane.jitter_rng.UniformInt(0, jitter_));
   }
-  queue_->ScheduleAfter(lat, std::move(on_delivery));
+  if (!sharded_) {
+    queue_->ScheduleAfter(lat, std::move(on_delivery));
+    return;
+  }
+  EventQueue* src_queue = plan_.queues[shard];
+  SimTime deliver = src_queue->now() + std::max<SimDuration>(lat, 0);
+  int dest_shard = plan_.ShardOf(to);
+  if (dest_shard == shard || plan_.sink == nullptr) {
+    plan_.queues[dest_shard]->Schedule(deliver, std::move(on_delivery));
+  } else {
+    plan_.sink->EnqueueRemote(shard, dest_shard, deliver,
+                              std::move(on_delivery));
+  }
 }
 
 }  // namespace themis

@@ -1,17 +1,29 @@
 // Simulated network: point-to-point links with configurable latency (the
 // paper's 5 ms LAN star topology, or 50 ms WAN links for §7.4) plus optional
 // jitter. Counts messages and payload bytes for the §7.6 overhead report.
+//
+// Link latencies live in a dense (n+1)x(n+1) matrix indexed by node id
+// (row/column 0 is the pseudo source node kInvalidId), so the per-message
+// Latency() lookup on the data-plane hot path is one multiply and one load
+// instead of a std::map walk.
+//
+// Sharded operation: after InstallShardPlan, Send routes same-shard traffic
+// straight onto the executing shard's queue and hands cross-shard traffic to
+// the engine's CrossShardSink. Per-shard "lanes" keep the traffic counters
+// and the jitter RNG stream thread-local to the executing shard, so the
+// parallel engine runs without locks; without a plan there is exactly one
+// lane and behaviour is byte-identical to the historical single-queue path.
 #ifndef THEMIS_SIM_NETWORK_H_
 #define THEMIS_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <map>
-#include <utility>
+#include <vector>
 
 #include "common/function.h"
 #include "common/rng.h"
 #include "common/time_types.h"
 #include "runtime/ids.h"
+#include "sim/engine.h"
 #include "sim/event_queue.h"
 
 namespace themis {
@@ -19,38 +31,84 @@ namespace themis {
 /// \brief Latency-modelled message delivery between FSPS nodes.
 class Network {
  public:
-  /// \param queue event queue delivering messages
-  /// \param default_latency link latency when no override is set
-  Network(EventQueue* queue, SimDuration default_latency = Millis(5))
-      : queue_(queue), default_latency_(default_latency), jitter_rng_(7) {}
+  /// Historical jitter stream seed; kept as the default so pre-existing
+  /// configurations reproduce their figures byte-for-byte.
+  static constexpr uint64_t kDefaultJitterSeed = 7;
 
-  /// Overrides the latency of the (a, b) link, both directions.
+  /// \param queue event queue delivering messages (single-shard operation)
+  /// \param default_latency link latency when no override is set
+  /// \param jitter_seed seed of the per-message jitter stream
+  Network(EventQueue* queue, SimDuration default_latency = Millis(5),
+          uint64_t jitter_seed = kDefaultJitterSeed);
+
+  /// Overrides the latency of the (a, b) link, both directions. Topology is
+  /// frozen once a shard plan is installed (the parallel engine's lookahead
+  /// is derived from it; mutating it afterwards would let messages undercut
+  /// the epoch width) — both setters abort via THEMIS_CHECK then.
   void SetLatency(NodeId a, NodeId b, SimDuration latency);
-  void SetDefaultLatency(SimDuration latency) { default_latency_ = latency; }
+  void SetDefaultLatency(SimDuration latency);
   /// Uniform jitter in [0, jitter] added per message (0 disables).
   void SetJitter(SimDuration jitter) { jitter_ = jitter; }
 
-  SimDuration Latency(NodeId a, NodeId b) const;
+  SimDuration Latency(NodeId a, NodeId b) const {
+    if (a == b) return 0;
+    size_t ia = Index(a), ib = Index(b);
+    if (ia < dim_ && ib < dim_) {
+      SimDuration v = matrix_[ia * dim_ + ib];
+      if (v != kNoOverride) return v;
+    }
+    return default_latency_;
+  }
+
+  /// Minimum base latency over node pairs assigned to different shards in
+  /// `shard_of_node` (indexed by NodeId, covering all nodes); this is the
+  /// safe conservative lookahead for a sharded run. Returns -1 when no pair
+  /// crosses shards. Jitter only adds latency, so it never tightens this.
+  SimDuration MinCrossShardLatency(const std::vector<int>& shard_of_node) const;
+
+  /// Switches Send to shard-aware routing (see class comment). The plan's
+  /// queues replace the constructor queue; call before the first event runs.
+  void InstallShardPlan(ShardPlan plan);
 
   /// Delivers `on_delivery` at the destination after the link latency.
   /// `payload_bytes` only feeds the traffic statistics. The callback may own
   /// its payload (move-only): batches move through the network, not copy.
+  /// With a shard plan installed, must be called from the thread currently
+  /// running the sending entity's shard (`from`'s shard; source drivers use
+  /// from == kInvalidId and run on the destination's shard).
   void Send(NodeId from, NodeId to, size_t payload_bytes,
             UniqueFunction on_delivery);
 
-  uint64_t messages_sent() const { return messages_; }
-  uint64_t bytes_sent() const { return bytes_; }
+  uint64_t messages_sent() const;
+  uint64_t bytes_sent() const;
 
  private:
-  static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b);
+  // kInvalidId (-1) maps to row/column 0; node i to i+1.
+  static size_t Index(NodeId id) { return static_cast<size_t>(id + 1); }
+  static constexpr SimDuration kNoOverride = INT64_MIN;
+
+  /// Grows the matrix to cover ids up to `need - 2` (index dimension
+  /// `need`), preserving existing overrides.
+  void EnsureDim(size_t need);
+
+  /// Per-shard mutable state, padded so two shards' counters never share a
+  /// cache line. Lane 0 doubles as the single-shard state.
+  struct alignas(64) Lane {
+    Rng jitter_rng;
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    explicit Lane(uint64_t seed) : jitter_rng(seed) {}
+  };
 
   EventQueue* queue_;
   SimDuration default_latency_;
   SimDuration jitter_ = 0;
-  std::map<std::pair<NodeId, NodeId>, SimDuration> links_;
-  Rng jitter_rng_;
-  uint64_t messages_ = 0;
-  uint64_t bytes_ = 0;
+  uint64_t jitter_seed_;
+  std::vector<SimDuration> matrix_;  // dim_ x dim_, kNoOverride = default
+  size_t dim_ = 0;
+  std::vector<Lane> lanes_;
+  ShardPlan plan_;
+  bool sharded_ = false;
 };
 
 }  // namespace themis

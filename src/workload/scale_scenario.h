@@ -1,0 +1,92 @@
+// Federation-scale scenario generator: the workload side of the ROADMAP's
+// "hundreds of nodes, thousands of queries" north star. A ScaleScenario
+// describes a WAN-of-LANs federation — nodes grouped into LAN clusters
+// joined by long WAN links — plus a staggered stream of complex-workload
+// query arrivals, as a pure data structure. The federation layer
+// (federation/scale_federation.h) assembles an Fsps from it; keeping the
+// generator here lets workload-level tests pin scenario determinism without
+// pulling in the federation.
+//
+// The WAN/LAN split is what makes these scenarios shardable: co-locating
+// each cluster's nodes on one simulation shard leaves only WAN links
+// crossing shards, so the parallel engine's epoch (= min cross-shard
+// latency) stays wide.
+#ifndef THEMIS_WORKLOAD_SCALE_SCENARIO_H_
+#define THEMIS_WORKLOAD_SCALE_SCENARIO_H_
+
+#include <vector>
+
+#include "common/time_types.h"
+#include "runtime/ids.h"
+#include "workload/distributions.h"
+#include "workload/workloads.h"
+
+namespace themis {
+
+/// Knobs of one federation-scale scenario; defaults give the 64-node
+/// WAN/LAN mix used by bench_scale_federation.
+struct ScaleScenarioOptions {
+  int nodes = 64;              ///< processing nodes (64-256 typical)
+  int clusters = 8;            ///< LAN clusters (contiguous node blocks)
+  SimDuration lan_latency = Millis(5);    ///< intra-cluster links
+  SimDuration wan_latency = Millis(50);   ///< inter-cluster links (§7.4 WAN)
+  SimDuration source_link_latency = Millis(5);
+
+  int queries = 96;
+  /// Arrivals are staggered: `arrival_wave` queries deploy together every
+  /// `arrival_interval` of simulated time (§5: queries arrive and depart
+  /// over a federation's lifetime).
+  int arrival_wave = 16;
+  SimDuration arrival_interval = Seconds(2);
+  /// Fraction of multi-fragment queries that span two clusters, so part of
+  /// their data plane crosses WAN links (and shards, when sharded).
+  double wan_query_ratio = 0.25;
+
+  int fragments_min = 1;
+  int fragments_max = 3;
+  int sources_per_fragment = 3;
+  double source_rate = 60.0;   ///< tuples/sec per source
+  int batches_per_sec = 3;
+  Dataset dataset = Dataset::kPlanetLab;
+
+  /// Aggregate-load / cluster-capacity target once all queries arrived
+  /// (>1 = permanent overload; shedding decisions are exercised).
+  double overload_factor = 2.0;
+
+  uint64_t seed = 42;
+};
+
+/// One query arrival in the scenario.
+struct ScaleQuerySpec {
+  QueryId id = 0;
+  ComplexKind kind = ComplexKind::kAvgAll;
+  int fragments = 1;
+  SimTime arrival = 0;
+  /// Cluster hosting the query (fragments round-robin over its nodes).
+  int home_cluster = 0;
+  /// Second cluster for WAN-spanning queries (-1: stays in home_cluster);
+  /// fragments alternate between the two clusters.
+  int peer_cluster = -1;
+};
+
+/// \brief A fully materialised scenario (pure data, seed-deterministic).
+struct ScaleScenario {
+  ScaleScenarioOptions options;
+  std::vector<int> cluster_of_node;   ///< cluster of each node id
+  std::vector<ScaleQuerySpec> queries;
+  /// Aggregate source rate (tuples/sec) with every query deployed; the
+  /// federation builder derives node cpu_speed from it and the overload
+  /// target.
+  double total_source_rate = 0.0;
+};
+
+/// Builds the scenario from `options` (deterministic in `options.seed`).
+ScaleScenario MakeScaleScenario(const ScaleScenarioOptions& options = {});
+
+/// Per-fragment source count of `kind` (the Table 1 10/20/2 heterogeneity
+/// at scenario scale): kCov pins 2, kTop5 doubles `sources_per_fragment`.
+int ScaleSourcesPerFragment(ComplexKind kind, int sources_per_fragment);
+
+}  // namespace themis
+
+#endif  // THEMIS_WORKLOAD_SCALE_SCENARIO_H_

@@ -97,6 +97,92 @@ TEST_F(LifecycleTest, NodeStateIsPurgedOnUnhost) {
   EXPECT_EQ(n0->AcceptedSic(1, Seconds(5)), 0.0);
 }
 
+// Mid-flight undeployment: batches and coordinator timers referencing the
+// query are still queued when Undeploy runs. They must drain safely — this
+// pins the retirement contract in fsps.h (retired_coordinators_ /
+// retired_graphs_ stay alive until the event queue drains past them).
+class MidFlightUndeployTest : public ::testing::Test {
+ protected:
+  MidFlightUndeployTest() : factory_(9) {
+    FspsOptions opts;
+    opts.seed = 77;
+    // A fat WAN pipe: with 800 ms links and 250 ms update intervals there
+    // are *always* derived batches and dissemination messages in flight
+    // between the two nodes, so Undeploy is guaranteed to race them.
+    opts.default_link_latency = Millis(800);
+    fsps_ = std::make_unique<Fsps>(opts);
+    node0_ = fsps_->AddNode();
+    node1_ = fsps_->AddNode();
+  }
+
+  Status DeployCov(QueryId q) {
+    ComplexQueryOptions co;
+    co.fragments = 2;
+    co.source_rate = 50;
+    BuiltQuery built = factory_.MakeCov(q, co);
+    std::map<FragmentId, NodeId> placement = {{0, node0_}, {1, node1_}};
+    THEMIS_RETURN_NOT_OK(fsps_->Deploy(std::move(built.graph), placement));
+    return fsps_->AttachSources(q, built.sources);
+  }
+
+  WorkloadFactory factory_;
+  std::unique_ptr<Fsps> fsps_;
+  NodeId node0_ = 0, node1_ = 0;
+};
+
+TEST_F(MidFlightUndeployTest, InFlightBatchesDrainAfterUndeploy) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  // Stop at a point that is not a multiple of any timer period, so batches,
+  // shed timers and coordinator timers are all strictly mid-interval.
+  fsps_->RunFor(Millis(5130));
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+
+  // Everything in flight (including >= 800 ms of WAN deliveries) drains
+  // without touching freed state; arriving batches for the retired query
+  // are dropped at ingress.
+  uint64_t processed_before = fsps_->TotalNodeStats().batches_processed;
+  fsps_->RunFor(Seconds(5));
+  EXPECT_EQ(fsps_->TotalNodeStats().batches_processed, processed_before);
+  EXPECT_TRUE(fsps_->query_ids().empty());
+  EXPECT_EQ(fsps_->node(node0_)->input_buffer().num_batches(), 0u);
+  EXPECT_EQ(fsps_->node(node1_)->input_buffer().num_batches(), 0u);
+}
+
+TEST_F(MidFlightUndeployTest, CoordinatorTimersGoQuietAfterUndeploy) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Millis(3370));
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+  // Give the last scheduled dissemination timer and the in-flight messages
+  // time to fire into the stopped coordinator, then verify silence: no
+  // sources, no dissemination, no derived traffic.
+  fsps_->RunFor(Seconds(3));
+  uint64_t messages_after_drain = fsps_->network()->messages_sent();
+  fsps_->RunFor(Seconds(10));
+  EXPECT_EQ(fsps_->network()->messages_sent(), messages_after_drain);
+}
+
+TEST_F(MidFlightUndeployTest, RedeploySameIdWithBatchesStillInFlight) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Millis(4210));
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+  // Redeploy under the same id while the predecessor's batches are still
+  // on the wire; the new incarnation must start cleanly regardless.
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(20));
+  EXPECT_GT(fsps_->coordinator(1)->result_tuples(), 0u);
+  EXPECT_GT(fsps_->QuerySic(1), 0.0);
+}
+
+TEST_F(MidFlightUndeployTest, SurvivorUnaffectedByMidFlightDeparture) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  ASSERT_TRUE(DeployCov(2).ok());
+  fsps_->RunFor(Millis(7490));
+  uint64_t survivor_results = fsps_->coordinator(2)->result_tuples();
+  ASSERT_TRUE(fsps_->Undeploy(1).ok());
+  fsps_->RunFor(Seconds(10));
+  EXPECT_GT(fsps_->coordinator(2)->result_tuples(), survivor_results);
+}
+
 TEST_F(LifecycleTest, ChurnLoopStaysHealthy) {
   // Repeated arrivals and departures must not leak state or crash.
   for (QueryId q = 0; q < 10; ++q) {

@@ -123,5 +123,83 @@ TEST(NetworkTest, JitterStaysWithinBound) {
   }
 }
 
+TEST(NetworkTest, JitterStreamFollowsSeed) {
+  // Two networks with the same seed draw identical jitter sequences; a
+  // different seed gives a different sequence (Fsps derives the seed from
+  // FspsOptions::seed so instances never share a stream).
+  auto draw = [](uint64_t seed) {
+    EventQueue q;
+    Network net(&q, Millis(10), seed);
+    net.SetJitter(Millis(8));
+    std::vector<SimTime> deltas;
+    for (int i = 0; i < 20; ++i) {
+      SimTime sent = q.now();
+      net.Send(0, 1, 1, [&, sent] { deltas.push_back(q.now() - sent); });
+      q.RunAll();
+    }
+    return deltas;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(NetworkTest, LatencyMatrixGrowsWithNodeIds) {
+  // The dense matrix grows on demand and keeps earlier overrides; ids
+  // beyond any override still resolve to the default.
+  EventQueue q;
+  Network net(&q, Millis(5));
+  net.SetLatency(0, 1, Millis(11));
+  net.SetLatency(40, 90, Millis(70));  // forces regrowth
+  EXPECT_EQ(net.Latency(0, 1), Millis(11));
+  EXPECT_EQ(net.Latency(90, 40), Millis(70));
+  EXPECT_EQ(net.Latency(0, 90), Millis(5));
+  EXPECT_EQ(net.Latency(500, 501), Millis(5));  // never stored: default
+}
+
+TEST(NetworkTest, SourcePseudoNodeLatency) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  net.SetLatency(kInvalidId, 2, Millis(9));
+  EXPECT_EQ(net.Latency(kInvalidId, 2), Millis(9));
+  EXPECT_EQ(net.Latency(kInvalidId, 3), Millis(5));
+}
+
+TEST(NetworkTest, MinCrossShardLatency) {
+  EventQueue q;
+  Network net(&q, Millis(50));
+  net.SetLatency(0, 1, Millis(5));   // same shard: must not count
+  net.SetLatency(2, 3, Millis(20));  // cross shard
+  std::vector<int> shard_of_node = {0, 0, 0, 1};
+  EXPECT_EQ(net.MinCrossShardLatency(shard_of_node), Millis(20));
+  // All nodes on one shard: no cross-shard pair.
+  EXPECT_EQ(net.MinCrossShardLatency({0, 0, 0, 0}), -1);
+  // An overridden link that crosses shards caps the lookahead.
+  EXPECT_EQ(net.MinCrossShardLatency({0, 1}), Millis(5));
+  // Unlisted cross-shard pairs fall back to the default latency.
+  Network fresh(&q, Millis(50));
+  EXPECT_EQ(fresh.MinCrossShardLatency({0, 1}), Millis(50));
+}
+
+TEST(ShardPlanTest, ShardOfDefaultsToZero) {
+  ShardPlan plan;
+  plan.shard_of_node = {0, 1, 1};
+  EXPECT_EQ(plan.ShardOf(0), 0);
+  EXPECT_EQ(plan.ShardOf(2), 1);
+  EXPECT_EQ(plan.ShardOf(kInvalidId), 0);
+  EXPECT_EQ(plan.ShardOf(99), 0);
+}
+
+TEST(SequentialEngineTest, WrapsSingleQueue) {
+  SequentialEngine engine;
+  ASSERT_EQ(engine.num_shards(), 1);
+  int fired = 0;
+  engine.queue(0)->Schedule(Millis(10), [&] { ++fired; });
+  engine.queue(0)->Schedule(Millis(30), [&] { ++fired; });
+  engine.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), Millis(20));
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
 }  // namespace
 }  // namespace themis
