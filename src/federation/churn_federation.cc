@@ -1,0 +1,72 @@
+#include "federation/churn_federation.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace themis {
+
+std::unique_ptr<Fsps> MakeChurnFederation(const ChurnScenario& scenario,
+                                          FspsOptions base) {
+  return MakeScaleFederation(scenario.base, std::move(base));
+}
+
+ChurnRunResult RunChurnScenario(Fsps* fsps, const ChurnScenario& scenario,
+                                SimDuration measure) {
+  ScaleDeployer deployer(fsps, scenario.base);
+
+  // Two sorted streams — query arrivals and topology events — replayed in
+  // timestamp order; events win ties so a query arriving at a crash
+  // instant deploys onto the post-crash topology instead of landing on
+  // the victim and immediately re-placing.
+  size_t next_query = 0;
+  size_t next_event = 0;
+  const auto& queries = scenario.base.queries;
+  const auto& events = scenario.events;
+
+  while (next_query < queries.size() || next_event < events.size()) {
+    bool take_query =
+        next_event >= events.size() ||
+        (next_query < queries.size() &&
+         queries[next_query].arrival < events[next_event].time);
+    SimTime at = take_query ? queries[next_query].arrival
+                            : events[next_event].time;
+    if (at > fsps->now()) fsps->RunFor(at - fsps->now());
+
+    if (take_query) {
+      deployer.DeployQuery(queries[next_query]);
+      ++next_query;
+      continue;
+    }
+    const ChurnEvent& ev = events[next_event];
+    ++next_event;
+    switch (ev.kind) {
+      case ChurnEventKind::kCrash:
+        THEMIS_CHECK(fsps->CrashNode(ev.a).ok());
+        break;
+      case ChurnEventKind::kRestore:
+        THEMIS_CHECK(fsps->RestoreNode(ev.a).ok());
+        break;
+      case ChurnEventKind::kSetLinkLatency:
+        THEMIS_CHECK(fsps->SetLinkLatency(ev.a, ev.b, ev.latency).ok());
+        break;
+    }
+  }
+  fsps->RunFor(measure);
+
+  ChurnRunResult result;
+  result.scale = CollectScaleResult(fsps);
+  const FspsChurnStats& churn = fsps->churn_stats();
+  result.crashes = churn.crashes;
+  result.restores = churn.restores;
+  result.latency_updates = churn.latency_updates;
+  result.replaced_fragments = churn.replaced_fragments;
+  result.dropped_queries = churn.dropped_queries;
+  result.skipped_arrivals = deployer.skipped_arrivals();
+  NodeStats stats = fsps->TotalNodeStats();
+  result.batches_dropped_dead = stats.batches_dropped_dead;
+  result.tuples_dropped_dead = stats.tuples_dropped_dead;
+  return result;
+}
+
+}  // namespace themis

@@ -14,6 +14,8 @@ void QueryCoordinator::AddHost(NodeId node_id, Node* node) {
   hosts_[node_id] = node;
 }
 
+void QueryCoordinator::RemoveHost(NodeId node_id) { hosts_.erase(node_id); }
+
 void QueryCoordinator::Start() {
   if (started_) return;
   started_ = true;

@@ -49,6 +49,10 @@ class QueryCoordinator {
   /// dissemination latency to each host is the network latency from `home`.
   void SetHome(NodeId home) { home_ = home; }
   void AddHost(NodeId node_id, Node* node);
+  /// Deregisters a host that no longer runs fragments of this query (node
+  /// crash with re-placement): dissemination stops addressing it.
+  void RemoveHost(NodeId node_id);
+  NodeId home() const { return home_; }
 
   /// Starts the periodic dissemination timer.
   void Start();

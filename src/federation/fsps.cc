@@ -1,6 +1,7 @@
 #include "federation/fsps.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/logging.h"
@@ -104,6 +105,20 @@ std::vector<NodeId> Fsps::node_ids() const {
   return ids;
 }
 
+std::vector<NodeId> Fsps::live_node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->alive()) ids.push_back(static_cast<NodeId>(i));
+  }
+  return ids;
+}
+
+bool Fsps::node_alive(NodeId id) const {
+  return id >= 0 && static_cast<size_t>(id) < nodes_.size() &&
+         nodes_[id]->alive();
+}
+
 Status Fsps::Deploy(std::unique_ptr<QueryGraph> graph,
                     const std::map<FragmentId, NodeId>& placement) {
   if (!graph) return Status::InvalidArgument("null query graph");
@@ -121,6 +136,10 @@ Status Fsps::Deploy(std::unique_ptr<QueryGraph> graph,
     }
     if (node(it->second) == nullptr) {
       return Status::InvalidArgument("fragment placed on unknown node " +
+                                     std::to_string(it->second));
+    }
+    if (!node(it->second)->alive()) {
+      return Status::InvalidArgument("fragment placed on crashed node " +
                                      std::to_string(it->second));
     }
   }
@@ -165,17 +184,16 @@ Status Fsps::AttachSources(QueryId q,
 
     NodeId dest = placement.at(graph->fragment_of(sb.target));
     Node* dest_node = nodes_[dest].get();
-    auto deliver = [this, dest, dest_node](Batch b) {
-      size_t bytes = BatchBytes(b);
-      network_.Send(/*from=*/kInvalidId, dest, bytes,
-                    [dest_node, b = std::move(b)]() mutable {
-                      dest_node->Receive(std::move(b));
-                    });
+    // Delivery resolves the receiver's placement per batch, so generated
+    // traffic follows the fragment when a crash re-places it.
+    auto deliver = [this, q, target = sb.target](Batch b) {
+      RouteSourceBatch(q, target, std::move(b));
     };
-    // The driver is pinned to its destination node's shard: it draws from
-    // that node's batch pool at generation time, and its deliveries stay
-    // shard-local (Network::Send maps kInvalidId senders to the
-    // destination's shard).
+    // The driver is pinned to its *initial* destination node's shard: it
+    // draws from that node's batch pool at generation time, and its
+    // deliveries stay shard-local (Network::Send maps kInvalidId senders
+    // to the destination's shard, and crash re-placement never moves a
+    // fragment across shards).
     sources_.push_back(std::make_unique<SourceDriver>(
         sb.source, q, sb.target, sb.port, model,
         engine_->queue(shard_of_node_[dest]), rng_.Fork(), std::move(deliver),
@@ -183,6 +201,15 @@ Status Fsps::AttachSources(QueryId q,
     if (started_) sources_.back()->Start();
   }
   return Status::OK();
+}
+
+void Fsps::RouteSourceBatch(QueryId q, OperatorId target, Batch batch) {
+  auto git = graphs_.find(q);
+  if (git == graphs_.end()) return;
+  // kInvalidId sender: Network::Send routes on the destination's shard,
+  // which is the source driver's own (drivers are destination-pinned).
+  RouteBatch(kInvalidId, q, git->second->fragment_of(target),
+             std::move(batch));
 }
 
 Status Fsps::Undeploy(QueryId q) {
@@ -214,13 +241,17 @@ void Fsps::Start() {
   // Source links may differ from inter-node links (Table 2 has dedicated
   // source nodes); model that with the pseudo source node kInvalidId.
   for (const auto& n : nodes_) {
-    network_.SetLatency(kInvalidId, n->id(), options_.source_link_latency);
+    Status st = network_.SetLatency(kInvalidId, n->id(),
+                                    options_.source_link_latency);
+    THEMIS_CHECK(st.ok());  // the shard plan is installed below, never before
   }
   if (engine_->num_shards() > 1) {
     // Freeze the shard plan and derive the conservative epoch width: the
     // minimum latency of any link whose endpoints live on different shards
     // (sources and coordinators are pinned, so node-node links are the only
-    // cross-shard edges). Topology must not change after this point.
+    // cross-shard edges). Direct topology edits are rejected from here on;
+    // dynamic runs queue them for the next RunFor boundary, where
+    // ApplyTopologyMutations re-derives the epoch width.
     ShardPlan plan;
     plan.shard_of_node = shard_of_node_;
     for (int s = 0; s < engine_->num_shards(); ++s) {
@@ -228,7 +259,8 @@ void Fsps::Start() {
     }
     plan.sink = engine_->sink();
     network_.InstallShardPlan(std::move(plan));
-    SimDuration lookahead = network_.MinCrossShardLatency(shard_of_node_);
+    SimDuration lookahead =
+        network_.MinCrossShardLatency(shard_of_node_, AliveMask());
     // A zero-latency cross-shard link admits no conservative parallel
     // schedule; keep such nodes on one shard instead.
     THEMIS_CHECK(lookahead != 0);
@@ -239,9 +271,176 @@ void Fsps::Start() {
   for (auto& src : sources_) src->Start();
 }
 
+std::vector<char> Fsps::AliveMask() const {
+  std::vector<char> alive(nodes_.size(), 1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    alive[i] = nodes_[i]->alive() ? 1 : 0;
+  }
+  return alive;
+}
+
+void Fsps::ApplyTopologyMutations() {
+  size_t applied = network_.ApplyQueuedMutations();
+  if (applied == 0 && !topology_dirty_) return;
+  topology_dirty_ = false;
+  if (engine_->num_shards() > 1) {
+    // Every shard clock is synchronized here (between RunUntil calls) and
+    // the cross-shard inboxes are drained, so widening or narrowing the
+    // epoch cannot reorder or miss a delivery. Links touching crashed
+    // nodes carry no future traffic (placements and dissemination hosts
+    // were updated when the crash landed) and are excluded, so a dead
+    // node's links never narrow the epoch.
+    SimDuration lookahead =
+        network_.MinCrossShardLatency(shard_of_node_, AliveMask());
+    // Unreachable through the Status-validated APIs (SetLinkLatency
+    // rejects non-positive latencies on a sharded engine); kept as the
+    // last-resort guard for direct Network access.
+    THEMIS_CHECK(lookahead != 0);
+    engine_->SetLookahead(lookahead);
+  }
+}
+
 void Fsps::RunFor(SimDuration d) {
   Start();
+  ApplyTopologyMutations();
   engine_->RunUntil(engine_->now() + d);
+}
+
+Status Fsps::CrashNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) {
+    return Status::NotFound("unknown node " + std::to_string(id));
+  }
+  if (!n->alive()) {
+    return Status::FailedPrecondition("node " + std::to_string(id) +
+                                      " is already crashed");
+  }
+  n->Crash();
+  churn_stats_.crashes += 1;
+  topology_dirty_ = true;
+  // Re-place the orphaned fragments query by query, in ascending query-id
+  // order (placements_ is an ordered map) for determinism. Collect first:
+  // ReplaceOrphans mutates placements_ (force-undeploy erases entries).
+  std::vector<QueryId> affected;
+  for (const auto& [q, placement] : placements_) {
+    for (const auto& [frag, nid] : placement) {
+      if (nid == id) {
+        affected.push_back(q);
+        break;
+      }
+    }
+  }
+  for (QueryId q : affected) ReplaceOrphans(q, id);
+  return Status::OK();
+}
+
+Status Fsps::RestoreNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) {
+    return Status::NotFound("unknown node " + std::to_string(id));
+  }
+  if (n->alive()) {
+    return Status::FailedPrecondition("node " + std::to_string(id) +
+                                      " is not crashed");
+  }
+  n->Restore();
+  churn_stats_.restores += 1;
+  // Links to the rejoined node constrain the epoch again.
+  topology_dirty_ = true;
+  return Status::OK();
+}
+
+Status Fsps::SetLinkLatency(NodeId a, NodeId b, SimDuration latency) {
+  if (a == b) {
+    return Status::InvalidArgument("self-links have fixed zero latency");
+  }
+  auto known = [this](NodeId x) {
+    return x == kInvalidId || node(x) != nullptr;
+  };
+  if (!known(a) || !known(b)) {
+    return Status::InvalidArgument("unknown node in link (" +
+                                   std::to_string(a) + ", " +
+                                   std::to_string(b) + ")");
+  }
+  if (latency < 0) {
+    return Status::InvalidArgument("negative link latency");
+  }
+  if (engine_->num_shards() > 1 && latency == 0) {
+    return Status::InvalidArgument(
+        "zero-latency links admit no conservative parallel schedule on a "
+        "sharded engine");
+  }
+  network_.QueueSetLatency(a, b, latency);
+  churn_stats_.latency_updates += 1;
+  topology_dirty_ = true;
+  return Status::OK();
+}
+
+void Fsps::ReplaceOrphans(QueryId q, NodeId crashed) {
+  auto& placement = placements_.at(q);
+  const QueryGraph* graph = graphs_.at(q).get();
+  QueryCoordinator* coord = coordinators_.at(q).get();
+
+  // Candidates: live nodes — restricted to the crashed node's simulation
+  // shard when sharded, because the query's source drivers and coordinator
+  // run on that shard's queue and entities never migrate across shards.
+  const bool sharded = engine_->num_shards() > 1;
+  const int shard = shard_of(crashed);
+  std::vector<NodeId> candidates;
+  for (const auto& n : nodes_) {
+    if (!n->alive()) continue;
+    if (sharded && shard_of(n->id()) != shard) continue;
+    candidates.push_back(n->id());
+  }
+  if (candidates.empty()) {
+    // Nowhere to run: the query departs (the paper's FSPS admits arrivals
+    // and departures at any time; a cluster-wide failure forces one).
+    THEMIS_CHECK(Undeploy(q).ok());
+    churn_stats_.dropped_queries += 1;
+    return;
+  }
+
+  // Nodes already hosting surviving fragments of this query: the
+  // distinct-node guarantee is re-established against the live set, and
+  // co-location is a last resort when every candidate already hosts one.
+  std::set<NodeId> occupied;
+  for (const auto& [frag, nid] : placement) {
+    if (nid != crashed) occupied.insert(nid);
+  }
+
+  for (auto& [frag, nid] : placement) {
+    if (nid != crashed) continue;
+    NodeId target = kInvalidId;
+    for (size_t step = 0; step < candidates.size(); ++step) {
+      NodeId c = candidates[(replacement_cursor_ + step) % candidates.size()];
+      if (occupied.count(c) == 0) {
+        target = c;
+        replacement_cursor_ =
+            (replacement_cursor_ + step + 1) % candidates.size();
+        break;
+      }
+    }
+    if (target == kInvalidId) {
+      target = candidates[replacement_cursor_ % candidates.size()];
+      replacement_cursor_ = (replacement_cursor_ + 1) % candidates.size();
+    }
+    nid = target;
+    occupied.insert(target);
+    // Operator state (windows, panes) lives in the shared QueryGraph, so
+    // hosting the fragment elsewhere resumes it with its state intact.
+    nodes_[target]->HostFragment(graph, frag);
+    coord->AddHost(target, nodes_[target].get());
+    churn_stats_.replaced_fragments += 1;
+  }
+
+  nodes_[crashed]->UnhostQuery(q);
+  coord->RemoveHost(crashed);
+  if (coord->home() == crashed) {
+    // The root fragment moved with the rest; dissemination latencies now
+    // originate from its new host (same shard, so the coordinator's event
+    // queue stays valid).
+    coord->SetHome(placement.at(graph->root_fragment()));
+  }
 }
 
 std::vector<QueryId> Fsps::query_ids() const {
@@ -285,6 +484,8 @@ NodeStats Fsps::TotalNodeStats() const {
     total.batches_shed += s.batches_shed;
     total.shed_invocations += s.shed_invocations;
     total.detector_invocations += s.detector_invocations;
+    total.batches_dropped_dead += s.batches_dropped_dead;
+    total.tuples_dropped_dead += s.tuples_dropped_dead;
     total.busy_time += s.busy_time;
   }
   return total;

@@ -51,14 +51,26 @@ struct FspsOptions {
   /// partitioned across `shards` worker threads synchronized in barrier
   /// epochs of the minimum cross-shard link latency. Results are
   /// deterministic run-to-run at any shard count. Multi-shard runs freeze
-  /// the cluster at Start(): add all nodes and set all link latencies
-  /// first, and only deploy/undeploy/observe between RunFor calls.
+  /// the *node set* at Start(): add all nodes first. All control-plane
+  /// mutation — deploy/undeploy, CrashNode/RestoreNode, SetLinkLatency —
+  /// stays between RunFor calls; link edits queue and apply at the next
+  /// run boundary, where the epoch width is re-derived.
   int shards = 1;
   /// Runs the parallel engine even at shards == 1 (its single-shard fast
   /// path, which must be byte-identical to SequentialEngine). Used by the
   /// determinism tests and the CI identity byte-diff; no reason to set it
   /// otherwise.
   bool force_parsim_engine = false;
+};
+
+/// Counters of the dynamic-topology control plane (node churn, link drift,
+/// fragment re-placement); reported by the churn bench.
+struct FspsChurnStats {
+  uint64_t crashes = 0;
+  uint64_t restores = 0;
+  uint64_t latency_updates = 0;    ///< queued SetLinkLatency edits
+  uint64_t replaced_fragments = 0; ///< orphans moved to live nodes
+  uint64_t dropped_queries = 0;    ///< force-undeployed: no live candidates
 };
 
 /// \brief A complete simulated FSPS deployment.
@@ -84,6 +96,10 @@ class Fsps : public BatchRouter {
 
   Node* node(NodeId id);
   std::vector<NodeId> node_ids() const;
+  /// Node ids currently alive (excludes crashed nodes); placement decisions
+  /// on a dynamic federation should draw from this set.
+  std::vector<NodeId> live_node_ids() const;
+  bool node_alive(NodeId id) const;
   /// Simulation shard hosting node `id` (always 0 with shards == 1;
   /// unknown ids resolve to 0, mirroring ShardPlan::ShardOf).
   int shard_of(NodeId id) const {
@@ -117,6 +133,32 @@ class Fsps : public BatchRouter {
   /// mid-run (§5: "queries' arrivals and departures").
   Status Undeploy(QueryId q);
 
+  // --- dynamic topology (control plane; call between RunFor calls) ----------
+
+  /// Fails node `id`: its input buffer drains back to the batch pool,
+  /// in-flight batches addressed to it die at ingress, and every fragment
+  /// it hosted is re-placed onto live nodes (on the crashed node's
+  /// simulation shard when sharded — source drivers and the coordinator are
+  /// shard-pinned). Operator state lives in the shared QueryGraph, so
+  /// window contents migrate with the fragment. Queries with no live
+  /// candidate host are force-undeployed. Errors: NotFound for unknown
+  /// ids, FailedPrecondition if already crashed.
+  Status CrashNode(NodeId id);
+
+  /// Rejoins a crashed node, empty: it accepts traffic and deployments
+  /// again (fragments do not move back automatically). Errors: NotFound,
+  /// FailedPrecondition if not crashed.
+  Status RestoreNode(NodeId id);
+
+  /// Queues a link-latency change ((a, b), both directions; kInvalidId is
+  /// the source pseudo-node). The edit — and the re-derived epoch width on
+  /// a sharded engine — takes effect at the next RunFor boundary, never
+  /// mid-epoch. On a sharded engine the latency must stay positive (a
+  /// zero-latency cross-shard link admits no conservative schedule).
+  Status SetLinkLatency(NodeId a, NodeId b, SimDuration latency);
+
+  const FspsChurnStats& churn_stats() const { return churn_stats_; }
+
   // --- execution ------------------------------------------------------------
 
   /// Starts nodes, coordinators and sources (idempotent).
@@ -146,6 +188,17 @@ class Fsps : public BatchRouter {
   std::unique_ptr<Shedder> MakeShedder();
   /// Estimated wire size of a batch (tuple payloads + the 10-byte header).
   static size_t BatchBytes(const Batch& b);
+  /// Source-batch delivery with a placement lookup per batch, so sources
+  /// follow their receiver fragment when it is re-placed after a crash.
+  void RouteSourceBatch(QueryId q, OperatorId target, Batch batch);
+  /// Moves query `q`'s fragments off `crashed` onto live nodes (same shard
+  /// when sharded), or force-undeploys `q` when none exist.
+  void ReplaceOrphans(QueryId q, NodeId crashed);
+  /// Drains the network mutation queue and re-derives the sharded engine's
+  /// lookahead over the live node set. Runs at every RunFor boundary.
+  void ApplyTopologyMutations();
+  /// 1/0 liveness flags indexed by NodeId (Network::MinCrossShardLatency).
+  std::vector<char> AliveMask() const;
 
   FspsOptions options_;
   Rng rng_;
@@ -165,6 +218,12 @@ class Fsps : public BatchRouter {
   std::vector<std::unique_ptr<QueryGraph>> retired_graphs_;
   std::vector<std::unique_ptr<SourceDriver>> sources_;
   bool started_ = false;
+  // Dynamic-topology state: set by crash/restore/link edits, consumed by
+  // ApplyTopologyMutations at the next RunFor boundary.
+  bool topology_dirty_ = false;
+  // Round-robin cursor spreading re-placed orphans over candidate nodes.
+  size_t replacement_cursor_ = 0;
+  FspsChurnStats churn_stats_;
 };
 
 }  // namespace themis

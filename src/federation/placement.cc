@@ -10,12 +10,26 @@ namespace {
 
 // Round-robin cursor shared across calls via the rng (deterministic but not
 // aligned across queries, so load still spreads).
+//
+// Distinct-node guarantee: picks proceed in rounds of `pool` — within one
+// round every pick lands on a different node (draw, then linear-probe to
+// the next free one). The first round alone covers count <= pool, the
+// common case; when the query has more fragments than the (live) node set
+// has nodes, the used-mask resets and another distinct round begins, so no
+// node hosts a second fragment until every node hosts one, a third until
+// every node hosts two, and so on. The previous raw-draw wrap-around could
+// co-locate fragments while other nodes sat idle — visible once a
+// mid-run crash shrinks the live node list callers pass in.
 std::vector<size_t> PickDistinct(size_t count, size_t pool,
                                  const std::function<size_t()>& draw) {
   std::vector<size_t> picked;
   std::vector<bool> used(pool, false);
-  size_t distinct = std::min(count, pool);
-  while (picked.size() < distinct) {
+  size_t used_in_round = 0;
+  while (picked.size() < count) {
+    if (used_in_round == pool) {
+      std::fill(used.begin(), used.end(), false);
+      used_in_round = 0;
+    }
     size_t idx = draw() % pool;
     if (used[idx]) {
       // Linear-probe to the next free node to bound the loop.
@@ -28,10 +42,9 @@ std::vector<size_t> PickDistinct(size_t count, size_t pool,
       }
     }
     used[idx] = true;
+    ++used_in_round;
     picked.push_back(idx);
   }
-  // Wrap-around when the query has more fragments than the FSPS has nodes.
-  while (picked.size() < count) picked.push_back(draw() % pool);
   return picked;
 }
 

@@ -24,7 +24,12 @@ enum class PlacementPolicy {
 ///
 /// Fragments of the same query land on distinct nodes (the paper deploys
 /// each fragment of a query on a different FSPS node) as long as enough
-/// nodes exist; otherwise assignment wraps around.
+/// nodes exist; otherwise assignment wraps around in rounds that stay
+/// maximally spread (no node takes a k+1-th fragment while another still
+/// has k-1). `nodes` should be the *live* node set — on a dynamic
+/// federation, pass Fsps::live_node_ids() rather than node_ids(), or the
+/// distinct-node guarantee silently weakens to "distinct including crashed
+/// nodes".
 ///
 /// \param zipf_s skew parameter for kZipf (1.0 is a typical skew; 0 = uniform)
 std::map<FragmentId, NodeId> PlaceFragments(const QueryGraph& graph,

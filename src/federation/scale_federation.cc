@@ -54,26 +54,70 @@ std::unique_ptr<Fsps> MakeScaleFederation(const ScaleScenario& scenario,
   return fsps;
 }
 
-ScaleRunResult RunScaleScenario(Fsps* fsps, const ScaleScenario& scenario,
-                                SimDuration measure) {
-  const ScaleScenarioOptions& o = scenario.options;
-
+ScaleDeployer::ScaleDeployer(Fsps* fsps, const ScaleScenario& scenario)
+    : fsps_(fsps),
+      factory_(scenario.options.seed + 1),
+      options_(scenario.options),
+      cluster_nodes_(options_.clusters),
+      cursor_(options_.clusters, 0) {
   // Nodes of each cluster, in id order, with a round-robin cursor for
   // fragment placement.
-  std::vector<std::vector<NodeId>> cluster_nodes(o.clusters);
-  for (int n = 0; n < o.nodes; ++n) {
-    cluster_nodes[scenario.cluster_of_node[n]].push_back(n);
+  for (int n = 0; n < options_.nodes; ++n) {
+    cluster_nodes_[scenario.cluster_of_node[n]].push_back(n);
   }
-  std::vector<size_t> cursor(o.clusters, 0);
-  auto next_node = [&](int cluster) {
-    const std::vector<NodeId>& nodes = cluster_nodes[cluster];
-    THEMIS_CHECK(!nodes.empty());
-    NodeId id = nodes[cursor[cluster] % nodes.size()];
-    ++cursor[cluster];
-    return id;
-  };
+}
 
-  WorkloadFactory factory(o.seed + 1);
+NodeId ScaleDeployer::NextLiveNode(int cluster) {
+  const std::vector<NodeId>& nodes = cluster_nodes_[cluster];
+  THEMIS_CHECK(!nodes.empty());
+  // One full lap at most: on a static federation the first candidate is
+  // live and the cursor advances exactly once, reproducing the historical
+  // placement byte-for-byte.
+  for (size_t lap = 0; lap < nodes.size(); ++lap) {
+    NodeId id = nodes[cursor_[cluster] % nodes.size()];
+    ++cursor_[cluster];
+    if (fsps_->node_alive(id)) return id;
+  }
+  return kInvalidId;
+}
+
+bool ScaleDeployer::DeployQuery(const ScaleQuerySpec& spec) {
+  ComplexQueryOptions co;
+  co.fragments = spec.fragments;
+  co.sources_per_fragment =
+      ScaleSourcesPerFragment(spec.kind, options_.sources_per_fragment);
+  co.source_rate = options_.source_rate;
+  co.batches_per_sec = options_.batches_per_sec;
+  co.dataset = options_.dataset;
+  BuiltQuery built = factory_.MakeComplex(spec.kind, spec.id, co);
+
+  std::map<FragmentId, NodeId> placement;
+  std::vector<FragmentId> frags = built.graph->fragment_ids();
+  std::sort(frags.begin(), frags.end());
+  for (size_t i = 0; i < frags.size(); ++i) {
+    // WAN-spanning queries alternate fragments between the two clusters;
+    // others stay in the home cluster.
+    int cluster = (spec.peer_cluster >= 0 && i % 2 == 1)
+                      ? spec.peer_cluster
+                      : spec.home_cluster;
+    NodeId target = NextLiveNode(cluster);
+    if (target == kInvalidId) {
+      // Whole cluster down: the arrival bounces. The query factory stream
+      // stays aligned (the graph was already drawn), so later arrivals are
+      // unaffected.
+      skipped_arrivals_ += 1;
+      return false;
+    }
+    placement[frags[i]] = target;
+  }
+  THEMIS_CHECK(fsps_->Deploy(std::move(built.graph), placement).ok());
+  THEMIS_CHECK(fsps_->AttachSources(spec.id, built.sources).ok());
+  return true;
+}
+
+ScaleRunResult RunScaleScenario(Fsps* fsps, const ScaleScenario& scenario,
+                                SimDuration measure) {
+  ScaleDeployer deployer(fsps, scenario);
   for (const ScaleQuerySpec& spec : scenario.queries) {
     // Advance the simulation to this arrival (waves share arrival times, so
     // this is a no-op within a wave). Deployment happens between run
@@ -81,31 +125,13 @@ ScaleRunResult RunScaleScenario(Fsps* fsps, const ScaleScenario& scenario,
     if (spec.arrival > fsps->now()) {
       fsps->RunFor(spec.arrival - fsps->now());
     }
-    ComplexQueryOptions co;
-    co.fragments = spec.fragments;
-    co.sources_per_fragment =
-        ScaleSourcesPerFragment(spec.kind, o.sources_per_fragment);
-    co.source_rate = o.source_rate;
-    co.batches_per_sec = o.batches_per_sec;
-    co.dataset = o.dataset;
-    BuiltQuery built = factory.MakeComplex(spec.kind, spec.id, co);
-
-    std::map<FragmentId, NodeId> placement;
-    std::vector<FragmentId> frags = built.graph->fragment_ids();
-    std::sort(frags.begin(), frags.end());
-    for (size_t i = 0; i < frags.size(); ++i) {
-      // WAN-spanning queries alternate fragments between the two clusters;
-      // others stay in the home cluster.
-      int cluster = (spec.peer_cluster >= 0 && i % 2 == 1)
-                        ? spec.peer_cluster
-                        : spec.home_cluster;
-      placement[frags[i]] = next_node(cluster);
-    }
-    THEMIS_CHECK(fsps->Deploy(std::move(built.graph), placement).ok());
-    THEMIS_CHECK(fsps->AttachSources(spec.id, built.sources).ok());
+    deployer.DeployQuery(spec);
   }
   fsps->RunFor(measure);
+  return CollectScaleResult(fsps);
+}
 
+ScaleRunResult CollectScaleResult(Fsps* fsps) {
   ScaleRunResult result;
   NodeStats stats = fsps->TotalNodeStats();
   result.tuples_received = stats.tuples_received;

@@ -11,6 +11,7 @@
 
 #include "federation/fsps.h"
 #include "workload/scale_scenario.h"
+#include "workload/workloads.h"
 
 namespace themis {
 
@@ -45,6 +46,43 @@ std::unique_ptr<Fsps> MakeScaleFederation(const ScaleScenario& scenario,
 /// MakeScaleFederation for the same scenario and not have run yet.
 ScaleRunResult RunScaleScenario(Fsps* fsps, const ScaleScenario& scenario,
                                 SimDuration measure = Seconds(15));
+
+/// \brief Deploys a scale scenario's queries one arrival at a time.
+///
+/// Factored out of RunScaleScenario so the churn runner
+/// (federation/churn_federation.h) interleaves arrivals with topology
+/// events through the exact same placement logic. The per-cluster
+/// round-robin cursor skips crashed nodes, so arrivals during an outage
+/// land on the cluster's live members; on a static federation the
+/// behaviour is byte-identical to the pre-deployer code path.
+class ScaleDeployer {
+ public:
+  ScaleDeployer(Fsps* fsps, const ScaleScenario& scenario);
+
+  /// Builds, places and deploys one query; call with `spec.arrival <=
+  /// fsps->now()`. Returns false when every candidate node of the target
+  /// cluster(s) is crashed and the arrival is skipped.
+  bool DeployQuery(const ScaleQuerySpec& spec);
+
+  /// Arrivals skipped because no live node could host them.
+  uint64_t skipped_arrivals() const { return skipped_arrivals_; }
+
+ private:
+  /// Next live node of `cluster` in round-robin order, or kInvalidId when
+  /// the whole cluster is down.
+  NodeId NextLiveNode(int cluster);
+
+  Fsps* fsps_;
+  WorkloadFactory factory_;
+  const ScaleScenarioOptions options_;
+  std::vector<std::vector<NodeId>> cluster_nodes_;
+  std::vector<size_t> cursor_;
+  uint64_t skipped_arrivals_ = 0;
+};
+
+/// Aggregates the deterministic outcome of a finished run (the tail of
+/// RunScaleScenario, reused by the churn runner).
+ScaleRunResult CollectScaleResult(Fsps* fsps);
 
 }  // namespace themis
 

@@ -57,6 +57,16 @@ size_t InputBuffer::RemoveQuery(QueryId q) {
   return dropped;
 }
 
+size_t InputBuffer::Clear() {
+  size_t dropped = num_tuples_;
+  for (Batch& b : batches_) {
+    if (pool_ != nullptr) pool_->Release(std::move(b));
+  }
+  batches_.clear();
+  num_tuples_ = 0;
+  return dropped;
+}
+
 double InputBuffer::SicOfQuery(QueryId q) const {
   double sum = 0.0;
   for (const Batch& b : batches_) {

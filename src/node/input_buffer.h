@@ -42,6 +42,10 @@ class InputBuffer {
   /// the number of dropped tuples.
   size_t RemoveQuery(QueryId q);
 
+  /// Drops every buffered batch (node crash), releasing their buffers to
+  /// the pool. Returns the number of dropped tuples.
+  size_t Clear();
+
  private:
   std::deque<Batch> batches_;
   size_t num_tuples_ = 0;

@@ -57,7 +57,28 @@ void Node::UnhostQuery(QueryId q) {
 void Node::Start() {
   if (started_) return;
   started_ = true;
-  queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+  if (alive_) {
+    shed_timer_armed_ = true;
+    queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+  }
+}
+
+void Node::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  // The input buffer drains straight back to the pool: in-flight state dies
+  // with the node, but its buffers recycle (nothing leaks, nothing is
+  // double-released — a popped batch is never in the buffer).
+  stats_.tuples_dropped_dead += ib_.Clear();
+}
+
+void Node::Restore() {
+  if (alive_) return;
+  alive_ = true;
+  if (started_ && !shed_timer_armed_) {
+    shed_timer_armed_ = true;
+    queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+  }
 }
 
 SimTime Node::Watermark() const {
@@ -74,6 +95,14 @@ SimTime Node::Watermark() const {
 }
 
 void Node::Receive(Batch batch) {
+  if (!alive_) {
+    // Crashed: the delivery dies on the doorstep. Not counted as received —
+    // a dead node observes nothing — but the buffer still recycles.
+    stats_.batches_dropped_dead += 1;
+    stats_.tuples_dropped_dead += batch.size();
+    pool_.Release(std::move(batch));
+    return;
+  }
   SimTime now = queue_->now();
   stats_.batches_received += 1;
   stats_.tuples_received += batch.size();
@@ -260,6 +289,11 @@ Batch Node::BuildBatch(QueryId query, OperatorId op, int port, SimTime created,
 }
 
 void Node::OnShedTimer() {
+  if (!alive_) {
+    // Crashed between ticks: let the timer chain die (Restore re-arms it).
+    shed_timer_armed_ = false;
+    return;
+  }
   SimTime now = queue_->now();
   stats_.detector_invocations += 1;
 

@@ -64,6 +64,8 @@ struct NodeStats {
   uint64_t batches_shed = 0;
   uint64_t shed_invocations = 0;     ///< timer ticks that shed something
   uint64_t detector_invocations = 0; ///< all timer ticks
+  uint64_t batches_dropped_dead = 0; ///< in-flight arrivals while crashed
+  uint64_t tuples_dropped_dead = 0;  ///< incl. the buffer drained at crash
   SimDuration busy_time = 0;
   size_t last_capacity = 0;
 };
@@ -85,6 +87,18 @@ class Node {
 
   /// Starts the periodic overload-detector/shedder timer.
   void Start();
+
+  /// Simulates a node failure: every buffered batch drains back to the
+  /// batch pool, further arrivals are dropped at ingress (in-flight batches
+  /// addressed here die on the wire), and the shedder timer goes quiet.
+  /// The object stays alive — already-scheduled events fire harmlessly —
+  /// and Restore() brings the node back empty.
+  void Crash();
+  /// Rejoins a crashed node: arrivals are accepted again and the shedder
+  /// timer is re-armed (phase restarts at restore time). Hosted fragments
+  /// do not return automatically; the federation re-places them.
+  void Restore();
+  bool alive() const { return alive_; }
 
   /// Ingress for both source batches and derived batches from other nodes.
   /// Source batches (tuples with sic == 0 destined to a source-bound
@@ -195,6 +209,11 @@ class Node {
   bool processing_scheduled_ = false;
   SimTime busy_until_ = 0;
   bool started_ = false;
+  bool alive_ = true;
+  // Whether a shed-timer event chain is live: the timer stops rescheduling
+  // itself while crashed, and Restore() must not start a second chain when
+  // the last pre-crash tick is still queued.
+  bool shed_timer_armed_ = false;
 
   // Cost-model interval accounting.
   uint64_t interval_tuples_ = 0;

@@ -51,6 +51,7 @@ class ParallelEngine : public Engine, public CrossShardSink {
   void SetLookahead(SimDuration lookahead) override {
     lookahead_ = lookahead;
   }
+  SimDuration lookahead() const override { return lookahead_; }
 
   void RunUntil(SimTime t) override;
   SimTime now() const override { return now_; }

@@ -13,7 +13,14 @@ void RateEstimator::Grow() {
 }
 
 void RateEstimator::Observe(SimTime now, size_t count) {
-  if (first_observation_ < 0) first_observation_ = now;
+  if (first_observation_ < 0 ||
+      (last_observation_ >= 0 && now - last_observation_ >= stw_)) {
+    // Cold start, or an idle gap at least one window wide (every prior
+    // sample is stale): restart the observation epoch so the warm-up
+    // extrapolation applies to the post-gap rate.
+    first_observation_ = now;
+  }
+  last_observation_ = now;
   if (size_ == ring_.size()) Grow();
   ring_[(head_ + size_) & (ring_.size() - 1)] = {now, count};
   ++size_;
@@ -57,7 +64,11 @@ double RateEstimator::TuplesPerStw(SimTime now) const {
     return count;
   }
   if (elapsed < stw_) {
-    return count * static_cast<double>(stw_) / static_cast<double>(elapsed);
+    // Clamped warm-up extrapolation: real inter-batch spacings (>= 100 ms in
+    // every workload model) are far above the floor, so steady operation is
+    // untouched; only pathological near-coincident samples are bounded.
+    SimTime span = std::max(elapsed, kMinExtrapolationElapsed);
+    return count * static_cast<double>(stw_) / static_cast<double>(span);
   }
   return count;
 }

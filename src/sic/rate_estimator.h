@@ -30,8 +30,15 @@ class RateEstimator {
   ///
   /// While fewer than one full STW of history exists, the observed count is
   /// extrapolated linearly so early estimates are unbiased for constant-rate
-  /// sources.
+  /// sources. The extrapolation denominator is clamped to
+  /// `kMinExtrapolationElapsed` so two near-coincident samples cannot blow
+  /// the estimate up by orders of magnitude.
   double TuplesPerStw(SimTime now) const;
+
+  /// Extrapolation floor: an observation span shorter than this is treated
+  /// as this long (1 ms), bounding the cold-start scale factor at
+  /// stw / 1 ms instead of stw / 1 us.
+  static constexpr SimDuration kMinExtrapolationElapsed = Millis(1);
 
   SimDuration stw() const { return stw_; }
 
@@ -52,7 +59,14 @@ class RateEstimator {
   size_t head_ = 0;           // index of the oldest sample
   size_t size_ = 0;           // live samples
   size_t in_window_ = 0;
+  // Start of the current observation epoch. Reset after an idle gap of at
+  // least one STW (a source pausing and rejoining, a node recovering): the
+  // stale epoch start would otherwise pin `elapsed >= stw` and disable the
+  // warm-up extrapolation forever, so the first estimates after the gap
+  // would be one raw batch per window — skewing the first overload
+  // decision after a rejoin.
   SimTime first_observation_ = -1;
+  SimTime last_observation_ = -1;
 };
 
 }  // namespace themis

@@ -76,8 +76,13 @@ class Engine {
   /// the barrier-epoch width of the parallel engine. `lookahead <= 0` means
   /// "no cross-shard traffic exists" and lets shards run to the target in
   /// one stretch. No-op on the sequential engine. Must be called before the
-  /// first RunUntil when cross-shard links exist.
+  /// first RunUntil when cross-shard links exist — and may be called again
+  /// between RunUntil calls (epoch boundaries) after a topology mutation
+  /// re-derives the minimum cross-shard latency.
   virtual void SetLookahead(SimDuration lookahead) = 0;
+
+  /// Current lookahead (epoch width); -1 on engines without one.
+  virtual SimDuration lookahead() const { return -1; }
 
   /// Cross-shard message sink, or nullptr for engines without one.
   virtual CrossShardSink* sink() { return nullptr; }

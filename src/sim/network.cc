@@ -28,26 +28,66 @@ void Network::EnsureDim(size_t need) {
   dim_ = new_dim;
 }
 
-void Network::SetLatency(NodeId a, NodeId b, SimDuration latency) {
-  THEMIS_CHECK(!sharded_);  // topology is frozen under a shard plan
+void Network::ApplyLatency(NodeId a, NodeId b, SimDuration latency) {
   size_t ia = Index(a), ib = Index(b);
   EnsureDim(std::max(ia, ib) + 1);
   matrix_[ia * dim_ + ib] = latency;
   matrix_[ib * dim_ + ia] = latency;
 }
 
-void Network::SetDefaultLatency(SimDuration latency) {
-  THEMIS_CHECK(!sharded_);  // topology is frozen under a shard plan
+Status Network::SetLatency(NodeId a, NodeId b, SimDuration latency) {
+  if (sharded_) {
+    return Status::FailedPrecondition(
+        "topology frozen under a shard plan; queue the edit "
+        "(QueueSetLatency) for the next epoch boundary instead");
+  }
+  ApplyLatency(a, b, latency);
+  return Status::OK();
+}
+
+Status Network::SetDefaultLatency(SimDuration latency) {
+  if (sharded_) {
+    return Status::FailedPrecondition(
+        "topology frozen under a shard plan; queue the edit "
+        "(QueueSetDefaultLatency) for the next epoch boundary instead");
+  }
   default_latency_ = latency;
+  return Status::OK();
+}
+
+void Network::QueueSetLatency(NodeId a, NodeId b, SimDuration latency) {
+  pending_.push_back({a, b, latency});
+}
+
+void Network::QueueSetDefaultLatency(SimDuration latency) {
+  pending_.push_back({kInvalidId, kInvalidId, latency});
+}
+
+size_t Network::ApplyQueuedMutations() {
+  size_t applied = pending_.size();
+  for (const PendingMutation& m : pending_) {
+    if (m.a == kInvalidId && m.b == kInvalidId) {
+      default_latency_ = m.latency;
+    } else {
+      ApplyLatency(m.a, m.b, m.latency);
+    }
+  }
+  pending_.clear();
+  return applied;
 }
 
 SimDuration Network::MinCrossShardLatency(
-    const std::vector<int>& shard_of_node) const {
+    const std::vector<int>& shard_of_node,
+    const std::vector<char>& alive) const {
   SimDuration min_latency = -1;
   size_t n = shard_of_node.size();
+  auto is_alive = [&alive](size_t node) {
+    return alive.empty() || (node < alive.size() && alive[node] != 0);
+  };
   for (size_t a = 0; a + 1 < n; ++a) {
+    if (!is_alive(a)) continue;
     for (size_t b = a + 1; b < n; ++b) {
-      if (shard_of_node[a] == shard_of_node[b]) continue;
+      if (shard_of_node[a] == shard_of_node[b] || !is_alive(b)) continue;
       SimDuration lat = Latency(static_cast<NodeId>(a), static_cast<NodeId>(b));
       if (min_latency < 0 || lat < min_latency) min_latency = lat;
     }

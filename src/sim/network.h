@@ -13,6 +13,17 @@
 // and the jitter RNG stream thread-local to the executing shard, so the
 // parallel engine runs without locks; without a plan there is exactly one
 // lane and behaviour is byte-identical to the historical single-queue path.
+//
+// Dynamic topology: once a shard plan is installed the immediate setters
+// reject edits (the parallel engine's lookahead is derived from the
+// topology; mutating it under a running epoch would let messages undercut
+// the epoch width). Instead, edits go through the mutation queue
+// (QueueSetLatency / QueueSetDefaultLatency) and are applied in FIFO order
+// by ApplyQueuedMutations(), which the federation layer calls at an epoch
+// boundary — between engine runs, with every shard clock synchronized —
+// before re-deriving the conservative lookahead. Each queued edit updates
+// the dense matrix incrementally (two cells, plus growth when a new node id
+// appears); the matrix is never rebuilt from scratch.
 #ifndef THEMIS_SIM_NETWORK_H_
 #define THEMIS_SIM_NETWORK_H_
 
@@ -21,6 +32,7 @@
 
 #include "common/function.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/time_types.h"
 #include "runtime/ids.h"
 #include "sim/engine.h"
@@ -42,13 +54,25 @@ class Network {
           uint64_t jitter_seed = kDefaultJitterSeed);
 
   /// Overrides the latency of the (a, b) link, both directions. Topology is
-  /// frozen once a shard plan is installed (the parallel engine's lookahead
-  /// is derived from it; mutating it afterwards would let messages undercut
-  /// the epoch width) — both setters abort via THEMIS_CHECK then.
-  void SetLatency(NodeId a, NodeId b, SimDuration latency);
-  void SetDefaultLatency(SimDuration latency);
+  /// frozen once a shard plan is installed — late edits return
+  /// FailedPrecondition instead of applying; queue them (QueueSetLatency)
+  /// to defer them to the next epoch boundary.
+  Status SetLatency(NodeId a, NodeId b, SimDuration latency);
+  Status SetDefaultLatency(SimDuration latency);
   /// Uniform jitter in [0, jitter] added per message (0 disables).
   void SetJitter(SimDuration jitter) { jitter_ = jitter; }
+
+  /// Defers a link-latency edit to the next ApplyQueuedMutations() call.
+  /// Legal at any time, sharded or not; edits apply in FIFO order.
+  void QueueSetLatency(NodeId a, NodeId b, SimDuration latency);
+  /// Deferred counterpart of SetDefaultLatency.
+  void QueueSetDefaultLatency(SimDuration latency);
+  /// Applies every queued edit and returns how many were applied. With a
+  /// shard plan installed this must only run at an epoch boundary (between
+  /// engine runs), and the caller must re-derive the engine lookahead from
+  /// MinCrossShardLatency afterwards before resuming.
+  size_t ApplyQueuedMutations();
+  bool has_queued_mutations() const { return !pending_.empty(); }
 
   SimDuration Latency(NodeId a, NodeId b) const {
     if (a == b) return 0;
@@ -64,7 +88,12 @@ class Network {
   /// `shard_of_node` (indexed by NodeId, covering all nodes); this is the
   /// safe conservative lookahead for a sharded run. Returns -1 when no pair
   /// crosses shards. Jitter only adds latency, so it never tightens this.
-  SimDuration MinCrossShardLatency(const std::vector<int>& shard_of_node) const;
+  ///
+  /// `alive`, when non-empty (indexed by NodeId like `shard_of_node`),
+  /// restricts the scan to pairs of live nodes: links touching a crashed
+  /// node carry no future traffic, so they must not narrow the epoch.
+  SimDuration MinCrossShardLatency(const std::vector<int>& shard_of_node,
+                                   const std::vector<char>& alive = {}) const;
 
   /// Switches Send to shard-aware routing (see class comment). The plan's
   /// queues replace the constructor queue; call before the first event runs.
@@ -87,9 +116,20 @@ class Network {
   static size_t Index(NodeId id) { return static_cast<size_t>(id + 1); }
   static constexpr SimDuration kNoOverride = INT64_MIN;
 
+  /// One deferred topology edit; a == b == kInvalidId encodes a default-
+  /// latency change (self-links are never stored, so the encoding is free).
+  struct PendingMutation {
+    NodeId a;
+    NodeId b;
+    SimDuration latency;
+  };
+
   /// Grows the matrix to cover ids up to `need - 2` (index dimension
   /// `need`), preserving existing overrides.
   void EnsureDim(size_t need);
+  /// Unconditional (freeze-exempt) matrix write shared by the immediate
+  /// setter and the queue drain.
+  void ApplyLatency(NodeId a, NodeId b, SimDuration latency);
 
   /// Per-shard mutable state, padded so two shards' counters never share a
   /// cache line. Lane 0 doubles as the single-shard state.
@@ -106,6 +146,7 @@ class Network {
   uint64_t jitter_seed_;
   std::vector<SimDuration> matrix_;  // dim_ x dim_, kNoOverride = default
   size_t dim_ = 0;
+  std::vector<PendingMutation> pending_;
   std::vector<Lane> lanes_;
   ShardPlan plan_;
   bool sharded_ = false;

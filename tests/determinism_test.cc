@@ -2,6 +2,7 @@
 // is what makes every EXPERIMENTS.md number regenerable bit-for-bit.
 #include <gtest/gtest.h>
 
+#include "federation/churn_federation.h"
 #include "federation/fsps.h"
 #include "federation/placement.h"
 #include "workload/workloads.h"
@@ -86,6 +87,61 @@ TEST(DeterminismTest, ParsimMultiShardIsDeterministic) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i], b[i]) << "query " << i;
   }
+}
+
+// One small churn run: crash waves, restores and link drift on a 16-node
+// federation, returning every deterministic aggregate.
+ChurnRunResult RunChurnOnce(uint64_t seed, EngineChoice engine = {}) {
+  ChurnScenarioOptions co;
+  co.scale.nodes = 16;
+  co.scale.clusters = 4;
+  co.scale.queries = 16;
+  co.scale.arrival_wave = 8;
+  co.scale.seed = seed;
+  co.crashes_per_wave = 1;
+  co.churn_horizon = Seconds(16);
+  ChurnScenario scenario = MakeChurnScenario(co);
+  FspsOptions fo;
+  fo.shards = engine.shards;
+  fo.force_parsim_engine = engine.force_parsim;
+  auto fsps = MakeChurnFederation(scenario, fo);
+  return RunChurnScenario(fsps.get(), scenario, Seconds(5));
+}
+
+void ExpectChurnResultsEqual(const ChurnRunResult& a, const ChurnRunResult& b) {
+  EXPECT_EQ(a.scale.tuples_processed, b.scale.tuples_processed);
+  EXPECT_EQ(a.scale.tuples_shed, b.scale.tuples_shed);
+  EXPECT_EQ(a.scale.messages, b.scale.messages);
+  EXPECT_EQ(a.scale.events, b.scale.events);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restores, b.restores);
+  EXPECT_EQ(a.replaced_fragments, b.replaced_fragments);
+  EXPECT_EQ(a.dropped_queries, b.dropped_queries);
+  EXPECT_EQ(a.tuples_dropped_dead, b.tuples_dropped_dead);
+  ASSERT_EQ(a.scale.final_sics.size(), b.scale.final_sics.size());
+  for (size_t i = 0; i < a.scale.final_sics.size(); ++i) {
+    EXPECT_EQ(a.scale.final_sics[i], b.scale.final_sics[i]) << "query " << i;
+  }
+}
+
+TEST(DeterminismTest, ChurnRunIsSeedDeterministic) {
+  ExpectChurnResultsEqual(RunChurnOnce(101), RunChurnOnce(101));
+}
+
+TEST(DeterminismTest, ChurnParsimSingleShardMatchesSequentialEngine) {
+  // The dynamic control plane (crash drains, re-placement, deferred link
+  // edits) must not open any divergence between the engines: same events,
+  // same order, same doubles.
+  EngineChoice parsim1{.shards = 1, .force_parsim = true};
+  ExpectChurnResultsEqual(RunChurnOnce(101), RunChurnOnce(101, parsim1));
+}
+
+TEST(DeterminismTest, ChurnParsimMultiShardIsDeterministic) {
+  // Repeated multi-shard churn runs agree exactly: topology mutation lands
+  // only at epoch boundaries, so the conservative merge stays
+  // interleaving-independent through crash waves and lookahead changes.
+  ExpectChurnResultsEqual(RunChurnOnce(101, {.shards = 2}),
+                          RunChurnOnce(101, {.shards = 2}));
 }
 
 TEST(DeterminismTest, WorkloadFactoryIsSeedStable) {

@@ -264,6 +264,47 @@ TEST(PlacementTest, WrapsWhenMoreFragmentsThanNodes) {
   EXPECT_EQ(placement.size(), 5u);
 }
 
+TEST(PlacementTest, WrapAroundStaysMaximallySpread) {
+  // Regression test: when the live node list shrinks below the fragment
+  // count (mid-run crashes), the wrap-around must still spread in rounds —
+  // no node takes a third fragment while another has one. The old raw-draw
+  // wrap could co-locate fragments on a hot node with others idle.
+  WorkloadFactory f(1);
+  auto built = f.MakeCov(1, {.fragments = 7});
+  std::vector<NodeId> live = {0, 1, 2};
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto placement = PlaceFragments(*built.graph, live,
+                                    PlacementPolicy::kZipf, 1.0, &rng);
+    ASSERT_EQ(placement.size(), 7u);
+    std::map<NodeId, int> load;
+    for (const auto& [frag, node] : placement) ++load[node];
+    // 7 fragments over 3 nodes: the only maximally-spread split is 3/2/2.
+    for (const auto& [node, count] : load) {
+      EXPECT_GE(count, 2) << "seed " << seed << " node " << node;
+      EXPECT_LE(count, 3) << "seed " << seed << " node " << node;
+    }
+  }
+}
+
+TEST(PlacementTest, Seed42ZipfPlacementBytesArePinned) {
+  // Golden placement for the canonical seed: any change to the draw order,
+  // probe rule, or wrap policy shows up as a diff here before it can
+  // silently shift every Zipf experiment.
+  WorkloadFactory f(42);
+  auto built = f.MakeCov(7, {.fragments = 4});
+  Rng rng(42);
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto placement =
+      PlaceFragments(*built.graph, nodes, PlacementPolicy::kZipf, 1.2, &rng);
+  std::vector<FragmentId> frags = built.graph->fragment_ids();
+  std::sort(frags.begin(), frags.end());
+  ASSERT_EQ(frags.size(), 4u);
+  std::vector<NodeId> got;
+  for (FragmentId frag : frags) got.push_back(placement.at(frag));
+  EXPECT_EQ(got, (std::vector<NodeId>{2, 3, 0, 5}));
+}
+
 TEST(PlacementTest, ZipfSkewsLoad) {
   WorkloadFactory f(1);
   Rng rng(5);

@@ -232,9 +232,59 @@ TEST(ParallelEngineTest, RunForZeroRunsEventsAtCurrentClock) {
 }
 
 TEST(ParallelEngineTest, TopologyFrozenUnderShardPlan) {
+  // Outcome 1 of a late topology edit: the immediate setters reject it
+  // with a Status error (no more process abort) and the matrix is
+  // untouched.
   TwoShardNet f;
-  EXPECT_DEATH(f.net.SetLatency(0, 1, Millis(1)), "CHECK failed");
-  EXPECT_DEATH(f.net.SetDefaultLatency(Millis(1)), "CHECK failed");
+  EXPECT_TRUE(f.net.SetLatency(0, 1, Millis(1)).IsFailedPrecondition());
+  EXPECT_TRUE(f.net.SetDefaultLatency(Millis(1)).IsFailedPrecondition());
+  EXPECT_EQ(f.net.Latency(0, 1), Millis(10));
+}
+
+TEST(ParallelEngineTest, QueuedTopologyEditDefersToEpochBoundary) {
+  // Outcome 2: the edit queues and only lands when ApplyQueuedMutations
+  // drains the queue at an epoch boundary — messages sent before the drain
+  // still travel at the old latency.
+  TwoShardNet f;
+  f.net.QueueSetLatency(0, 1, Millis(30));
+  EXPECT_TRUE(f.net.has_queued_mutations());
+  EXPECT_EQ(f.net.Latency(0, 1), Millis(10));  // not yet applied
+
+  SimTime first = -1;
+  f.engine.queue(0)->Schedule(0, [&] {
+    f.net.Send(0, 1, 1, [&] { first = f.engine.queue(1)->now(); });
+  });
+  f.engine.RunUntil(Millis(20));
+  EXPECT_EQ(first, Millis(10));  // old latency
+
+  EXPECT_EQ(f.net.ApplyQueuedMutations(), 1u);
+  EXPECT_FALSE(f.net.has_queued_mutations());
+  EXPECT_EQ(f.net.Latency(0, 1), Millis(30));
+  // The caller re-derives the lookahead from the mutated matrix before
+  // resuming (Fsps::ApplyTopologyMutations does this at RunFor time).
+  EXPECT_EQ(f.net.MinCrossShardLatency({0, 1}), Millis(30));
+  f.engine.SetLookahead(Millis(30));
+  EXPECT_EQ(f.engine.lookahead(), Millis(30));
+
+  SimTime second = -1;
+  f.engine.queue(0)->Schedule(Millis(20), [&] {
+    f.net.Send(0, 1, 1, [&] { second = f.engine.queue(1)->now(); });
+  });
+  f.engine.RunUntil(Millis(100));
+  EXPECT_EQ(second, Millis(50));  // new latency
+}
+
+TEST(ParallelEngineTest, MinCrossShardLatencySkipsDeadNodes) {
+  // Lookahead re-derivation after a crash: links touching a dead node
+  // carry no future traffic and must not narrow the epoch.
+  EventQueue q;
+  Network net(&q, Millis(50));
+  net.SetLatency(0, 3, Millis(5));  // the tightest link, endpoint 3
+  std::vector<int> shard_of_node = {0, 0, 1, 1};
+  EXPECT_EQ(net.MinCrossShardLatency(shard_of_node), Millis(5));
+  EXPECT_EQ(net.MinCrossShardLatency(shard_of_node, {1, 1, 1, 0}), Millis(50));
+  // Restore: the link constrains the epoch again.
+  EXPECT_EQ(net.MinCrossShardLatency(shard_of_node, {1, 1, 1, 1}), Millis(5));
 }
 
 TEST(ParallelEngineTest, PingPongAcrossShards) {

@@ -59,6 +59,45 @@ TEST(RateEstimatorTest, EmptyIsZero) {
   EXPECT_EQ(est.TuplesPerStw(Seconds(5)), 0.0);
 }
 
+TEST(RateEstimatorTest, ColdStartReturnsRawCount) {
+  // A single instantaneous observation has no rate to extrapolate from;
+  // the estimate is the raw batch count, corrected by the next batch.
+  RateEstimator est(Seconds(10));
+  est.Observe(Seconds(3), 25);
+  EXPECT_EQ(est.TuplesPerStw(Seconds(3)), 25.0);
+}
+
+TEST(RateEstimatorTest, IdleGapResetsExtrapolation) {
+  // Regression test: a source pauses (node crash) for longer than one STW
+  // and rejoins. Before the idle reset, `first_observation_` stayed pinned
+  // at the pre-gap epoch, `elapsed >= stw` disabled the warm-up
+  // extrapolation, and the first post-gap estimates were one raw batch per
+  // window — a ~100x underestimate that skewed the first overload
+  // decision after the rejoin.
+  RateEstimator est(Seconds(10));
+  // 100 t/s for 2 s, then 30 s of silence, then the source rejoins.
+  for (int i = 0; i < 20; ++i) est.Observe(Millis(100) * i, 10);
+  SimTime rejoin = Seconds(32);
+  est.Observe(rejoin, 10);
+  EXPECT_EQ(est.TuplesPerStw(rejoin), 10.0);  // cold start again
+  est.Observe(rejoin + Millis(100), 10);
+  est.Observe(rejoin + Millis(200), 10);
+  // Extrapolation restarted: 30 tuples over 200 ms -> ~1500 per 10 s,
+  // not the raw 30 the stale epoch start used to produce.
+  EXPECT_NEAR(est.TuplesPerStw(rejoin + Millis(200)), 1500.0, 1.0);
+}
+
+TEST(RateEstimatorTest, ExtrapolationIsClamped) {
+  // Two samples one microsecond apart must not blow the estimate up by
+  // stw/1us; the extrapolation span is floored at 1 ms.
+  RateEstimator est(Seconds(10));
+  est.Observe(0, 10);
+  est.Observe(1, 10);
+  // Unclamped this would be 20 * 10s / 1us = 2e8; the floor caps it at
+  // 20 * 10s / 1ms = 2e5.
+  EXPECT_NEAR(est.TuplesPerStw(1), 200000.0, 1.0);
+}
+
 TEST(StwTrackerTest, SumsWithinWindow) {
   StwTracker t(Seconds(10));
   t.AddResultSic(Seconds(1), 0.2);

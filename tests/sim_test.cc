@@ -164,6 +164,41 @@ TEST(NetworkTest, SourcePseudoNodeLatency) {
   EXPECT_EQ(net.Latency(kInvalidId, 3), Millis(5));
 }
 
+TEST(NetworkTest, UnshardedSettersApplyImmediately) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  EXPECT_TRUE(net.SetLatency(0, 1, Millis(20)).ok());
+  EXPECT_TRUE(net.SetDefaultLatency(Millis(9)).ok());
+  EXPECT_EQ(net.Latency(0, 1), Millis(20));
+  EXPECT_EQ(net.Latency(0, 2), Millis(9));
+}
+
+TEST(NetworkTest, MutationQueueAppliesInFifoOrder) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  net.QueueSetLatency(0, 1, Millis(20));
+  net.QueueSetLatency(0, 1, Millis(30));  // later edit wins
+  net.QueueSetDefaultLatency(Millis(7));
+  EXPECT_TRUE(net.has_queued_mutations());
+  EXPECT_EQ(net.Latency(0, 1), Millis(5));  // nothing applied yet
+  EXPECT_EQ(net.ApplyQueuedMutations(), 3u);
+  EXPECT_FALSE(net.has_queued_mutations());
+  EXPECT_EQ(net.Latency(0, 1), Millis(30));
+  EXPECT_EQ(net.Latency(2, 3), Millis(7));
+  EXPECT_EQ(net.ApplyQueuedMutations(), 0u);  // drained
+}
+
+TEST(NetworkTest, QueuedMutationGrowsMatrixIncrementally) {
+  EventQueue q;
+  Network net(&q, Millis(5));
+  net.SetLatency(0, 1, Millis(11));
+  net.QueueSetLatency(80, 120, Millis(70));  // forces regrowth on apply
+  net.ApplyQueuedMutations();
+  EXPECT_EQ(net.Latency(0, 1), Millis(11));  // earlier override preserved
+  EXPECT_EQ(net.Latency(120, 80), Millis(70));
+  EXPECT_EQ(net.Latency(0, 120), Millis(5));
+}
+
 TEST(NetworkTest, MinCrossShardLatency) {
   EventQueue q;
   Network net(&q, Millis(50));
