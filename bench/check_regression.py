@@ -3,6 +3,7 @@
 
 Usage: check_regression.py RESULTS_JSON [BASELINE_JSON] [--tolerance 0.20]
            [--min-speedup BENCH:FAST_CONFIG:BASE_CONFIG:RATIO ...]
+           [--max-metric-ratio BENCH:CONFIG_A:CONFIG_B:METRIC:RATIO ...]
 
 For every (bench, config) run present in both files with a non-zero
 throughput, fail (exit 1) when the measured tuples/s — normalized by each
@@ -19,6 +20,14 @@ a parallel run burns more CPU-seconds than it saves. BASELINE_JSON may be
 omitted for a speedup-only check (no baseline comparison), which CI does
 against a dedicated full-length bench run for a less noise-sensitive
 measurement than the --quick smoke.
+
+--max-metric-ratio gates a within-results ratio over the *simulated-domain*
+metrics a bench attached via PerfRecorder::AddMetric (the `"metrics"`
+object on a run): CONFIG_A's METRIC must be at most RATIO times
+CONFIG_B's. Unlike throughput these values are deterministic, so the gate
+is exact. CI uses it to pin that SIC-aware orphan re-placement recovers no
+slower than the round-robin cursor
+(bench_recovery:sic-aware:round-robin:mean_censored_ttr_ms:1.0).
 
 Refresh the baseline with `bench/run_benches.sh build bench/baseline.json
 --quick` (see EXPERIMENTS.md, "Refreshing the baseline").
@@ -60,6 +69,51 @@ def load_wall_tps(path):
         for entry in entries
         for run in entry.get("runs", [])
     }
+
+
+def load_metrics(path):
+    """Returns {(bench, config, metric): value} from runs' `metrics`."""
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    return {
+        (entry["bench"], run["config"], name): value
+        for entry in entries
+        for run in entry.get("runs", [])
+        for name, value in run.get("metrics", {}).items()
+    }
+
+
+def check_metric_ratios(results_path, specs):
+    """Evaluates BENCH:A:B:METRIC:RATIO specs; returns a list of failures."""
+    if not specs:
+        return []
+    metrics = load_metrics(results_path)
+    failures = []
+    for spec in specs:
+        try:
+            bench, config_a, config_b, metric, ratio_s = spec.split(":")
+            max_ratio = float(ratio_s)
+        except ValueError:
+            failures.append(f"malformed --max-metric-ratio spec: {spec!r}")
+            continue
+        key_a = (bench, config_a, metric)
+        key_b = (bench, config_b, metric)
+        if key_a not in metrics or key_b not in metrics:
+            failures.append(
+                f"{bench}: missing metric {metric!r} for ratio check "
+                f"({config_a}: {key_a in metrics}, "
+                f"{config_b}: {key_b in metrics})")
+            continue
+        a, b = metrics[key_a], metrics[key_b]
+        ok = a <= max_ratio * b
+        print(f"metric {bench} {metric}: {config_a}={a:.3f} vs "
+              f"{config_b}={b:.3f} (need <= {max_ratio:.2f}x) "
+              f"{'OK' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{bench}: {metric} of {config_a} ({a:.3f}) exceeds "
+                f"{max_ratio:.2f}x of {config_b} ({b:.3f})")
+    return failures
 
 
 def check_speedups(results_path, specs):
@@ -105,21 +159,27 @@ def main():
         metavar="BENCH:FAST_CONFIG:BASE_CONFIG:RATIO",
         help="require FAST_CONFIG's wall-clock tuples/s to be at least "
              "RATIO x BASE_CONFIG's within the results file")
+    parser.add_argument(
+        "--max-metric-ratio", action="append", default=[],
+        metavar="BENCH:CONFIG_A:CONFIG_B:METRIC:RATIO",
+        help="require CONFIG_A's METRIC (PerfRecorder::AddMetric) to be at "
+             "most RATIO x CONFIG_B's within the results file")
     args = parser.parse_args()
 
     if args.baseline is None:
         failures = check_speedups(args.results, args.min_speedup)
+        failures += check_metric_ratios(args.results, args.max_metric_ratio)
         if failures:
-            print(f"\n{len(failures)} speedup gate failure(s):",
-                  file=sys.stderr)
+            print(f"\n{len(failures)} gate failure(s):", file=sys.stderr)
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
             return 1
-        if not args.min_speedup:
-            print("error: no baseline and no --min-speedup: nothing to check",
+        if not args.min_speedup and not args.max_metric_ratio:
+            print("error: no baseline and no --min-speedup/"
+                  "--max-metric-ratio: nothing to check",
                   file=sys.stderr)
             return 1
-        print("\nOK: all speedup gates passed")
+        print("\nOK: all gates passed")
         return 0
 
     results = load_runs(args.results)
@@ -157,13 +217,15 @@ def main():
         print(f"{key[0] + '/' + key[1]:<60} <new, no baseline>")
 
     speedup_failures = check_speedups(args.results, args.min_speedup)
+    speedup_failures += check_metric_ratios(args.results,
+                                            args.max_metric_ratio)
 
     if compared == 0:
         print("error: no comparable runs between results and baseline",
               file=sys.stderr)
         return 1
     if speedup_failures:
-        print(f"\n{len(speedup_failures)} speedup gate failure(s):",
+        print(f"\n{len(speedup_failures)} gate failure(s):",
               file=sys.stderr)
         for failure in speedup_failures:
             print(f"  {failure}", file=sys.stderr)

@@ -95,6 +95,15 @@ void PerfRecorder::BeginRun(std::string config) {
   run_start_ = std::chrono::steady_clock::now();
 }
 
+void PerfRecorder::AddMetric(const std::string& name, double value) {
+  if (run_open_) {
+    // Attach on EndRun: the Run object does not exist yet.
+    pending_metrics_.emplace_back(name, value);
+    return;
+  }
+  if (!runs_.empty()) runs_.back().metrics.emplace_back(name, value);
+}
+
 void PerfRecorder::EndRun(uint64_t tuples_processed) {
   auto end = std::chrono::steady_clock::now();
   double end_cpu_s = CpuSeconds();
@@ -106,6 +115,8 @@ void PerfRecorder::EndRun(uint64_t tuples_processed) {
   run.cpu_s = end_cpu_s - run_start_cpu_s_;
   run.tuples_processed = tuples_processed;
   run.allocations = AllocCounter::allocations() - run_start_allocs_;
+  run.metrics = std::move(pending_metrics_);
+  pending_metrics_.clear();
   runs_.push_back(std::move(run));
 }
 
@@ -141,12 +152,23 @@ PerfRecorder::~PerfRecorder() {
                   "{\"config\":\"%s\",\"wall_s\":%.6f,\"cpu_s\":%.6f,"
                   "\"tuples_processed\":%llu,\"tuples_per_sec\":%.1f,"
                   "\"tuples_per_cpu_sec\":%.1f,"
-                  "\"allocations\":%llu,\"allocs_per_tuple\":%.4f}",
+                  "\"allocations\":%llu,\"allocs_per_tuple\":%.4f",
                   JsonEscape(r.config).c_str(), r.wall_s, r.cpu_s,
                   static_cast<unsigned long long>(r.tuples_processed), tps,
                   cpu_tps,
                   static_cast<unsigned long long>(r.allocations), apt);
     entry << buf;
+    if (!r.metrics.empty()) {
+      entry << ",\"metrics\":{";
+      for (size_t m = 0; m < r.metrics.size(); ++m) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%.6f",
+                      m > 0 ? "," : "", JsonEscape(r.metrics[m].first).c_str(),
+                      r.metrics[m].second);
+        entry << buf;
+      }
+      entry << "}";
+    }
+    entry << "}";
   }
   entry << "]}";
 

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace themis {
@@ -48,6 +49,14 @@ class PerfRecorder {
   /// throughput metric; pass 0 when the run has no tuple-count notion.
   void EndRun(uint64_t tuples_processed);
 
+  /// Attaches a named simulated-domain metric (e.g. MTTR in milliseconds,
+  /// dip depth) to the current run — or, after EndRun, to the run that just
+  /// closed. Emitted as a `"metrics"` object on the run's JSON entry;
+  /// check_regression.py gates ratios between configs with
+  /// --max-metric-ratio. Deterministic metrics only: these are compared
+  /// exactly across runs, unlike the wall-clock fields.
+  void AddMetric(const std::string& name, double value);
+
  private:
   struct Run {
     std::string config;
@@ -55,6 +64,7 @@ class PerfRecorder {
     double cpu_s = 0.0;
     uint64_t tuples_processed = 0;
     uint64_t allocations = 0;
+    std::vector<std::pair<std::string, double>> metrics;
   };
 
   std::string bench_name_;
@@ -68,6 +78,8 @@ class PerfRecorder {
 
   bool run_open_ = false;
   std::string open_config_;
+  // Metrics added while a run is open, moved into it at EndRun.
+  std::vector<std::pair<std::string, double>> pending_metrics_;
   std::chrono::steady_clock::time_point run_start_;
   double run_start_cpu_s_ = 0.0;
   uint64_t run_start_allocs_ = 0;

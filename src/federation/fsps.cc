@@ -51,7 +51,8 @@ Fsps::Fsps(FspsOptions options)
       rng_(options.seed),
       engine_(MakeEngine(options.shards, options.force_parsim_engine)),
       network_(engine_->queue(0), options.default_link_latency,
-               DeriveJitterSeed(options.seed)) {}
+               DeriveJitterSeed(options.seed)),
+      recovery_(options.recovery) {}
 
 Fsps::~Fsps() = default;
 
@@ -281,6 +282,12 @@ std::vector<char> Fsps::AliveMask() const {
 
 void Fsps::ApplyTopologyMutations() {
   size_t applied = network_.ApplyQueuedMutations();
+  if (applied > 0 && options_.recovery.enabled) {
+    // Link edits land here, at the run boundary — this is where the
+    // latency change starts perturbing traffic, so this is the instant the
+    // recovery tracker should baseline against.
+    MarkRecoveryDisturbance(DisturbanceKind::kLinkChange);
+  }
   if (applied == 0 && !topology_dirty_) return;
   topology_dirty_ = false;
   if (engine_->num_shards() > 1) {
@@ -303,7 +310,42 @@ void Fsps::ApplyTopologyMutations() {
 void Fsps::RunFor(SimDuration d) {
   Start();
   ApplyTopologyMutations();
-  engine_->RunUntil(engine_->now() + d);
+  SimTime end = engine_->now() + d;
+  if (!options_.recovery.enabled) {
+    engine_->RunUntil(end);
+    return;
+  }
+  // Split the run at the sampling cadence: every shard clock is
+  // synchronized at each RunUntil return, so reading the coordinators there
+  // is race-free and deterministic at any shard count. The grid stays
+  // regular across RunFor segmentation (a segment ending between samples
+  // leaves next_sample_due_ untouched), and disturbance-time samples from
+  // the control plane are off-grid extras the tracker de-duplicates.
+  while (true) {
+    if (next_sample_due_ <= engine_->now()) {
+      SampleRecovery();
+      next_sample_due_ = engine_->now() + options_.recovery.sample_interval;
+    }
+    if (engine_->now() >= end) break;
+    engine_->RunUntil(std::min(end, next_sample_due_));
+  }
+}
+
+void Fsps::SampleRecovery() {
+  std::vector<std::pair<QueryId, double>> sics;
+  sics.reserve(coordinators_.size());
+  for (auto& [q, coord] : coordinators_) {
+    sics.emplace_back(q, coord->CurrentSic());
+  }
+  recovery_.Sample(engine_->now(), sics);
+}
+
+void Fsps::MarkRecoveryDisturbance(DisturbanceKind kind) {
+  // Sample first so every deployed query has a pre-fault baseline at the
+  // disturbance instant itself (the tracker ignores the duplicate when a
+  // cadence sample already landed here).
+  SampleRecovery();
+  recovery_.MarkDisturbance(engine_->now(), kind);
 }
 
 Status Fsps::CrashNode(NodeId id) {
@@ -314,6 +356,11 @@ Status Fsps::CrashNode(NodeId id) {
   if (!n->alive()) {
     return Status::FailedPrecondition("node " + std::to_string(id) +
                                       " is already crashed");
+  }
+  if (options_.recovery.enabled) {
+    // Baseline the dip before the crash mutates anything: a wave of
+    // CrashNode calls at one instant coalesces into one disturbance.
+    MarkRecoveryDisturbance(DisturbanceKind::kCrashWave);
   }
   n->Crash();
   churn_stats_.crashes += 1;
@@ -342,6 +389,9 @@ Status Fsps::RestoreNode(NodeId id) {
   if (n->alive()) {
     return Status::FailedPrecondition("node " + std::to_string(id) +
                                       " is not crashed");
+  }
+  if (options_.recovery.enabled) {
+    MarkRecoveryDisturbance(DisturbanceKind::kRestore);
   }
   n->Restore();
   churn_stats_.restores += 1;
@@ -408,21 +458,67 @@ void Fsps::ReplaceOrphans(QueryId q, NodeId crashed) {
     if (nid != crashed) occupied.insert(nid);
   }
 
+  // kSicAware: rank the candidates by their live overload signal plus the
+  // load already projected onto them at this control-plane instant
+  // (candidates are in ascending id order, giving the chooser its
+  // deterministic tie-break). Each placed orphan then projects its own
+  // carried mass — the crashed node's accepted SIC for this query, split
+  // over its orphans — onto its new host, so a whole wave of crashes
+  // spreads by expected load instead of herding onto the instant's
+  // least-loaded node.
+  std::vector<ReplacementCandidate> loads;
+  double orphan_mass = 0.0;
+  if (options_.replacement == ReplacementPolicy::kSicAware) {
+    SimTime now = engine_->now();
+    if (inflight_load_at_ != now) {
+      inflight_load_at_ = now;
+      inflight_load_.clear();
+    }
+    loads.reserve(candidates.size());
+    for (NodeId c : candidates) {
+      double inflight = 0.0;
+      if (auto it = inflight_load_.find(c); it != inflight_load_.end()) {
+        inflight = it->second;
+      }
+      loads.push_back({c, NodeLoadSignal(c, now) + inflight});
+    }
+    size_t orphans = 0;
+    for (const auto& [frag, nid] : placement) {
+      if (nid == crashed) ++orphans;
+    }
+    if (orphans > 0) {
+      orphan_mass = nodes_[crashed]->AcceptedSic(q, now) /
+                    static_cast<double>(orphans);
+    }
+  }
+
   for (auto& [frag, nid] : placement) {
     if (nid != crashed) continue;
     NodeId target = kInvalidId;
-    for (size_t step = 0; step < candidates.size(); ++step) {
-      NodeId c = candidates[(replacement_cursor_ + step) % candidates.size()];
-      if (occupied.count(c) == 0) {
-        target = c;
-        replacement_cursor_ =
-            (replacement_cursor_ + step + 1) % candidates.size();
-        break;
+    if (options_.replacement == ReplacementPolicy::kSicAware) {
+      target = ChooseLeastLoaded(loads, occupied);
+      inflight_load_[target] += orphan_mass;
+      for (ReplacementCandidate& c : loads) {
+        if (c.id == target) {
+          c.load += orphan_mass;
+          break;
+        }
       }
-    }
-    if (target == kInvalidId) {
-      target = candidates[replacement_cursor_ % candidates.size()];
-      replacement_cursor_ = (replacement_cursor_ + 1) % candidates.size();
+    } else {
+      for (size_t step = 0; step < candidates.size(); ++step) {
+        NodeId c =
+            candidates[(replacement_cursor_ + step) % candidates.size()];
+        if (occupied.count(c) == 0) {
+          target = c;
+          replacement_cursor_ =
+              (replacement_cursor_ + step + 1) % candidates.size();
+          break;
+        }
+      }
+      if (target == kInvalidId) {
+        target = candidates[replacement_cursor_ % candidates.size()];
+        replacement_cursor_ = (replacement_cursor_ + 1) % candidates.size();
+      }
     }
     nid = target;
     occupied.insert(target);
@@ -441,6 +537,15 @@ void Fsps::ReplaceOrphans(QueryId q, NodeId crashed) {
     // queue stays valid).
     coord->SetHome(placement.at(graph->root_fragment()));
   }
+}
+
+double Fsps::NodeLoadSignal(NodeId id, SimTime now) {
+  Node* n = nodes_[id].get();
+  double accepted = 0.0;
+  for (QueryId q : n->HostedQueries()) {
+    accepted += n->AcceptedSic(q, now);
+  }
+  return accepted;
 }
 
 std::vector<QueryId> Fsps::query_ids() const {

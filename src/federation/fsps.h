@@ -12,6 +12,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "federation/coordinator.h"
+#include "federation/placement.h"
+#include "metrics/recovery_tracker.h"
 #include "node/node.h"
 #include "runtime/query_graph.h"
 #include "shedding/balance_sic_shedder.h"
@@ -61,6 +63,18 @@ struct FspsOptions {
   /// determinism tests and the CI identity byte-diff; no reason to set it
   /// otherwise.
   bool force_parsim_engine = false;
+  /// How CrashNode re-places orphaned fragments. The default keeps the
+  /// PR 4 round-robin cursor byte-for-byte; kSicAware moves orphans to the
+  /// least-overloaded live candidate (see federation/placement.h).
+  ReplacementPolicy replacement = ReplacementPolicy::kRoundRobin;
+  /// Recovery observability (metrics/recovery_tracker.h). When
+  /// `recovery.enabled`, RunFor splits its run at the sampling cadence and
+  /// feeds every deployed query's SIC into the tracker, and the churn
+  /// control plane (CrashNode / RestoreNode / applied link edits) marks
+  /// disturbances so dip depth and time-to-recover are measured per query.
+  /// Disabled by default: zero overhead, zero RunFor re-segmentation, every
+  /// pre-existing figure byte-identical.
+  RecoveryTrackerOptions recovery;
 };
 
 /// Counters of the dynamic-topology control plane (node churn, link drift,
@@ -159,6 +173,10 @@ class Fsps : public BatchRouter {
 
   const FspsChurnStats& churn_stats() const { return churn_stats_; }
 
+  /// Recovery tracker (inert unless options.recovery.enabled). Read it
+  /// between RunFor calls for per-disturbance dip/MTTR reports.
+  const RecoveryTracker& recovery_tracker() const { return recovery_; }
+
   // --- execution ------------------------------------------------------------
 
   /// Starts nodes, coordinators and sources (idempotent).
@@ -194,6 +212,15 @@ class Fsps : public BatchRouter {
   /// Moves query `q`'s fragments off `crashed` onto live nodes (same shard
   /// when sharded), or force-undeploys `q` when none exist.
   void ReplaceOrphans(QueryId q, NodeId crashed);
+  /// Overload signal of node `id` for the kSicAware re-placement chooser:
+  /// the SIC mass the node currently admits over the trailing STW, summed
+  /// over its hosted queries (0 for an idle or freshly restored node).
+  double NodeLoadSignal(NodeId id, SimTime now);
+  /// Feeds the current per-query SICs into the recovery tracker (no-op at a
+  /// repeated instant; only called when options_.recovery.enabled).
+  void SampleRecovery();
+  /// Samples, then opens/coalesces a disturbance window in the tracker.
+  void MarkRecoveryDisturbance(DisturbanceKind kind);
   /// Drains the network mutation queue and re-derives the sharded engine's
   /// lookahead over the live node set. Runs at every RunFor boundary.
   void ApplyTopologyMutations();
@@ -223,7 +250,20 @@ class Fsps : public BatchRouter {
   bool topology_dirty_ = false;
   // Round-robin cursor spreading re-placed orphans over candidate nodes.
   size_t replacement_cursor_ = 0;
+  // kSicAware projection: accepted-SIC load the orphans re-placed at the
+  // current control-plane instant will bring to their new hosts. The live
+  // signal lags by the STW smoothing, so without this projection every
+  // orphan of a crash wave would herd onto the same least-loaded node.
+  // Keyed to the instant: it resets as soon as simulated time advances and
+  // the real signal starts catching up.
+  SimTime inflight_load_at_ = -1;
+  std::map<NodeId, double> inflight_load_;
   FspsChurnStats churn_stats_;
+  // Recovery observability (inert when !options_.recovery.enabled).
+  RecoveryTracker recovery_;
+  // Next cadence sample instant; RunFor splits its run at these times so
+  // the sampling grid is regular regardless of run segmentation.
+  SimTime next_sample_due_ = 0;
 };
 
 }  // namespace themis

@@ -88,4 +88,37 @@ std::map<FragmentId, NodeId> PlaceFragments(const QueryGraph& graph,
   return placement;
 }
 
+std::string ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kRoundRobin:
+      return "round-robin";
+    case ReplacementPolicy::kSicAware:
+      return "sic-aware";
+  }
+  return "?";
+}
+
+NodeId ChooseLeastLoaded(const std::vector<ReplacementCandidate>& candidates,
+                         const std::set<NodeId>& occupied) {
+  NodeId best = kInvalidId, best_any = kInvalidId;
+  double best_load = 0.0, best_any_load = 0.0;
+  for (const ReplacementCandidate& c : candidates) {
+    // Strict < with candidates scanned in input order and ids ascending in
+    // practice; ties therefore resolve to the smallest id seen first. Feed
+    // id-sorted candidates for the documented tie-break.
+    if (best_any == kInvalidId || c.load < best_any_load ||
+        (c.load == best_any_load && c.id < best_any)) {
+      best_any = c.id;
+      best_any_load = c.load;
+    }
+    if (occupied.count(c.id) != 0) continue;
+    if (best == kInvalidId || c.load < best_load ||
+        (c.load == best_load && c.id < best)) {
+      best = c.id;
+      best_load = c.load;
+    }
+  }
+  return best != kInvalidId ? best : best_any;
+}
+
 }  // namespace themis

@@ -6,6 +6,8 @@
 #define THEMIS_FEDERATION_PLACEMENT_H_
 
 #include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -36,6 +38,42 @@ std::map<FragmentId, NodeId> PlaceFragments(const QueryGraph& graph,
                                             const std::vector<NodeId>& nodes,
                                             PlacementPolicy policy,
                                             double zipf_s, Rng* rng);
+
+/// How Fsps::CrashNode re-places a crashed node's orphaned fragments onto
+/// the live candidate set.
+enum class ReplacementPolicy {
+  /// PR 4 behaviour, byte-for-byte: a round-robin cursor spreads orphans
+  /// evenly over the candidates, blind to how loaded each one is.
+  kRoundRobin,
+  /// Move each orphan to the least-overloaded live candidate, judged by the
+  /// node's live SIC readings (the SIC mass it currently admits over the
+  /// trailing STW); deterministic tie-break by ascending node id. Recovers
+  /// post-crash fairness faster than the blind cursor because orphans land
+  /// where spare capacity actually is.
+  kSicAware,
+};
+
+/// Policy name as printed in reports ("round-robin", "sic-aware").
+std::string ReplacementPolicyName(ReplacementPolicy policy);
+
+/// One re-placement candidate: a live node and its overload signal
+/// (smaller = less loaded; the federation layer feeds accepted-SIC mass).
+struct ReplacementCandidate {
+  NodeId id = kInvalidId;
+  double load = 0.0;
+};
+
+/// \brief The kSicAware chooser: least-loaded candidate, distinct-node
+/// guarantee first.
+///
+/// Picks the candidate with the smallest load among those not in
+/// `occupied` (nodes already hosting a fragment of the query being
+/// re-placed); when every candidate is occupied, co-location is the last
+/// resort and the least-loaded candidate overall wins. Ties break by
+/// ascending node id, so the choice is a pure function of its inputs.
+/// Returns kInvalidId on an empty candidate set.
+NodeId ChooseLeastLoaded(const std::vector<ReplacementCandidate>& candidates,
+                         const std::set<NodeId>& occupied);
 
 }  // namespace themis
 

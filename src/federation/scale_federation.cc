@@ -89,6 +89,8 @@ bool ScaleDeployer::DeployQuery(const ScaleQuerySpec& spec) {
   co.source_rate = options_.source_rate;
   co.batches_per_sec = options_.batches_per_sec;
   co.dataset = options_.dataset;
+  co.burst_prob = options_.burst_prob;
+  co.burst_multiplier = options_.burst_multiplier;
   BuiltQuery built = factory_.MakeComplex(spec.kind, spec.id, co);
 
   std::map<FragmentId, NodeId> placement;

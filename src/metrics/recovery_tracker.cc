@@ -1,0 +1,233 @@
+#include "metrics/recovery_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "metrics/jain.h"
+
+namespace themis {
+
+void SicRing::Push(SimTime time, double value) {
+  if (capacity_ == 0) return;
+  if (samples_.size() < capacity_) {
+    samples_.push_back({time, value});
+  } else {
+    samples_[head_] = {time, value};
+    head_ = (head_ + 1) % capacity_;
+  }
+  pushed_ += 1;
+}
+
+const SicSample& SicRing::At(size_t i) const {
+  THEMIS_CHECK(i < samples_.size());
+  return samples_[(head_ + i) % samples_.size()];
+}
+
+std::string DisturbanceKindName(DisturbanceKind kind) {
+  switch (kind) {
+    case DisturbanceKind::kCrashWave:
+      return "crash-wave";
+    case DisturbanceKind::kRestore:
+      return "restore";
+    case DisturbanceKind::kLinkChange:
+      return "link-change";
+  }
+  return "?";
+}
+
+RecoveryTracker::RecoveryTracker(RecoveryTrackerOptions options)
+    : options_(options), jain_series_(options.ring_capacity) {
+  THEMIS_CHECK(options_.sample_interval > 0);
+  THEMIS_CHECK(options_.recover_fraction > 0.0 &&
+               options_.recover_fraction <= 1.0);
+}
+
+void RecoveryTracker::Sample(
+    SimTime now, const std::vector<std::pair<QueryId, double>>& sics) {
+  THEMIS_CHECK(now >= last_sample_time_);  // monotone sample clock
+  if (now == last_sample_time_) return;    // first reading of an instant wins
+  SimTime prev = last_sample_time_;
+  last_sample_time_ = now;
+  samples_ += 1;
+
+  std::vector<double> values;
+  values.reserve(sics.size());
+  for (const auto& [q, sic] : sics) {
+    auto it = query_series_.find(q);
+    if (it == query_series_.end()) {
+      it = query_series_.emplace(q, SicRing(options_.ring_capacity)).first;
+    }
+    it->second.Push(now, sic);
+    values.push_back(sic);
+  }
+  double jain = JainIndex(values);
+  jain_series_.Push(now, jain);
+  min_jain_ = std::min(min_jain_, jain);
+
+  for (Disturbance& d : disturbances_) {
+    if (d.open) UpdateDisturbance(now, prev, &d, sics);
+  }
+}
+
+void RecoveryTracker::UpdateDisturbance(
+    SimTime now, SimTime prev_sample_time, Disturbance* d,
+    const std::vector<std::pair<QueryId, double>>& sics) const {
+  // The integration step starts at the later of the disturbance instant and
+  // the previous sample (overlapping dips must not double count the time
+  // before the fault landed).
+  SimTime step_start = std::max(d->time, prev_sample_time);
+  double dt = ToSeconds(now - step_start);
+
+  bool any_open = false;
+  auto sit = sics.begin();
+  for (QueryDip& dip : d->dips) {
+    if (dip.settled) continue;
+    // Both sequences are in ascending query-id order: advance the sample
+    // cursor to this dip's query.
+    while (sit != sics.end() && sit->first < dip.query) ++sit;
+    if (sit == sics.end() || sit->first != dip.query) {
+      // The query departed (force-undeploy). An armed dip settles as
+      // unaffected; a developed dip stays open forever ("unrecovered").
+      if (!dip.dipped) dip.settled = true;
+      if (!dip.settled) any_open = true;
+      continue;
+    }
+    double sic = sit->second;
+    if (sic < dip.baseline) {
+      dip.dip_depth = std::max(dip.dip_depth, dip.baseline - sic);
+      dip.area_under_dip += (dip.baseline - sic) * dt;
+    }
+    if (!dip.dipped) {
+      // Armed: waiting for the STW-smoothed dent to cross the threshold.
+      if (sic < dip.threshold) {
+        dip.dipped = true;
+      } else if (now - d->time > options_.dip_onset_window) {
+        dip.settled = true;  // the fault never touched this query
+      }
+    } else if (sic >= dip.threshold) {
+      dip.recovered = true;
+      dip.settled = true;
+      dip.recover_time = now;
+      dip.time_to_recover = now - d->time;
+    }
+    if (!dip.settled) any_open = true;
+  }
+  d->open = any_open;
+}
+
+void RecoveryTracker::MarkDisturbance(SimTime now, DisturbanceKind kind) {
+  THEMIS_CHECK(now >= last_sample_time_);
+  for (Disturbance& d : disturbances_) {
+    THEMIS_CHECK(d.time <= now);  // monotone disturbance clock
+    if (d.time == now && d.kind == kind) {
+      d.events += 1;  // coalesce: one wave, many control-plane calls
+      return;
+    }
+  }
+  Disturbance d;
+  d.time = now;
+  d.kind = kind;
+  // Baseline every query at its latest sampled SIC. Queries never sampled
+  // yet (a mark before the first cadence tick) get no dip record: there is
+  // no pre-fault level to measure a dip against.
+  for (const auto& [q, ring] : query_series_) {
+    if (ring.empty()) continue;
+    QueryDip dip;
+    dip.query = q;
+    dip.baseline = ring.back().value;
+    dip.threshold = options_.recover_fraction * dip.baseline;
+    d.dips.push_back(dip);
+  }
+  disturbances_.push_back(std::move(d));
+}
+
+const SicRing* RecoveryTracker::query_series(QueryId q) const {
+  auto it = query_series_.find(q);
+  return it == query_series_.end() ? nullptr : &it->second;
+}
+
+RecoverySummary RecoveryTracker::Summarize(DisturbanceKind kind) const {
+  return SummarizeMatching(false, kind);
+}
+
+RecoverySummary RecoveryTracker::SummarizeAll() const {
+  return SummarizeMatching(true, DisturbanceKind::kCrashWave);
+}
+
+RecoverySummary RecoveryTracker::SummarizeMatching(bool any_kind,
+                                                   DisturbanceKind kind) const {
+  RecoverySummary s;
+  s.min_jain = min_jain_;
+  s.final_jain = jain_series_.empty() ? 1.0 : jain_series_.back().value;
+  double sum_dip = 0.0, sum_area = 0.0, sum_ttr_ms = 0.0;
+  double sum_censored_ttr_ms = 0.0;
+  int recovered = 0;
+  for (const Disturbance& d : disturbances_) {
+    if (!any_kind && d.kind != kind) continue;
+    s.disturbances += 1;
+    for (const QueryDip& dip : d.dips) {
+      if (!dip.dipped) continue;
+      s.affected += 1;
+      s.max_dip_depth = std::max(s.max_dip_depth, dip.dip_depth);
+      sum_dip += dip.dip_depth;
+      sum_area += dip.area_under_dip;
+      if (dip.recovered) {
+        double ttr_ms =
+            static_cast<double>(dip.time_to_recover) / kMillisecond;
+        sum_ttr_ms += ttr_ms;
+        sum_censored_ttr_ms += ttr_ms;
+        s.max_ttr_ms = std::max(s.max_ttr_ms, ttr_ms);
+        recovered += 1;
+      } else {
+        s.unrecovered += 1;
+        sum_censored_ttr_ms +=
+            static_cast<double>(last_sample_time_ - d.time) / kMillisecond;
+      }
+    }
+  }
+  if (s.affected > 0) {
+    s.mean_dip_depth = sum_dip / s.affected;
+    s.mean_area_under_dip = sum_area / s.affected;
+    s.mean_censored_ttr_ms = sum_censored_ttr_ms / s.affected;
+  }
+  if (recovered > 0) s.mean_ttr_ms = sum_ttr_ms / recovered;
+  return s;
+}
+
+std::string RecoveryTracker::DebugString() const {
+  std::ostringstream out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "recovery samples=%llu last_sample_us=%lld min_jain=%.9f "
+                "final_jain=%.9f\n",
+                static_cast<unsigned long long>(samples_),
+                static_cast<long long>(last_sample_time_), min_jain_,
+                jain_series_.empty() ? 1.0 : jain_series_.back().value);
+  out << buf;
+  for (const Disturbance& d : disturbances_) {
+    std::snprintf(buf, sizeof(buf),
+                  "disturbance t_us=%lld kind=%s events=%d open=%d\n",
+                  static_cast<long long>(d.time),
+                  DisturbanceKindName(d.kind).c_str(), d.events,
+                  d.open ? 1 : 0);
+    out << buf;
+    for (const QueryDip& dip : d.dips) {
+      if (!dip.dipped && dip.dip_depth == 0.0) continue;  // untouched query
+      std::snprintf(
+          buf, sizeof(buf),
+          "  q=%d baseline=%.9f dip=%.9f area=%.9f ttr_ms=%lld dipped=%d "
+          "recovered=%d\n",
+          dip.query, dip.baseline, dip.dip_depth, dip.area_under_dip,
+          static_cast<long long>(
+              dip.time_to_recover < 0 ? -1 : dip.time_to_recover /
+                                                 kMillisecond),
+          dip.dipped ? 1 : 0, dip.recovered ? 1 : 0);
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace themis

@@ -1,0 +1,204 @@
+// Recovery observability: turns the per-query SIC snapshot into a
+// time-series discipline. A RecoveryTracker samples every deployed query's
+// result SIC at a fixed cadence into ring-buffered series (plus the
+// federation-wide Jain index over the same instants) and, for every
+// control-plane disturbance it is told about — a crash wave, a restore, a
+// batch of applied link edits — measures how the fault cut into each
+// query's SIC: dip depth below the pre-fault baseline, time to recover back
+// to p% of that baseline (the fault-tolerance literature's MTTR view), and
+// the area under the dip (SIC-seconds of service lost). Dips that never
+// close stay open in the report ("unrecovered"), and overlapping
+// disturbances are tracked independently, each against its own baseline.
+//
+// The tracker is pure bookkeeping over values it is fed: it knows nothing
+// about engines, nodes or coordinators, so its output is bit-identical
+// whenever its inputs are — which is exactly what the federation layer
+// guarantees between run segments at any shard count.
+#ifndef THEMIS_METRICS_RECOVERY_TRACKER_H_
+#define THEMIS_METRICS_RECOVERY_TRACKER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time_types.h"
+#include "runtime/ids.h"
+
+namespace themis {
+
+/// Knobs of the recovery tracker; defaults match the paper's control-plane
+/// cadence (the 250 ms shedding/dissemination interval) and the common
+/// "recovered to 90% of pre-fault service" MTTR threshold.
+struct RecoveryTrackerOptions {
+  /// Master switch: a disabled tracker records nothing and adds no RunFor
+  /// segmentation (Fsps only samples when this is set), keeping every
+  /// pre-existing figure byte-identical.
+  bool enabled = false;
+  /// SIC sampling cadence (also the resolution of every MTTR reading).
+  SimDuration sample_interval = Millis(250);
+  /// A query counts as recovered from a disturbance once its SIC climbs
+  /// back to this fraction of its pre-fault baseline.
+  double recover_fraction = 0.9;
+  /// How long after a disturbance a query's SIC may take to fall below the
+  /// recovery threshold before the query is settled as unaffected. SIC is
+  /// an STW-smoothed signal: a crash at t dents it over the following
+  /// seconds, not at the next sample — so the dip window must stay armed
+  /// while the dent develops. Defaults to the paper's 10 s STW.
+  SimDuration dip_onset_window = Seconds(10);
+  /// Samples retained per ring series (per query, and for the Jain series).
+  /// Dip statistics accumulate online, so eviction never corrupts them.
+  size_t ring_capacity = 4096;
+};
+
+/// One (time, value) sample of a ring series.
+struct SicSample {
+  SimTime time = 0;
+  double value = 0.0;
+};
+
+/// \brief Fixed-capacity ring of SicSamples (oldest evicted first).
+class SicRing {
+ public:
+  explicit SicRing(size_t capacity) : capacity_(capacity) {}
+
+  void Push(SimTime time, double value);
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  /// i = 0 is the oldest retained sample, size() - 1 the newest.
+  const SicSample& At(size_t i) const;
+  const SicSample& back() const { return At(size() - 1); }
+  /// Total samples ever pushed (>= size() once eviction starts).
+  uint64_t pushed() const { return pushed_; }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  ///< index of the oldest sample once full
+  uint64_t pushed_ = 0;
+  std::vector<SicSample> samples_;
+};
+
+/// What kind of control-plane event opened a disturbance window.
+enum class DisturbanceKind {
+  kCrashWave,   ///< one or more CrashNode calls at the same instant
+  kRestore,     ///< RestoreNode (rejoin churn also perturbs placement)
+  kLinkChange,  ///< a batch of link-latency edits applied at a run boundary
+};
+
+std::string DisturbanceKindName(DisturbanceKind kind);
+
+/// Per-query recovery record of one disturbance. Lifecycle: armed (waiting
+/// for the STW-smoothed SIC to dent) -> dipped (below the threshold) ->
+/// recovered (back at/above it); queries whose SIC never crosses below the
+/// threshold within the onset window settle as unaffected, and dips still
+/// below threshold at end of run stay open ("unrecovered").
+struct QueryDip {
+  QueryId query = kInvalidId;
+  double baseline = 0.0;   ///< pre-fault SIC (last sample at/before the fault)
+  double threshold = 0.0;  ///< recover_fraction * baseline
+  double dip_depth = 0.0;  ///< max(baseline - sic) observed before recovery
+  double area_under_dip = 0.0;  ///< integral of (baseline - sic)+ dt, seconds
+  bool dipped = false;      ///< SIC fell below the threshold at least once
+  bool recovered = false;   ///< SIC came back to >= threshold after dipping
+  bool settled = false;     ///< no longer tracked (recovered or unaffected)
+  SimTime recover_time = -1;  ///< absolute time of recovery (-1 while open)
+  /// Time from the disturbance to recovery; -1 while unrecovered.
+  SimDuration time_to_recover = -1;
+};
+
+/// One disturbance window: the dip bookkeeping of every query that was
+/// deployed when the fault landed.
+struct Disturbance {
+  SimTime time = 0;
+  DisturbanceKind kind = DisturbanceKind::kCrashWave;
+  int events = 1;  ///< coalesced control-plane calls at this (time, kind)
+  std::vector<QueryDip> dips;  ///< query-id order
+  bool open = true;  ///< at least one dip not yet settled
+};
+
+/// Aggregate recovery statistics over a set of disturbances.
+struct RecoverySummary {
+  int disturbances = 0;
+  int affected = 0;     ///< (disturbance, query) pairs that dipped
+  int unrecovered = 0;  ///< affected pairs still open at end of run
+  double max_dip_depth = 0.0;
+  double mean_dip_depth = 0.0;   ///< over affected pairs
+  double mean_area_under_dip = 0.0;  ///< over affected pairs, SIC-seconds
+  /// MTTR: mean/max time-to-recover over affected pairs that recovered, ms.
+  double mean_ttr_ms = 0.0;
+  double max_ttr_ms = 0.0;
+  /// Censored MTTR over *all* affected pairs: an unrecovered pair counts
+  /// its elapsed open time (end of run - fault time), so a policy that
+  /// never recovers cannot look fast by dropping pairs from the mean. This
+  /// is the number the CI fairness gate compares across policies.
+  double mean_censored_ttr_ms = 0.0;
+  /// Federation-wide Jain-over-time extremes (whole run, all samples).
+  double min_jain = 1.0;
+  double final_jain = 1.0;
+};
+
+/// \brief Samples per-query SIC over time and measures recovery from
+/// control-plane disturbances.
+class RecoveryTracker {
+ public:
+  explicit RecoveryTracker(RecoveryTrackerOptions options = {});
+
+  const RecoveryTrackerOptions& options() const { return options_; }
+
+  /// Feeds one sampling instant. `sics` holds every deployed query's
+  /// current result SIC in ascending query-id order. Time must be monotone
+  /// non-decreasing; a repeated call at the same instant is a no-op (the
+  /// first reading of an instant wins), so cadence samples and
+  /// disturbance-time samples compose without double counting.
+  void Sample(SimTime now,
+              const std::vector<std::pair<QueryId, double>>& sics);
+
+  /// Opens a disturbance window at `now`, baselined at each query's latest
+  /// sampled SIC (callers sample first, then mark). A repeated call at the
+  /// same (time, kind) coalesces — a wave of CrashNode calls at one instant
+  /// is one disturbance with `events` incremented.
+  void MarkDisturbance(SimTime now, DisturbanceKind kind);
+
+  /// Time of the latest accepted sample (-1 before the first).
+  SimTime last_sample_time() const { return last_sample_time_; }
+  uint64_t samples() const { return samples_; }
+
+  /// Ring series of query `q`'s sampled SIC (null when never sampled).
+  const SicRing* query_series(QueryId q) const;
+  /// Ring series of the federation-wide Jain index over the same instants.
+  const SicRing& jain_series() const { return jain_series_; }
+  double min_jain() const { return min_jain_; }
+
+  const std::vector<Disturbance>& disturbances() const {
+    return disturbances_;
+  }
+
+  /// Aggregates over the disturbances of `kind`.
+  RecoverySummary Summarize(DisturbanceKind kind) const;
+  /// Aggregates over every disturbance regardless of kind.
+  RecoverySummary SummarizeAll() const;
+
+  /// Deterministic text dump of the full tracker state (disturbances, dips,
+  /// Jain extremes): two runs fed identical inputs produce identical
+  /// strings, which is what the determinism tests and the CI byte-diff
+  /// compare.
+  std::string DebugString() const;
+
+ private:
+  RecoverySummary SummarizeMatching(bool any_kind, DisturbanceKind kind) const;
+  void UpdateDisturbance(
+      SimTime now, SimTime prev_sample_time, Disturbance* d,
+      const std::vector<std::pair<QueryId, double>>& sics) const;
+
+  RecoveryTrackerOptions options_;
+  SimTime last_sample_time_ = -1;
+  uint64_t samples_ = 0;
+  std::map<QueryId, SicRing> query_series_;
+  SicRing jain_series_;
+  double min_jain_ = 1.0;
+  std::vector<Disturbance> disturbances_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_METRICS_RECOVERY_TRACKER_H_

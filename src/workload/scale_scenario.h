@@ -48,6 +48,12 @@ struct ScaleScenarioOptions {
   double source_rate = 60.0;   ///< tuples/sec per source
   int batches_per_sec = 3;
   Dataset dataset = Dataset::kPlanetLab;
+  /// §7.4 burstiness of every source: probability that any given second
+  /// runs at `burst_multiplier` times the base rate. 0 (default) keeps the
+  /// historical constant-rate streams byte-identical; the churn+burst
+  /// scenario raises it so load spikes land on partially failed clusters.
+  double burst_prob = 0.0;
+  double burst_multiplier = 10.0;
 
   /// Aggregate-load / cluster-capacity target once all queries arrived
   /// (>1 = permanent overload; shedding decisions are exercised).

@@ -302,6 +302,44 @@ TEST(ChurnScenarioTest, EveryClusterKeepsALiveMajority) {
   for (int c = 0; c < clusters; ++c) EXPECT_EQ(alive[c], cluster_size[c]);
 }
 
+TEST(ChurnScenarioTest, BurstOverlayKeepsTheScheduleIdentical) {
+  // Layering §7.4 bursts onto the churn scenario must only touch the
+  // source models: the topology schedule is drawn from the same rng
+  // stream, so every event matches the burst-free scenario's exactly.
+  ChurnScenario plain = MakeChurnScenario(SmallChurnOptions());
+  ChurnScenario burst = MakeChurnBurstScenario(SmallChurnOptions(), 0.2, 8.0);
+  EXPECT_DOUBLE_EQ(burst.options.scale.burst_prob, 0.2);
+  EXPECT_DOUBLE_EQ(burst.options.scale.burst_multiplier, 8.0);
+  EXPECT_DOUBLE_EQ(plain.options.scale.burst_prob, 0.0);
+  ASSERT_EQ(burst.events.size(), plain.events.size());
+  for (size_t i = 0; i < plain.events.size(); ++i) {
+    EXPECT_EQ(burst.events[i].time, plain.events[i].time);
+    EXPECT_EQ(burst.events[i].kind, plain.events[i].kind);
+    EXPECT_EQ(burst.events[i].a, plain.events[i].a);
+    EXPECT_EQ(burst.events[i].b, plain.events[i].b);
+    EXPECT_EQ(burst.events[i].latency, plain.events[i].latency);
+  }
+  // Same arrivals too: the burst knob lives beside the query stream, not
+  // inside it.
+  ASSERT_EQ(burst.base.queries.size(), plain.base.queries.size());
+  EXPECT_EQ(burst.base.total_source_rate, plain.base.total_source_rate);
+}
+
+TEST(ChurnScenarioTest, BurstOverlayGeneratesMoreTuples) {
+  // End-to-end: bursty sources actually spike. Same federation, same
+  // schedule; the burst run must generate strictly more source tuples.
+  ChurnScenarioOptions co = SmallChurnOptions();
+  co.crashes_per_wave = 1;
+  ChurnScenario plain = MakeChurnScenario(co);
+  ChurnScenario burst = MakeChurnBurstScenario(co, 0.3, 6.0);
+  auto plain_fsps = MakeChurnFederation(plain);
+  auto burst_fsps = MakeChurnFederation(burst);
+  ChurnRunResult pr = RunChurnScenario(plain_fsps.get(), plain, Seconds(4));
+  ChurnRunResult br = RunChurnScenario(burst_fsps.get(), burst, Seconds(4));
+  EXPECT_GT(br.scale.tuples_received + br.tuples_dropped_dead,
+            pr.scale.tuples_received + pr.tuples_dropped_dead);
+}
+
 TEST(ChurnScenarioTest, EndToEndChurnRunStaysHealthy) {
   // A small federation survives its full churn schedule: queries keep
   // producing results, re-placements happen, nothing leaks (ASan).
