@@ -29,6 +29,15 @@ is exact. CI uses it to pin that SIC-aware orphan re-placement recovers no
 slower than the round-robin cursor
 (bench_recovery:sic-aware:round-robin:mean_censored_ttr_ms:1.0).
 
+A bench present in the baseline but absent from the results entirely (no
+runs at all — the binary crashed, was skipped, or stopped emitting JSON) is
+fatal: per-config gaps degrade gracefully, whole-bench gaps mean the gate
+silently stopped gating.
+
+--summary prints a calibration-normalized markdown table of every run in
+RESULTS_JSON (and exits 0 when no baseline/gates are given); the nightly
+workflow appends it to the job summary as the cross-run trend line.
+
 Refresh the baseline with `bench/run_benches.sh build bench/baseline.json
 --quick` (see EXPERIMENTS.md, "Refreshing the baseline").
 """
@@ -145,6 +154,22 @@ def check_speedups(results_path, specs):
     return failures
 
 
+def print_summary(results_path):
+    """Prints a calibration-normalized markdown table of every run."""
+    with open(results_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    print("| bench | config | tuples/s | tuples/cpu-s | normalized |")
+    print("|---|---|---:|---:|---:|")
+    for entry in entries:
+        calib = entry.get("calib_ops_per_sec", 0.0)
+        for run in entry.get("runs", []):
+            cpu_tps = run.get("tuples_per_cpu_sec", 0.0)
+            norm = cpu_tps / calib if calib > 0 else 0.0
+            print(f"| {entry['bench']} | {run['config']} "
+                  f"| {run.get('tuples_per_sec', 0.0):.0f} "
+                  f"| {cpu_tps:.0f} | {norm:.4f} |")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("results")
@@ -164,7 +189,14 @@ def main():
         metavar="BENCH:CONFIG_A:CONFIG_B:METRIC:RATIO",
         help="require CONFIG_A's METRIC (PerfRecorder::AddMetric) to be at "
              "most RATIO x CONFIG_B's within the results file")
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print a calibration-normalized markdown table of all runs "
+             "(the nightly job appends it to the job summary)")
     args = parser.parse_args()
+
+    if args.summary:
+        print_summary(args.results)
 
     if args.baseline is None:
         failures = check_speedups(args.results, args.min_speedup)
@@ -175,6 +207,8 @@ def main():
                 print(f"  {failure}", file=sys.stderr)
             return 1
         if not args.min_speedup and not args.max_metric_ratio:
+            if args.summary:
+                return 0
             print("error: no baseline and no --min-speedup/"
                   "--max-metric-ratio: nothing to check",
                   file=sys.stderr)
@@ -184,6 +218,15 @@ def main():
 
     results = load_runs(args.results)
     baseline = load_runs(args.baseline)
+
+    # A whole bench vanishing from the results is fatal (the binary crashed
+    # or stopped emitting JSON); individual configs may come and go.
+    results_benches = {bench for bench, _ in results}
+    missing_benches = sorted(
+        {bench for bench, _ in baseline} - results_benches)
+    for bench in missing_benches:
+        print(f"error: bench {bench!r} has no entry in {args.results}",
+              file=sys.stderr)
 
     regressions = []
     compared = 0
@@ -223,6 +266,10 @@ def main():
     if compared == 0:
         print("error: no comparable runs between results and baseline",
               file=sys.stderr)
+        return 1
+    if missing_benches:
+        print(f"\n{len(missing_benches)} bench(es) missing from results: "
+              f"{', '.join(missing_benches)}", file=sys.stderr)
         return 1
     if speedup_failures:
         print(f"\n{len(speedup_failures)} gate failure(s):",

@@ -36,6 +36,12 @@ for bin in "$bench_dir"/bench_*; do
   fi
   echo "== $name =="
   "$bin" ${quick_flag:+--quick} --json "$out_json" > /dev/null
+  # A bench that runs but never lands an entry in the merged JSON would
+  # silently drop out of the regression gate; fail loudly instead.
+  if ! grep -q "\"bench\":\"$name\"" "$out_json" 2>/dev/null; then
+    echo "error: $name wrote no entry into $out_json" >&2
+    exit 1
+  fi
 done
 
 echo "merged results written to $out_json"

@@ -4,7 +4,6 @@
 #include <iterator>
 
 #include "common/logging.h"
-#include "sic/sic.h"
 
 namespace themis {
 
@@ -15,7 +14,8 @@ Node::Node(NodeId id, NodeOptions options, EventQueue* queue,
       queue_(queue),
       router_(router),
       shedder_(std::move(shedder)),
-      detector_(options.headroom) {
+      detector_(options.headroom),
+      stamper_(options.stw) {
   ib_.set_pool(&pool_);
 }
 
@@ -48,9 +48,7 @@ void Node::UnhostQuery(QueryId q) {
   query_sic_.erase(q);
   accepted_sic_.erase(q);
   efficiency_.erase(q);
-  for (auto& slot : rate_estimators_) {
-    std::erase_if(slot, [q](const auto& entry) { return entry.first == q; });
-  }
+  stamper_.RemoveQuery(q);
   ib_.RemoveQuery(q);
 }
 
@@ -117,37 +115,7 @@ void Node::Receive(Batch batch) {
 
   // Source batches carry unstamped tuples; apply Eq. (1) using the online
   // rate estimate for this (query, source) pair (§6 "SIC maintenance").
-  if (batch.header.source != kInvalidId) {
-    const QueryGraph* graph = hs->graph;
-    SourceId src = batch.header.source;
-    if (static_cast<size_t>(src) >= rate_estimators_.size()) {
-      rate_estimators_.resize(src + 1);
-    }
-    auto& slot = rate_estimators_[src];
-    RateEstimator* est = nullptr;
-    for (auto& [q, e] : slot) {
-      if (q == batch.header.query_id) {
-        est = &e;
-        break;
-      }
-    }
-    if (est == nullptr) {
-      slot.emplace_back(batch.header.query_id, RateEstimator(options_.stw));
-      est = &slot.back().second;
-    }
-    est->Observe(now, batch.size());
-    double per_stw = est->TuplesPerStw(now);
-    double sic = SourceTupleSic(per_stw, graph->num_sources());
-    // Stamp and refresh the header in one pass. The sum loop (rather than
-    // sic * n) reproduces RefreshHeaderSic()'s exact rounding so shedding
-    // decisions — and therefore figure outputs — stay bit-identical.
-    double sum = 0.0;
-    for (Tuple& t : batch.tuples) {
-      t.sic = sic;
-      sum += sic;
-    }
-    batch.header.sic = sum;
-  }
+  stamper_.StampSourceBatch(&batch, now, hs->graph->num_sources());
 
   ib_.Push(std::move(batch));
   ScheduleProcessing();
@@ -163,7 +131,17 @@ size_t Node::CurrentCapacity() const {
 
 double Node::AcceptedSic(QueryId q, SimTime now) {
   auto it = accepted_sic_.find(q);
-  return it == accepted_sic_.end() ? 0.0 : it->second.QuerySic(now);
+  return it == accepted_sic_.end() ? 0.0 : it->second.tracker.QuerySic(now);
+}
+
+double Node::AcceptedSicTotal(QueryId q) const {
+  auto it = accepted_sic_.find(q);
+  return it == accepted_sic_.end() ? 0.0 : it->second.total_sic;
+}
+
+uint64_t Node::AcceptedTuplesTotal(QueryId q) const {
+  auto it = accepted_sic_.find(q);
+  return it == accepted_sic_.end() ? 0 : it->second.total_tuples;
 }
 
 std::vector<QueryId> Node::HostedQueries() const {
@@ -195,10 +173,13 @@ void Node::ProcessNext() {
   QueryId batch_query = batch->header.query_id;
   auto acc_it = accepted_sic_.find(batch_query);
   if (acc_it == accepted_sic_.end()) {
-    acc_it =
-        accepted_sic_.emplace(batch_query, StwTracker(options_.stw)).first;
+    acc_it = accepted_sic_
+                 .emplace(batch_query, AcceptedAccount(options_.stw))
+                 .first;
   }
-  acc_it->second.AddResultSic(now, batch->header.sic);
+  acc_it->second.tracker.AddResultSic(now, batch->header.sic);
+  acc_it->second.total_sic += batch->header.sic;
+  acc_it->second.total_tuples += batch->size();
 
   double work_us = ExecuteBatch(*batch);
   SimDuration work = static_cast<SimDuration>(work_us);
@@ -314,8 +295,8 @@ void Node::OnShedTimer() {
   // Refresh per-query efficiency estimates (result SIC per accepted SIC).
   // The disseminated value lags the accept level by the operator pipeline
   // latency, so the ratio is smoothed with a slow EWMA.
-  for (auto& [q, tracker] : accepted_sic_) {
-    double accepted = tracker.QuerySic(now);
+  for (auto& [q, acc] : accepted_sic_) {
+    double accepted = acc.tracker.QuerySic(now);
     if (accepted > 0.02) {
       if (auto it = query_sic_.find(q); it != query_sic_.end()) {
         double ratio = std::clamp(it->second / accepted, 0.0, 1.2);
@@ -327,7 +308,7 @@ void Node::OnShedTimer() {
 
   if (detector_.IsOverloaded(ib_.num_tuples(), capacity)) {
     accepted_snapshot_.assign(hosted_.size(), 0.0);
-    for (auto& [q, tracker] : accepted_sic_) {
+    for (auto& [q, acc] : accepted_sic_) {
       double eff = 1.0;
       if (auto it = efficiency_.find(q); it != efficiency_.end()) {
         if (it->second.has_value()) eff = std::max(it->second.value(), 0.05);
@@ -335,7 +316,7 @@ void Node::OnShedTimer() {
       if (static_cast<size_t>(q) >= accepted_snapshot_.size()) {
         accepted_snapshot_.resize(q + 1, 0.0);
       }
-      accepted_snapshot_[q] = tracker.QuerySic(now) * eff;
+      accepted_snapshot_[q] = acc.tracker.QuerySic(now) * eff;
     }
     ShedContext ctx;
     ctx.capacity_tuples = capacity;

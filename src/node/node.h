@@ -12,12 +12,12 @@
 
 #include "common/time_types.h"
 #include "node/input_buffer.h"
+#include "node/sic_stamper.h"
 #include "runtime/batch_pool.h"
 #include "runtime/query_graph.h"
 #include "shedding/cost_model.h"
 #include "shedding/overload_detector.h"
 #include "shedding/shedder.h"
-#include "sic/rate_estimator.h"
 #include "sic/stw_tracker.h"
 #include "sim/event_queue.h"
 
@@ -125,6 +125,12 @@ class Node {
   /// SIC mass accepted for processing for query `q` over the trailing STW
   /// (diagnostics; the shedder sees this scaled by the efficiency estimate).
   double AcceptedSic(QueryId q, SimTime now);
+  /// Cumulative SIC mass admitted for query `q` since the node started.
+  /// Used by the server oracle tests/bench to compare the live runtime
+  /// against this discrete-event execution.
+  double AcceptedSicTotal(QueryId q) const;
+  /// Cumulative tuples admitted for query `q` since the node started.
+  uint64_t AcceptedTuplesTotal(QueryId q) const;
 
  private:
   void ScheduleProcessing();
@@ -183,24 +189,27 @@ class Node {
   std::vector<HostedState> hosted_;
   std::map<QueryId, std::set<FragmentId>> hosted_fragments_;
 
-  // Eq. (1) stamping state, indexed by SourceId (globally dense). A slot
-  // holds (query, estimator) pairs: source ids are globally unique in
-  // practice, so the inner vector has one entry, but two queries binding
-  // the same source id still get independent estimates (the pre-flattening
-  // map was keyed by the (query, source) pair).
-  std::vector<std::vector<std::pair<QueryId, RateEstimator>>>
-      rate_estimators_;
+  // Eq. (1) stamping state (per-(query, source) rate estimates), shared
+  // with the real-time server ingress via SicStamper.
+  SicStamper stamper_;
 
   // Latest disseminated result SIC per hosted query.
   std::map<QueryId, double> query_sic_;
 
-  // SIC mass accepted for processing per query over the trailing STW
-  // (lag-free local signal for the shedder; see ShedContext), scaled by a
+  // Per-query admission accounting: the trailing-STW tracker is the
+  // lag-free local signal for the shedder (see ShedContext), scaled by a
   // slow per-query efficiency estimate so it predicts *result* SIC: queries
   // lose SIC mass semantically (filters dropping whole panes, join windows
   // with one side missing), and equalising raw accepted mass would leave
-  // low-efficiency queries permanently below the water level.
-  std::map<QueryId, StwTracker> accepted_sic_;
+  // low-efficiency queries permanently below the water level. The running
+  // totals feed the server oracle comparison.
+  struct AcceptedAccount {
+    explicit AcceptedAccount(SimDuration stw) : tracker(stw) {}
+    StwTracker tracker;
+    double total_sic = 0.0;
+    uint64_t total_tuples = 0;
+  };
+  std::map<QueryId, AcceptedAccount> accepted_sic_;
   std::map<QueryId, Ewma> efficiency_;
   // Reused per shed tick; indexed by QueryId (see ShedContext).
   std::vector<double> accepted_snapshot_;

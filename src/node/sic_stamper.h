@@ -1,0 +1,45 @@
+// Eq. (1) SIC stamping of source batches (§6 "SIC maintenance"), shared by
+// the discrete-event Node and the real-time server ingress: one online rate
+// estimate per (query, source) pair, fed on every batch arrival, assigns
+// each unstamped source tuple its per-tuple SIC value.
+#ifndef THEMIS_NODE_SIC_STAMPER_H_
+#define THEMIS_NODE_SIC_STAMPER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/time_types.h"
+#include "runtime/batch.h"
+#include "sic/rate_estimator.h"
+
+namespace themis {
+
+/// \brief Stamps source batches with Eq. (1) SIC values.
+///
+/// Not thread-safe; the server guards it with the site lock, the Node runs
+/// it from single-threaded event callbacks.
+class SicStamper {
+ public:
+  /// \param stw source time window the rate estimates are expressed in
+  explicit SicStamper(SimDuration stw) : stw_(stw) {}
+
+  /// Observes the arrival and stamps `batch`'s tuples in place (tuple SIC
+  /// and header SIC). No-op for derived batches (header.source invalid).
+  /// \param num_sources |S| of the batch's query (Eq. 1 denominator)
+  void StampSourceBatch(Batch* batch, SimTime now, size_t num_sources);
+
+  /// Drops the estimators of query `q` (query undeployment).
+  void RemoveQuery(QueryId q);
+
+ private:
+  SimDuration stw_;
+  // Indexed by SourceId (globally dense). A slot holds (query, estimator)
+  // pairs: source ids are globally unique in practice, so the inner vector
+  // has one entry, but two queries binding the same source id still get
+  // independent estimates.
+  std::vector<std::vector<std::pair<QueryId, RateEstimator>>> estimators_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_NODE_SIC_STAMPER_H_

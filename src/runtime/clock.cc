@@ -1,0 +1,39 @@
+#include "runtime/clock.h"
+
+namespace themis {
+
+void WallClock::WaitUntil(SimTime t, const std::atomic<bool>& cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_until(lock, epoch_ + std::chrono::microseconds(t), [&] {
+    return cancel.load(std::memory_order_acquire) || NowMicros() >= t;
+  });
+}
+
+void WallClock::Interrupt() {
+  // Take the lock so a waiter between its predicate check and its wait
+  // cannot miss the notification.
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+void ManualClock::AdvanceTo(SimTime t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (t > now_) {
+    now_ = t;
+    cv_.notify_all();
+  }
+}
+
+void ManualClock::WaitUntil(SimTime t, const std::atomic<bool>& cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return cancel.load(std::memory_order_acquire) || now_ >= t;
+  });
+}
+
+void ManualClock::Interrupt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+}  // namespace themis

@@ -1,0 +1,86 @@
+// Time-source abstraction shared by the discrete-event simulator and the
+// real-time server runtime (themis_server). Both express time as SimTime
+// microseconds since an epoch, so RateEstimator, StwTracker, CostModel and
+// the shedders run unchanged whether `now` comes from an EventQueue or from
+// the machine's monotonic clock.
+#ifndef THEMIS_RUNTIME_CLOCK_H_
+#define THEMIS_RUNTIME_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/time_types.h"
+
+namespace themis {
+
+/// \brief Monotonic microsecond time source with interruptible waits.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since the clock's epoch.
+  virtual SimTime NowMicros() const = 0;
+
+  /// Blocks until NowMicros() >= t or `cancel` becomes true (whichever is
+  /// first). Callers must re-check `cancel` on return; spurious early
+  /// returns after Interrupt() are allowed.
+  virtual void WaitUntil(SimTime t, const std::atomic<bool>& cancel) = 0;
+
+  /// Wakes every thread blocked in WaitUntil (typically after setting the
+  /// cancel flag). Must be safe to call from any thread.
+  virtual void Interrupt() = 0;
+};
+
+/// \brief Real time: microseconds since construction on the monotonic clock.
+class WallClock : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  SimTime NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void WaitUntil(SimTime t, const std::atomic<bool>& cancel) override;
+  void Interrupt() override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// \brief Test- and oracle-driven time: stands still until advanced.
+///
+/// A deterministic server run pairs a ManualClock with a 0-worker scheduler:
+/// the driver advances the clock to the next event time, pumps the runnable
+/// queue to idle, and repeats — reproducing the discrete-event execution
+/// order on the threaded machinery.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(SimTime start = 0) : now_(start) {}
+
+  SimTime NowMicros() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  /// Moves time forward (monotonic; earlier times are ignored) and wakes
+  /// waiters whose deadline passed.
+  void AdvanceTo(SimTime t);
+
+  void WaitUntil(SimTime t, const std::atomic<bool>& cancel) override;
+  void Interrupt() override;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  SimTime now_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_CLOCK_H_

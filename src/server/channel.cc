@@ -1,0 +1,56 @@
+#include "server/channel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace themis {
+
+bool BatchChannel::TryPush(Batch* b, Task* waiter, Scheduler* sched) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (credits_ == 0) {
+      if (waiter != nullptr &&
+          std::find(waiters_.begin(), waiters_.end(), waiter) ==
+              waiters_.end()) {
+        waiters_.push_back(waiter);
+      }
+      return false;
+    }
+    --credits_;
+    q_.push_back(std::move(*b));
+  }
+  // Notify outside the channel lock; the batch is already visible, so the
+  // consumer cannot observe the wakeup without the data.
+  sched->Notify(consumer_);
+  return true;
+}
+
+std::optional<Batch> BatchChannel::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q_.empty()) return std::nullopt;
+  Batch b = std::move(q_.front());
+  q_.pop_front();
+  return b;
+}
+
+void BatchChannel::GrantCredit(Scheduler* sched) {
+  std::vector<Task*> to_wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++credits_;
+    to_wake.swap(waiters_);
+  }
+  for (Task* t : to_wake) sched->Notify(t);
+}
+
+size_t BatchChannel::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+size_t BatchChannel::credits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return credits_;
+}
+
+}  // namespace themis

@@ -1,0 +1,56 @@
+// Credit-based bounded batch buffer between execution nodes (Volcano with
+// buffers, SNIPPETS #1–2): the consumer starts with `capacity` credits, a
+// push consumes one, and the consumer grants it back once the batch is fully
+// ingested. A producer that finds no credit registers itself as a waiter and
+// pauses (kBlocked); the next grant wakes every waiter through the scheduler.
+#ifndef THEMIS_SERVER_CHANNEL_H_
+#define THEMIS_SERVER_CHANNEL_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "runtime/batch.h"
+#include "server/scheduler.h"
+
+namespace themis {
+
+/// \brief Bounded SPSC/MPSC batch queue with credit flow control.
+class BatchChannel {
+ public:
+  /// \param capacity credits = maximum batches in flight (queued or popped
+  ///        but not yet granted back); must be >= 1
+  /// \param consumer task notified on every successful push
+  BatchChannel(size_t capacity, Task* consumer)
+      : credits_(capacity), consumer_(consumer) {}
+
+  BatchChannel(const BatchChannel&) = delete;
+  BatchChannel& operator=(const BatchChannel&) = delete;
+
+  /// Pushes `*b` if a credit is available (consuming it, moving from `b`,
+  /// and notifying the consumer). Otherwise leaves `*b` intact, registers
+  /// `waiter` for the next credit grant (if non-null), and returns false.
+  bool TryPush(Batch* b, Task* waiter, Scheduler* sched);
+
+  /// Removes and returns the oldest queued batch; nullopt when empty.
+  /// Popping does NOT return the credit — call GrantCredit when done.
+  std::optional<Batch> TryPop();
+
+  /// Returns one credit and wakes every registered waiter.
+  void GrantCredit(Scheduler* sched);
+
+  size_t queued() const;
+  size_t credits() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Batch> q_;
+  size_t credits_;
+  Task* consumer_;
+  std::vector<Task*> waiters_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SERVER_CHANNEL_H_

@@ -1,0 +1,91 @@
+#include "server/scheduler.h"
+
+namespace themis {
+
+void Scheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  threads_.reserve(workers_);
+  for (size_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Scheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+}
+
+void Scheduler::Notify(Task* t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (t->state_) {
+    case Task::State::kIdle:
+      t->state_ = Task::State::kQueued;
+      runnable_.push_back(t);
+      cv_.notify_one();
+      break;
+    case Task::State::kRunning:
+      t->state_ = Task::State::kRunningDirty;
+      break;
+    case Task::State::kQueued:
+    case Task::State::kRunningDirty:
+      break;  // already signalled
+  }
+}
+
+void Scheduler::RunOne(Task* t, std::unique_lock<std::mutex>& lock) {
+  t->state_ = Task::State::kRunning;
+  ++running_;
+  lock.unlock();
+  RunStatus status = t->RunSlice();
+  lock.lock();
+  --running_;
+  if (t->state_ == Task::State::kRunningDirty ||
+      status == RunStatus::kMoreWork) {
+    t->state_ = Task::State::kQueued;
+    runnable_.push_back(t);
+    cv_.notify_one();
+  } else {
+    t->state_ = Task::State::kIdle;
+  }
+  if (runnable_.empty() && running_ == 0) idle_cv_.notify_all();
+}
+
+void Scheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !runnable_.empty(); });
+    if (stop_) return;
+    Task* t = runnable_.front();
+    runnable_.pop_front();
+    RunOne(t, lock);
+  }
+}
+
+void Scheduler::RunUntilIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!runnable_.empty()) {
+    Task* t = runnable_.front();
+    runnable_.pop_front();
+    RunOne(t, lock);
+  }
+}
+
+void Scheduler::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return runnable_.empty() && running_ == 0; });
+}
+
+}  // namespace themis

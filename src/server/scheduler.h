@@ -1,0 +1,98 @@
+// Worker-thread scheduler of the real-time runtime: tasks (execution nodes,
+// the site ingress) park until notified, then run bounded slices from a FIFO
+// runnable queue. With zero workers the caller pumps the queue itself
+// (RunUntilIdle), which is how the deterministic oracle mode reproduces the
+// discrete-event execution order on the threaded machinery.
+#ifndef THEMIS_SERVER_SCHEDULER_H_
+#define THEMIS_SERVER_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace themis {
+
+class Scheduler;
+
+/// What a task slice reports back to the scheduler.
+enum class RunStatus {
+  /// Nothing left to do; park until the next Notify.
+  kIdle,
+  /// More work is immediately available; requeue behind the other runnables.
+  kMoreWork,
+  /// Paused on a full downstream buffer; the credit grant will Notify.
+  kBlocked,
+};
+
+/// \brief A schedulable unit of work (execution node, ingress).
+///
+/// RunSlice must never block: a task that cannot make progress returns
+/// kBlocked (or kIdle) and relies on a later Notify to resume.
+class Task {
+ public:
+  virtual ~Task() = default;
+  virtual RunStatus RunSlice() = 0;
+
+ private:
+  friend class Scheduler;
+  enum class State { kIdle, kQueued, kRunning, kRunningDirty };
+  State state_ = State::kIdle;
+};
+
+/// \brief FIFO runnable queue drained by worker threads (or by the caller).
+///
+/// Notify is level-triggered and collapsing: notifying a queued task is a
+/// no-op, notifying a running task marks it dirty so it requeues after the
+/// current slice — a task can therefore never miss work signalled while it
+/// runs, and never occupies the queue twice.
+class Scheduler {
+ public:
+  /// \param workers worker threads; 0 = caller-driven via RunUntilIdle
+  explicit Scheduler(size_t workers) : workers_(workers) {}
+  ~Scheduler() { Stop(); }
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Spawns the worker threads (no-op with 0 workers).
+  void Start();
+  /// Stops and joins the workers; queued tasks stay queued. Idempotent.
+  void Stop();
+
+  /// Marks `t` runnable (thread-safe; callable from inside slices).
+  void Notify(Task* t);
+
+  /// Drains the runnable queue on the calling thread until nothing is
+  /// runnable. Only meaningful with 0 workers.
+  void RunUntilIdle();
+
+  /// Blocks until the queue is empty and no slice is in flight. Tasks may
+  /// become runnable again immediately after (e.g. via concurrent pushes);
+  /// quiescence is the caller's protocol to ensure.
+  void WaitIdle();
+
+  size_t workers() const { return workers_; }
+
+ private:
+  void WorkerLoop();
+  /// Runs `t`'s slice with the lock dropped, then applies the requeue
+  /// decision. Returns with `lock` held.
+  void RunOne(Task* t, std::unique_lock<std::mutex>& lock);
+
+  const size_t workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Task*> runnable_;
+  size_t running_ = 0;
+  bool stop_ = false;
+  bool started_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SERVER_SCHEDULER_H_

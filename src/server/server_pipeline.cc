@@ -1,0 +1,440 @@
+#include "server/server_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/operator.h"
+
+namespace themis {
+
+class ServerPipeline::IngressTask : public Task {
+ public:
+  explicit IngressTask(ServerPipeline* owner) : owner_(owner) {}
+  RunStatus RunSlice() override { return owner_->IngressSlice(); }
+
+ private:
+  ServerPipeline* owner_;
+};
+
+ServerPipeline::ServerPipeline(ServerOptions options, Clock* clock,
+                               std::unique_ptr<Shedder> shedder)
+    : options_(options),
+      clock_(clock),
+      shedder_(std::move(shedder)),
+      sched_(options.workers),
+      stamper_(options.stw),
+      detector_(options.headroom),
+      ingress_(std::make_unique<IngressTask>(this)) {
+  ib_.set_pool(&pool_);
+}
+
+ServerPipeline::~ServerPipeline() { Stop(); }
+
+void ServerPipeline::AddQuery(const QueryGraph* graph) {
+  QueryId q = graph->id();
+  HostedQuery& hq = queries_[q];
+  hq.graph = graph;
+  hq.by_op.resize(graph->num_operators());
+  hq.pump.clear();
+  // Pump order mirrors Node::HostFragment: fragments ascending, topological
+  // order within a fragment — the order window pumps visit operators.
+  for (size_t frag = 0; frag < graph->num_fragments(); ++frag) {
+    for (OperatorId op :
+         graph->fragment_ops(static_cast<FragmentId>(frag))) {
+      hq.by_op[op] = std::make_unique<ExecNode>(static_cast<ServerSite*>(this),
+                                                &sched_, graph, op,
+                                                options_.channel_capacity);
+      hq.pump.push_back(hq.by_op[op].get());
+    }
+  }
+  std::vector<ExecNode*> peers(hq.by_op.size(), nullptr);
+  for (size_t i = 0; i < hq.by_op.size(); ++i) peers[i] = hq.by_op[i].get();
+  for (auto& node : hq.by_op) {
+    if (node != nullptr) node->set_peers(peers);
+  }
+}
+
+void ServerPipeline::Start() {
+  if (started_) return;
+  started_ = true;
+  stop_flag_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_tick_ = clock_->NowMicros() + options_.shed_interval;
+  }
+  if (options_.workers > 0) {
+    sched_.Start();
+    // Paced (oracle) runs are tick-driven by the caller via DriveTick; a
+    // free-running ticker would race the deterministic schedule.
+    if (!options_.pace_admission) {
+      ticker_ = std::thread([this] { TickerLoop(); });
+    }
+  }
+}
+
+void ServerPipeline::Stop() {
+  if (!started_) return;
+  stop_flag_.store(true, std::memory_order_release);
+  clock_->Interrupt();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    source_cv_.notify_all();
+  }
+  if (ticker_.joinable()) ticker_.join();
+  sched_.Stop();
+  started_ = false;
+}
+
+bool ServerPipeline::Push(Batch batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.ib_high_watermark > 0) {
+    // Hysteresis: a full IB closes the gate for every source until the
+    // ingress (or the shedder) drains it to the low watermark.
+    if (ib_.num_tuples() >= options_.ib_high_watermark) {
+      source_gate_closed_ = true;
+    }
+    source_cv_.wait(lock, [this] {
+      return stop_flag_.load(std::memory_order_acquire) ||
+             !source_gate_closed_;
+    });
+  }
+  if (stop_flag_.load(std::memory_order_acquire)) {
+    pool_.Release(std::move(batch));
+    return false;
+  }
+  SimTime now = clock_->NowMicros();
+  stats_.batches_received += 1;
+  stats_.tuples_received += batch.size();
+  auto it = queries_.find(batch.header.query_id);
+  if (it == queries_.end()) {
+    // Unknown query: drop at ingress, recycling the buffer (as the DES
+    // node does).
+    pool_.Release(std::move(batch));
+    return true;
+  }
+  stamper_.StampSourceBatch(&batch, now, it->second.graph->num_sources());
+  ib_.Push(std::move(batch));
+  lock.unlock();
+  sched_.Notify(ingress_.get());
+  return true;
+}
+
+RunStatus ServerPipeline::IngressSlice() {
+  // Bounded slice: admit up to a fistful of batches, then yield so peers
+  // (and, with one worker, execution nodes) interleave.
+  for (int budget = 0; budget < 64; ++budget) {
+    QueryId q;
+    double sic;
+    size_t n;
+    OperatorId dest_op;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!staged_) {
+        SimTime now = clock_->NowMicros();
+        // Oracle pacing: one batch per modeled busy period, exactly like
+        // ProcessNext scheduled at max(now, busy_until).
+        if (options_.pace_admission && now < busy_until_) {
+          return RunStatus::kIdle;
+        }
+        std::optional<Batch> b = ib_.Pop();
+        WakeSourcesIfDrainedLocked();
+        if (!b) return RunStatus::kIdle;
+        staged_ = std::move(*b);
+      }
+      q = staged_->header.query_id;
+      sic = staged_->header.sic;
+      n = staged_->size();
+      dest_op = staged_->header.dest_op;
+    }
+    // queries_ is immutable after Start; safe to read without the lock.
+    auto it = queries_.find(q);
+    if (it == queries_.end()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pool_.Release(std::move(*staged_));
+      staged_.reset();
+      continue;
+    }
+    ExecNode* dest = it->second.by_op[dest_op].get();
+    if (!dest->input()->TryPush(&*staged_, ingress_.get(), &sched_)) {
+      // Downstream full: stay paused with the batch staged. Admission
+      // accounting happens only when it actually lands.
+      return RunStatus::kBlocked;
+    }
+    staged_.reset();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SimTime now = clock_->NowMicros();
+      auto acc = accepted_.find(q);
+      if (acc == accepted_.end()) {
+        acc = accepted_.emplace(q, Account(options_.stw)).first;
+      }
+      acc->second.tracker.AddResultSic(now, sic);
+      acc->second.total_sic += sic;
+      acc->second.total_tuples += n;
+      stats_.batches_processed += 1;
+      stats_.tuples_processed += n;
+      interval_tuples_ += n;
+      if (options_.accounting == CostAccounting::kModeled) {
+        ChargeModeledLocked(static_cast<double>(n) *
+                            it->second.graph->op(dest_op)
+                                ->cost_us_per_tuple() /
+                            options_.cpu_speed);
+      }
+    }
+    // Charged wakeups in pump order, mirroring ExecuteBatch's Ingest +
+    // PumpGraph pass over the admitted batch's query.
+    for (ExecNode* e : it->second.pump) e->NotifyCharged();
+  }
+  return RunStatus::kMoreWork;
+}
+
+void ServerPipeline::ChargeModeledLocked(double work_us) {
+  // Per-piece truncation; the DES truncates the per-admission sum once.
+  // Identical only when each piece is integral — oracle scenarios pin
+  // operator costs and cpu_speed so that holds.
+  SimDuration w = static_cast<SimDuration>(work_us);
+  SimTime now = clock_->NowMicros();
+  if (busy_until_ < now) busy_until_ = now;
+  busy_until_ += w;
+  interval_busy_ += w;
+  stats_.busy_time += w;
+}
+
+SimTime ServerPipeline::Watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SimTime wm = clock_->NowMicros() - options_.window_grace;
+  if (!ib_.empty()) {
+    wm = std::min(wm, ib_.batches().front().header.created);
+  }
+  return wm;
+}
+
+void ServerPipeline::ChargeModeled(double work_us) {
+  if (options_.accounting != CostAccounting::kModeled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ChargeModeledLocked(work_us);
+}
+
+void ServerPipeline::RecordMeasuredBusy(SimDuration busy_us) {
+  if (options_.accounting != CostAccounting::kMeasured) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  interval_busy_ += busy_us;
+  stats_.busy_time += busy_us;
+}
+
+void ServerPipeline::DeliverResult(QueryId query,
+                                   const std::vector<Tuple>& results,
+                                   SimTime now) {
+  double sum = 0.0;
+  for (const Tuple& t : results) sum += t.sic;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(query);
+  if (it == results_.end()) {
+    it = results_.emplace(query, Account(options_.stw)).first;
+  }
+  it->second.tracker.AddResultSic(now, sum);
+  it->second.total_sic += sum;
+  it->second.total_tuples += results.size();
+}
+
+Batch ServerPipeline::AcquireBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.Acquire();
+}
+
+void ServerPipeline::ReleaseBatch(Batch b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.Release(std::move(b));
+}
+
+void ServerPipeline::TickPhase1() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.detector_invocations += 1;
+    cost_model_.RecordInterval(interval_tuples_, interval_busy_);
+    interval_tuples_ = 0;
+    interval_busy_ = 0;
+  }
+  // Uncharged window pump, ascending queries, pump order within a query —
+  // the same order Node::OnShedTimer runs PumpGraph(hs, nullptr).
+  for (auto& [q, hq] : queries_) {
+    for (ExecNode* e : hq.pump) e->NotifyUncharged();
+  }
+}
+
+void ServerPipeline::TickPhase2() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SimTime now = clock_->NowMicros();
+    size_t capacity = cost_model_.EstimateCapacity(options_.shed_interval);
+    if (options_.accounting == CostAccounting::kMeasured) {
+      // Busy time is summed across workers; capacity scales with them.
+      capacity *= std::max<size_t>(options_.workers, 1);
+    }
+    stats_.last_capacity = capacity;
+
+    // Local stand-in for coordinator dissemination (§5.2): feed the result
+    // sinks' trailing-STW SIC back into the shedder's query_sic view.
+    if (options_.disseminate_sic) {
+      for (auto& [q, acc] : results_) {
+        query_sic_[q] = acc.tracker.QuerySic(now);
+      }
+    }
+
+    // Per-query efficiency EWMA, exactly as Node::OnShedTimer.
+    for (auto& [q, acc] : accepted_) {
+      double accepted = acc.tracker.QuerySic(now);
+      if (accepted > 0.02) {
+        if (auto it = query_sic_.find(q); it != query_sic_.end()) {
+          double ratio = std::clamp(it->second / accepted, 0.0, 1.2);
+          auto [eff_it, ins] = efficiency_.try_emplace(q, Ewma(0.05));
+          eff_it->second.Update(ratio);
+        }
+      }
+    }
+
+    if (detector_.IsOverloaded(ib_.num_tuples(), capacity)) {
+      size_t max_qid =
+          queries_.empty()
+              ? 0
+              : static_cast<size_t>(queries_.rbegin()->first) + 1;
+      accepted_snapshot_.assign(max_qid, 0.0);
+      for (auto& [q, acc] : accepted_) {
+        double eff = 1.0;
+        if (auto it = efficiency_.find(q); it != efficiency_.end()) {
+          if (it->second.has_value()) eff = std::max(it->second.value(), 0.05);
+        }
+        if (static_cast<size_t>(q) >= accepted_snapshot_.size()) {
+          accepted_snapshot_.resize(q + 1, 0.0);
+        }
+        accepted_snapshot_[q] = acc.tracker.QuerySic(now) * eff;
+      }
+      ShedContext ctx;
+      ctx.capacity_tuples = capacity;
+      ctx.now = now;
+      ctx.query_sic = &query_sic_;
+      ctx.local_accepted_sic = &accepted_snapshot_;
+      std::vector<size_t> keep =
+          shedder_->SelectBatchesToKeep(ib_.batches(), ctx);
+      size_t before_batches = ib_.num_batches();
+      size_t dropped = ib_.RetainIndices(keep);
+      if (dropped > 0) {
+        stats_.shed_invocations += 1;
+        stats_.tuples_shed += dropped;
+        stats_.batches_shed += before_batches - ib_.num_batches();
+      }
+      WakeSourcesIfDrainedLocked();
+    }
+  }
+  sched_.Notify(ingress_.get());
+}
+
+void ServerPipeline::TickerLoop() {
+  SimTime next;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next = next_tick_;
+  }
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    clock_->WaitUntil(next, stop_flag_);
+    if (stop_flag_.load(std::memory_order_acquire)) return;
+    if (clock_->NowMicros() < next) continue;  // spurious wakeup
+    // Real-time ticks run both phases back to back: the window pump
+    // quiesces concurrently with detection, an accepted approximation of
+    // the oracle's pump-then-shed barrier (see EXPERIMENTS.md).
+    TickPhase1();
+    TickPhase2();
+    next += options_.shed_interval;
+    std::lock_guard<std::mutex> lock(mu_);
+    next_tick_ = next;
+  }
+}
+
+void ServerPipeline::WakeSourcesIfDrainedLocked() {
+  if (options_.ib_high_watermark == 0) return;
+  if (source_gate_closed_ &&
+      ib_.num_tuples() <= options_.ib_low_watermark) {
+    source_gate_closed_ = false;
+    source_cv_.notify_all();
+  }
+}
+
+void ServerPipeline::NotifyIngress() { sched_.Notify(ingress_.get()); }
+
+void ServerPipeline::RunUntilIdle() { sched_.RunUntilIdle(); }
+
+void ServerPipeline::WaitIdle() { sched_.WaitIdle(); }
+
+SimTime ServerPipeline::NextAdmissionTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SimTime now = clock_->NowMicros();
+  if (staged_.has_value()) return now;
+  if (ib_.empty()) return kNever;
+  if (!options_.pace_admission) return now;
+  return std::max(busy_until_, now);
+}
+
+SimTime ServerPipeline::NextTickTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_tick_;
+}
+
+void ServerPipeline::DriveTick() {
+  auto barrier = [this] {
+    if (options_.workers > 0) {
+      sched_.WaitIdle();
+    } else {
+      sched_.RunUntilIdle();
+    }
+  };
+  TickPhase1();
+  barrier();  // window pump quiesces before detection
+  TickPhase2();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_tick_ += options_.shed_interval;
+  }
+  barrier();
+}
+
+size_t ServerPipeline::CurrentCapacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.last_capacity;
+}
+
+size_t ServerPipeline::ib_tuples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ib_.num_tuples();
+}
+
+double ServerPipeline::AcceptedSic(QueryId q, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accepted_.find(q);
+  return it == accepted_.end() ? 0.0 : it->second.tracker.QuerySic(now);
+}
+
+double ServerPipeline::AcceptedSicTotal(QueryId q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accepted_.find(q);
+  return it == accepted_.end() ? 0.0 : it->second.total_sic;
+}
+
+uint64_t ServerPipeline::AcceptedTuplesTotal(QueryId q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accepted_.find(q);
+  return it == accepted_.end() ? 0 : it->second.total_tuples;
+}
+
+double ServerPipeline::ResultSicTotal(QueryId q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(q);
+  return it == results_.end() ? 0.0 : it->second.total_sic;
+}
+
+uint64_t ServerPipeline::ResultTuplesTotal(QueryId q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(q);
+  return it == results_.end() ? 0 : it->second.total_tuples;
+}
+
+}  // namespace themis

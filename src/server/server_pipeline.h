@@ -1,0 +1,235 @@
+// The real-time THEMIS runtime: one site running hosted queries as a live
+// multi-threaded pipeline, driving the same SIC stamping, cost model,
+// overload detector and shedder as the discrete-event Node — but off a real
+// (or manually advanced) clock. Sources Push() batches from any thread; the
+// ingress task stamps, buffers and admits them; execution nodes process
+// them under credit-based backpressure; a shed-timer tick prunes the input
+// buffer exactly as §6 prescribes.
+//
+// Two accounting modes:
+//  - kMeasured (real runs): busy time is measured per task slice on the
+//    wall clock, capacity scales with the worker count, and admission is
+//    unpaced (the CPU itself is the pacer).
+//  - kModeled (oracle runs): busy time is computed from operator costs
+//    exactly as the DES does, and admission is paced on the modeled
+//    busy-until — with a ManualClock and 0 workers the pipeline reproduces
+//    the DES schedule, which tests exploit to compare accepted-SIC totals
+//    bit for bit.
+#ifndef THEMIS_SERVER_SERVER_PIPELINE_H_
+#define THEMIS_SERVER_SERVER_PIPELINE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time_types.h"
+#include "node/input_buffer.h"
+#include "node/sic_stamper.h"
+#include "runtime/batch_pool.h"
+#include "runtime/clock.h"
+#include "runtime/query_graph.h"
+#include "server/exec_node.h"
+#include "shedding/cost_model.h"
+#include "shedding/overload_detector.h"
+#include "shedding/shedder.h"
+#include "sic/stw_tracker.h"
+
+namespace themis {
+
+/// How the cost model's busy time is obtained.
+enum class CostAccounting {
+  /// Wall-clock measured per task slice (real runs).
+  kMeasured,
+  /// Computed from operator costs like the DES (oracle runs).
+  kModeled,
+};
+
+/// Server configuration; shedding defaults match NodeOptions (§7).
+struct ServerOptions {
+  SimDuration shed_interval = Millis(250);
+  SimDuration stw = Seconds(10);
+  double cpu_speed = 1.0;
+  SimDuration window_grace = Millis(200);
+  double headroom = 1.0;
+  /// Worker threads; 0 = caller-driven deterministic mode (RunUntilIdle).
+  size_t workers = 4;
+  /// Credits per execution-node input channel.
+  size_t channel_capacity = 64;
+  CostAccounting accounting = CostAccounting::kMeasured;
+  /// Gate admission on the modeled busy-until (oracle mode only).
+  bool pace_admission = false;
+  /// Feed result SIC back into the shedder at ticks (local stand-in for
+  /// coordinator dissemination, §5.2). Off in oracle mode: the DES twin has
+  /// no coordinator either.
+  bool disseminate_sic = true;
+  /// Source backpressure: Push() blocks while the input buffer holds >=
+  /// `ib_high_watermark` tuples until it drains to <= `ib_low_watermark`.
+  /// 0 disables blocking (overload lands in the IB and the shedder).
+  size_t ib_high_watermark = 0;
+  size_t ib_low_watermark = 0;
+};
+
+/// Per-server counters (mirrors NodeStats where the semantics coincide).
+struct ServerStats {
+  uint64_t tuples_received = 0;
+  uint64_t tuples_processed = 0;  ///< admitted to execution
+  uint64_t tuples_shed = 0;
+  uint64_t batches_received = 0;
+  uint64_t batches_processed = 0;
+  uint64_t batches_shed = 0;
+  uint64_t shed_invocations = 0;
+  uint64_t detector_invocations = 0;
+  SimDuration busy_time = 0;
+  size_t last_capacity = 0;
+};
+
+/// \brief A live single-site pipeline hosting whole queries.
+class ServerPipeline : private ServerSite {
+ public:
+  /// \param clock not owned; must outlive the pipeline
+  /// \param shedder shedding policy (BALANCE-SIC or random); owned
+  ServerPipeline(ServerOptions options, Clock* clock,
+                 std::unique_ptr<Shedder> shedder);
+  ~ServerPipeline() override;
+
+  /// Hosts every fragment of `graph` on this site. Call before Start; the
+  /// graph must outlive the pipeline.
+  void AddQuery(const QueryGraph* graph);
+
+  /// Spawns workers and the shed ticker (with workers > 0); arms the first
+  /// tick at clock + shed_interval either way.
+  void Start();
+  /// Stops ticker and workers, wakes blocked sources. Idempotent.
+  void Stop();
+
+  /// Source ingress from any thread: stamps Eq. (1) SIC, buffers in the IB,
+  /// wakes the ingress task. Blocks per the IB watermarks when configured.
+  /// Returns false (dropping the batch) after Stop.
+  bool Push(Batch batch);
+
+  // --- Deterministic driving (workers == 0) ---------------------------
+  /// Sentinel for "no pending admission".
+  static constexpr SimTime kNever = -1;
+  /// Wakes the ingress task (e.g. after advancing a ManualClock).
+  void NotifyIngress();
+  /// Drains the runnable queue on the calling thread.
+  void RunUntilIdle();
+  /// Blocks until workers drained the runnable queue (workers > 0). With
+  /// pace_admission the ticker is not spawned, so a driver can alternate
+  /// Push/NotifyIngress/WaitIdle with ManualClock advances and DriveTick
+  /// for a deterministic run on real worker threads.
+  void WaitIdle();
+  /// Time the next batch admission may happen (kNever if the IB is empty
+  /// and nothing is staged).
+  SimTime NextAdmissionTime() const;
+  /// Time of the next shed tick.
+  SimTime NextTickTime() const;
+  /// Runs one shed tick on the calling thread: interval accounting, window
+  /// pump (drained to idle), then detection/shedding — the same order as
+  /// Node::OnShedTimer, split so the pump can quiesce in between.
+  void DriveTick();
+
+  // --- Introspection ---------------------------------------------------
+  /// Snapshot of the counters, taken under the site lock (safe to call
+  /// from any thread while the pipeline runs).
+  ServerStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  const ServerOptions& options() const { return options_; }
+  size_t CurrentCapacity() const;
+  size_t ib_tuples() const;
+  /// Trailing-STW accepted SIC (diagnostics; shedder sees it scaled).
+  double AcceptedSic(QueryId q, SimTime now);
+  /// Cumulative admitted SIC/tuples since Start (oracle comparisons).
+  double AcceptedSicTotal(QueryId q) const;
+  uint64_t AcceptedTuplesTotal(QueryId q) const;
+  /// Cumulative result SIC/tuples delivered by the root operator.
+  double ResultSicTotal(QueryId q) const;
+  uint64_t ResultTuplesTotal(QueryId q) const;
+
+ private:
+  class IngressTask;
+
+  struct Account {
+    explicit Account(SimDuration stw) : tracker(stw) {}
+    StwTracker tracker;
+    double total_sic = 0.0;
+    uint64_t total_tuples = 0;
+  };
+  struct HostedQuery {
+    const QueryGraph* graph = nullptr;
+    /// Execution nodes indexed by OperatorId.
+    std::vector<std::unique_ptr<ExecNode>> by_op;
+    /// Pump order: fragments ascending, topological within a fragment
+    /// (matches Node::HostFragment).
+    std::vector<ExecNode*> pump;
+  };
+
+  // ServerSite interface (thread-safe; called from task slices).
+  SimTime Now() const override { return clock_->NowMicros(); }
+  SimTime Watermark() const override;
+  void ChargeModeled(double work_us) override;
+  void RecordMeasuredBusy(SimDuration busy_us) override;
+  void DeliverResult(QueryId query, const std::vector<Tuple>& results,
+                     SimTime now) override;
+  Batch AcquireBatch() override;
+  void ReleaseBatch(Batch b) override;
+  bool measured_accounting() const override {
+    return options_.accounting == CostAccounting::kMeasured;
+  }
+  double cpu_speed() const override { return options_.cpu_speed; }
+
+  RunStatus IngressSlice();
+  /// Adds modeled work to busy-until / interval accounting (mu_ held).
+  void ChargeModeledLocked(double work_us);
+  /// Phase 1: cost-model interval rollover + uncharged window-pump wakeups.
+  void TickPhase1();
+  /// Phase 2: capacity, efficiency EWMA, dissemination, detect + shed.
+  void TickPhase2();
+  void TickerLoop();
+  void WakeSourcesIfDrainedLocked();
+
+  ServerOptions options_;
+  Clock* clock_;
+  std::unique_ptr<Shedder> shedder_;
+  Scheduler sched_;
+
+  mutable std::mutex mu_;  // site lock (IB, pool, accounting, stamping)
+  std::condition_variable source_cv_;
+  SicStamper stamper_;
+  InputBuffer ib_;
+  BatchPool pool_;
+  CostModel cost_model_;
+  OverloadDetector detector_;
+  std::map<QueryId, double> query_sic_;
+  std::map<QueryId, Account> accepted_;
+  std::map<QueryId, Account> results_;
+  std::map<QueryId, Ewma> efficiency_;
+  std::vector<double> accepted_snapshot_;
+  SimTime busy_until_ = 0;
+  uint64_t interval_tuples_ = 0;
+  SimDuration interval_busy_ = 0;
+  bool source_gate_closed_ = false;
+  /// Batch popped from the IB whose downstream push blocked; admission
+  /// accounting happens only once it lands.
+  std::optional<Batch> staged_;
+  ServerStats stats_;
+
+  std::map<QueryId, HostedQuery> queries_;
+  std::unique_ptr<IngressTask> ingress_;
+
+  std::atomic<bool> stop_flag_{false};
+  bool started_ = false;
+  SimTime next_tick_ = 0;
+  std::thread ticker_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_SERVER_SERVER_PIPELINE_H_
