@@ -1,0 +1,162 @@
+// Elastic-federation benchmark: the 64-node WAN-of-LANs churn scenario
+// overlaid with §7.4 bursts AND a diurnal load swing, with the autoscaler
+// loop (federation/autoscaler.h) growing, shrinking and re-balancing the
+// federation through the TopologyPlan control plane while crash waves and
+// link drift keep perturbing it. Run on the sequential engine, the
+// parallel engine at 1 shard, and the parallel engine at `--shards N`
+// (default 4).
+//
+// Two jobs in one binary, mirroring bench_churn_federation:
+//  * Throughput: PerfRecorder captures tuples/s per engine config; CI
+//    gates shards=4 at >= 1.5x the shards=1 wall-clock throughput — the
+//    parallel win must survive mid-run joins, migrations and re-balances.
+//  * Determinism: the printed report contains only simulated quantities,
+//    so its bytes are a pure function of the scenario. The binary fails if
+//    the shards=1 parallel run differs from the sequential run, and CI
+//    byte-diffs two full invocations for run-to-run identity at every
+//    shard count. Per the elastic determinism exception (see
+//    federation/elastic_federation.h), the multi-shard report may
+//    legitimately differ from the single-shard one: a re-balance re-homes
+//    in-flight deliveries, and the landing epoch depends on the shard map.
+//
+// Flags (besides the PerfRecorder ones): --shards N, --nodes N,
+// --queries N.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/perf.h"
+#include "federation/elastic_federation.h"
+#include "metrics/reporter.h"
+
+namespace {
+
+int FlagValue(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace themis;
+  using namespace themis::bench;
+  PerfRecorder perf(argc, argv, "bench_elastic_federation");
+  std::printf("Elastic federation run: autoscaler + shard re-balancing over "
+              "churn with diurnal + burst load, per engine.\n");
+
+  ElasticScenarioOptions eo;
+  eo.churn.scale.nodes = FlagValue(argc, argv, "--nodes", 64);
+  eo.churn.scale.queries = FlagValue(argc, argv, "--queries", 96);
+  eo.churn.scale.source_rate = 150.0;
+  // Size the base federation so the diurnal + burst swing crosses BOTH
+  // autoscaler thresholds per period: the loop has to grow into the peaks
+  // and give capacity back in the troughs, not ratchet one way.
+  eo.churn.scale.overload_factor = 0.4;
+  eo.diurnal_amplitude = 0.8;
+  eo.diurnal_period = Seconds(32);
+  eo.autoscaler.shrink_utilization = 0.7;
+  eo.autoscaler.max_added_nodes = 16;
+  SimDuration measure = Seconds(10);
+  if (perf.quick()) {
+    eo.churn.scale.queries = FlagValue(argc, argv, "--queries", 64);
+    eo.churn.crash_waves = 2;
+    eo.churn.churn_horizon = Seconds(16);
+    eo.autoscaler.max_added_nodes = 8;
+    measure = Seconds(6);
+  }
+  const int parallel_shards = FlagValue(argc, argv, "--shards", 4);
+  ElasticScenario scenario = MakeElasticScenario(eo);
+
+  Reporter reporter(
+      "Elastic federation (" + std::to_string(eo.churn.scale.nodes) +
+          " nodes, " + std::to_string(eo.churn.scale.queries) + " queries, " +
+          std::to_string(scenario.churn.events.size()) + " topology events)",
+      {"engine", "processed", "shed", "added", "rebal", "migr", "live",
+       "mean_SIC", "jain"});
+
+  struct EngineConfig {
+    std::string name;
+    int shards;
+    bool force_parsim;
+  };
+  std::vector<EngineConfig> configs = {
+      {"sequential", 1, false},
+      {"shards=1", 1, true},
+  };
+  if (parallel_shards > 1) {
+    configs.push_back(
+        {"shards=" + std::to_string(parallel_shards), parallel_shards, false});
+  }
+
+  std::string first_report;
+  bool identity_ok = true;
+  for (const EngineConfig& config : configs) {
+    FspsOptions fo;
+    fo.shards = config.shards;
+    fo.force_parsim_engine = config.force_parsim;
+    auto fsps = MakeElasticFederation(scenario, fo);
+    perf.BeginRun(config.name);
+    ElasticRunResult r = RunElasticScenario(fsps.get(), scenario, measure);
+    perf.EndRun(r.churn.scale.tuples_processed);
+    perf.AddMetric("nodes_added", static_cast<double>(r.nodes_added));
+    perf.AddMetric("rebalances", static_cast<double>(r.rebalances));
+    perf.AddMetric("final_live_nodes",
+                   static_cast<double>(r.final_live_nodes));
+    perf.AddMetric("mean_sic", r.churn.scale.mean_sic);
+
+    // One deterministic line per config; the sequential / shards=1 pair
+    // must match byte-for-byte (single-shard parallel fast path).
+    char line[400];
+    std::snprintf(
+        line, sizeof(line),
+        "processed=%llu shed=%llu messages=%llu events=%llu crashes=%llu "
+        "restores=%llu added=%llu rebalances=%llu migrated=%llu "
+        "grow=%llu shrink=%llu restored=%llu decom=%llu live=%d "
+        "util=%.6f mean_sic=%.9f jain=%.9f",
+        static_cast<unsigned long long>(r.churn.scale.tuples_processed),
+        static_cast<unsigned long long>(r.churn.scale.tuples_shed),
+        static_cast<unsigned long long>(r.churn.scale.messages),
+        static_cast<unsigned long long>(r.churn.scale.events),
+        static_cast<unsigned long long>(r.churn.crashes),
+        static_cast<unsigned long long>(r.churn.restores),
+        static_cast<unsigned long long>(r.nodes_added),
+        static_cast<unsigned long long>(r.rebalances),
+        static_cast<unsigned long long>(r.migrated_nodes),
+        static_cast<unsigned long long>(r.autoscaler.grow_actions),
+        static_cast<unsigned long long>(r.autoscaler.shrink_actions),
+        static_cast<unsigned long long>(r.autoscaler.nodes_restored),
+        static_cast<unsigned long long>(r.autoscaler.nodes_decommissioned),
+        r.final_live_nodes, r.final_utilization, r.churn.scale.mean_sic,
+        r.churn.scale.jain);
+    std::printf("[%s] %s\n", config.name.c_str(), line);
+    if (first_report.empty()) {
+      first_report = line;
+    } else if (config.force_parsim && first_report != line) {
+      identity_ok = false;
+    }
+
+    reporter.AddRow(config.name,
+                    {static_cast<double>(r.churn.scale.tuples_processed),
+                     static_cast<double>(r.churn.scale.tuples_shed),
+                     static_cast<double>(r.nodes_added),
+                     static_cast<double>(r.rebalances),
+                     static_cast<double>(r.migrated_nodes),
+                     static_cast<double>(r.final_live_nodes),
+                     r.churn.scale.mean_sic, r.churn.scale.jain});
+  }
+  reporter.Print();
+
+  if (!identity_ok) {
+    std::fprintf(stderr,
+                 "FAIL: parallel engine at shards=1 diverged from the "
+                 "sequential engine on the elastic scenario\n");
+    return 1;
+  }
+  std::printf("elastic run at shards=1 byte-identical to sequential: OK\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Autoscaler control loop for an elastic federation: every tick it reads
+// the forward-looking load signal (per-node offered load — arrival rate x
+// measured per-tuple cost), compares federation utilization against grow /
+// shrink thresholds with hysteresis, and commits its decision through one
+// TopologyPlan — node joins wired with LAN links to their cluster's peers,
+// decommissions of its own previously-added nodes, and a shard re-balance
+// whenever the action (or plain load skew) warrants one.
+//
+// The loop is deliberately simple — threshold + hysteresis, the shape every
+// production autoscaler starts from — because the interesting part is what
+// it exercises underneath: mid-run AddNode, crash-as-decommission,
+// restore-as-regrow and group-aware re-balancing, all through the same
+// control-plane API a human operator would script.
+#ifndef THEMIS_FEDERATION_AUTOSCALER_H_
+#define THEMIS_FEDERATION_AUTOSCALER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "federation/fsps.h"
+#include "workload/scale_scenario.h"
+
+namespace themis {
+
+/// Control-loop knobs; the elastic bench tunes the thresholds so its
+/// diurnal + burst load swings through both per diurnal period.
+struct AutoscalerOptions {
+  /// Decision cadence; ticks run between RunFor segments.
+  SimDuration tick_interval = Seconds(2);
+  /// Grow when utilization (offered busy-time / live capacity over the
+  /// trailing STW) stays above this for `hysteresis_ticks` ticks...
+  double grow_utilization = 0.85;
+  /// ...and shrink when it stays below this.
+  double shrink_utilization = 0.35;
+  /// Consecutive out-of-band ticks required before acting: one bursty
+  /// second must not trigger a join wave.
+  int hysteresis_ticks = 2;
+  /// Nodes added per grow action (decommissioned nodes restore first).
+  int grow_step = 2;
+  /// Nodes decommissioned per shrink action (only nodes this autoscaler
+  /// added; the base federation is never shrunk below its initial size).
+  int shrink_step = 1;
+  /// Hard ceiling on autoscaler-added nodes (0 = unlimited).
+  int max_added_nodes = 0;
+  /// Stage a shard re-balance in the same plan as any grow/shrink action.
+  bool rebalance_on_action = true;
+  /// Also re-balance when max shard load exceeds mean shard load by this
+  /// factor (load skew from churn or uneven arrivals); 0 disables.
+  double rebalance_skew = 1.5;
+};
+
+/// Counters of one autoscaler's lifetime (reported by the elastic bench).
+struct AutoscalerStats {
+  uint64_t ticks = 0;
+  uint64_t grow_actions = 0;
+  uint64_t shrink_actions = 0;
+  uint64_t nodes_added = 0;         ///< fresh joins (AddNode)
+  uint64_t nodes_restored = 0;      ///< re-grown from the decommission pool
+  uint64_t nodes_decommissioned = 0;
+  uint64_t rebalances_requested = 0;
+};
+
+/// \brief Threshold + hysteresis autoscaler over one Fsps.
+class Autoscaler {
+ public:
+  /// `scenario` supplies the topology template: cluster membership (group
+  /// map for re-balances, joins go to the loaded cluster), LAN latency for
+  /// wiring joins, and the node-count floor. The Fsps must be elastic
+  /// (FspsOptions::elastic) for grow/re-balance to commit on a sharded
+  /// engine.
+  Autoscaler(Fsps* fsps, const ScaleScenario& scenario,
+             AutoscalerOptions options = {});
+
+  /// One control decision; call between RunFor segments. Reads the load
+  /// signal, updates hysteresis, and commits at most one TopologyPlan.
+  Status Tick();
+
+  const AutoscalerStats& stats() const { return stats_; }
+  /// Utilization the last Tick() observed.
+  double last_utilization() const { return last_utilization_; }
+  /// Cluster of every node, base + autoscaler-added (the re-balance group
+  /// map; also used by tests to pin join placement).
+  const std::vector<int>& cluster_of_node() const { return cluster_of_node_; }
+
+ private:
+  /// Offered busy-time of live nodes / their capacity, over the STW.
+  double Utilization(SimTime now);
+  /// Cluster with the highest live offered load (joins go where demand is).
+  int BusiestCluster(SimTime now);
+  /// Max-shard-load / mean-shard-load (1 when balanced; 0 when idle).
+  double ShardSkew(SimTime now);
+
+  Fsps* fsps_;
+  AutoscalerOptions options_;
+  int clusters_;
+  SimDuration lan_latency_;
+  SimDuration stw_;
+  std::vector<int> cluster_of_node_;
+  /// Nodes this autoscaler added, in add order. Shrink decommissions from
+  /// this pool only (never the base federation) and grow restores from its
+  /// crashed members before adding fresh nodes.
+  std::vector<NodeId> added_;
+  std::vector<NodeId> decommissioned_;  ///< stack: most recent first out
+  int grow_streak_ = 0;
+  int shrink_streak_ = 0;
+  double last_utilization_ = 0.0;
+  AutoscalerStats stats_;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_FEDERATION_AUTOSCALER_H_

@@ -18,7 +18,9 @@ ChurnRunResult RunChurnScenario(Fsps* fsps, const ChurnScenario& scenario,
   // Two sorted streams — query arrivals and topology events — replayed in
   // timestamp order; events win ties so a query arriving at a crash
   // instant deploys onto the post-crash topology instead of landing on
-  // the victim and immediately re-placing.
+  // the victim and immediately re-placing. Same-timestamp events batch
+  // into one TopologyPlan: the schedule generator emits waves, and a wave
+  // is one atomic transition.
   size_t next_query = 0;
   size_t next_event = 0;
   const auto& queries = scenario.base.queries;
@@ -38,19 +40,23 @@ ChurnRunResult RunChurnScenario(Fsps* fsps, const ChurnScenario& scenario,
       ++next_query;
       continue;
     }
-    const ChurnEvent& ev = events[next_event];
-    ++next_event;
-    switch (ev.kind) {
-      case ChurnEventKind::kCrash:
-        THEMIS_CHECK(fsps->CrashNode(ev.a).ok());
-        break;
-      case ChurnEventKind::kRestore:
-        THEMIS_CHECK(fsps->RestoreNode(ev.a).ok());
-        break;
-      case ChurnEventKind::kSetLinkLatency:
-        THEMIS_CHECK(fsps->SetLinkLatency(ev.a, ev.b, ev.latency).ok());
-        break;
+    TopologyPlan plan = fsps->PlanTopology();
+    while (next_event < events.size() && events[next_event].time == at) {
+      const ChurnEvent& ev = events[next_event];
+      ++next_event;
+      switch (ev.kind) {
+        case ChurnEventKind::kCrash:
+          plan.Crash(ev.a);
+          break;
+        case ChurnEventKind::kRestore:
+          plan.Restore(ev.a);
+          break;
+        case ChurnEventKind::kSetLinkLatency:
+          plan.SetLinkLatency(ev.a, ev.b, ev.latency);
+          break;
+      }
     }
+    THEMIS_CHECK(plan.Apply().ok());
   }
   fsps->RunFor(measure);
 

@@ -1,9 +1,9 @@
 // Drives a churn scenario (workload/churn_scenario.h) on an Fsps: the
 // scale scenario's staggered query arrivals interleaved with the
 // seed-derived topology schedule — crash waves, restores, link flaps and
-// drift — all replayed through the dynamic control plane (Fsps::CrashNode /
-// RestoreNode / SetLinkLatency) between run segments, the only legal place
-// for control-plane mutation on a sharded engine. The aggregate result is
+// drift — all replayed through the TopologyPlan control plane
+// (Fsps::PlanTopology, one plan per wave) between run segments, the only
+// legal place for control-plane mutation on a sharded engine. The result is
 // deterministic: bit-identical run-to-run at any shard count, and
 // byte-identical between the sequential engine and the parallel engine at
 // one shard — bench_churn_federation checks the latter in-process and CI

@@ -16,11 +16,25 @@ void QueryCoordinator::AddHost(NodeId node_id, Node* node) {
 
 void QueryCoordinator::RemoveHost(NodeId node_id) { hosts_.erase(node_id); }
 
+void QueryCoordinator::ArmDisseminate(SimTime at) {
+  next_disseminate_at_ = at;
+  queue_->Schedule(at, [this, gen = generation_] { Disseminate(gen); });
+}
+
 void QueryCoordinator::Start() {
   if (started_) return;
   started_ = true;
   if (options_.disseminate) {
-    queue_->ScheduleAfter(options_.update_interval, [this] { Disseminate(); });
+    ArmDisseminate(queue_->now() + options_.update_interval);
+  }
+}
+
+void QueryCoordinator::MigrateQueue(EventQueue* queue) {
+  if (queue == queue_) return;
+  queue_ = queue;
+  ++generation_;  // neuter the tick still queued on the old shard
+  if (started_ && !stopped_ && options_.disseminate) {
+    ArmDisseminate(next_disseminate_at_);
   }
 }
 
@@ -42,7 +56,8 @@ double QueryCoordinator::CurrentSic() {
   return tracker_.QuerySic(queue_->now());
 }
 
-void QueryCoordinator::Disseminate() {
+void QueryCoordinator::Disseminate(uint64_t gen) {
+  if (gen != generation_) return;  // stale event from before a migration
   if (stopped_) return;  // do not reschedule: the query was undeployed
   double sic = CurrentSic();
   QueryId q = graph_->id();
@@ -50,7 +65,7 @@ void QueryCoordinator::Disseminate() {
     network_->Send(home_, node_id, options_.update_message_bytes,
                    [node, q, sic] { node->UpdateQuerySic(q, sic); });
   }
-  queue_->ScheduleAfter(options_.update_interval, [this] { Disseminate(); });
+  ArmDisseminate(queue_->now() + options_.update_interval);
 }
 
 }  // namespace themis

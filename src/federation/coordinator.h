@@ -57,6 +57,15 @@ class QueryCoordinator {
   /// Starts the periodic dissemination timer.
   void Start();
 
+  /// Moves the coordinator to another shard's event queue (elastic
+  /// re-balance: the coordinator follows its home node's shard so
+  /// dissemination sends and OnResult calls stay shard-local). Only legal
+  /// between engine runs. The dissemination chain re-arms on the new queue
+  /// at its original deadline; the event left on the old queue is neutered
+  /// by a generation bump.
+  void MigrateQueue(EventQueue* queue);
+  EventQueue* queue() const { return queue_; }
+
   /// Stops dissemination and ignores further results (query undeployment).
   /// The object must stay alive until pending timer events have fired; Fsps
   /// retires stopped coordinators instead of destroying them.
@@ -74,7 +83,12 @@ class QueryCoordinator {
   uint64_t result_tuples() const { return result_tuples_; }
 
  private:
-  void Disseminate();
+  /// `gen` guards against stale events after MigrateQueue: a tick armed
+  /// before a migration may fire on the old shard's thread and must return
+  /// after the generation check without touching other members.
+  void Disseminate(uint64_t gen);
+  /// Arms the next dissemination tick at `at` on the current queue.
+  void ArmDisseminate(SimTime at);
 
   const QueryGraph* graph_;
   Options options_;
@@ -87,6 +101,11 @@ class QueryCoordinator {
   uint64_t result_tuples_ = 0;
   bool started_ = false;
   bool stopped_ = false;
+  // Elastic migration state (see Node's counterpart): the generation stamps
+  // every armed tick; MigrateQueue bumps it and re-arms at the recorded
+  // deadline, preserving the dissemination phase.
+  uint64_t generation_ = 0;
+  SimTime next_disseminate_at_ = 0;
 };
 
 }  // namespace themis

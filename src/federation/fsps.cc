@@ -52,27 +52,82 @@ Fsps::Fsps(FspsOptions options)
       engine_(MakeEngine(options.shards, options.force_parsim_engine)),
       network_(engine_->queue(0), options.default_link_latency,
                DeriveJitterSeed(options.seed)),
-      recovery_(options.recovery) {}
+      recovery_(options.recovery) {
+  if (options_.elastic) {
+    // Elastic runs wrap every sharded delivery in the re-forwarding
+    // trampoline and relax the engine's lookahead invariant for stale
+    // re-forwards; both are opt-in because the wrapper costs an allocation
+    // per message. No-ops on a single-shard run.
+    engine_->EnableElastic();
+    network_.EnableElastic();
+  }
+}
 
 Fsps::~Fsps() = default;
 
-NodeId Fsps::AddNode() { return AddNode(options_.node, kAutoShard); }
-
-NodeId Fsps::AddNode(NodeOptions node_options) {
-  return AddNode(node_options, kAutoShard);
+NodeId Fsps::AddNode() {
+  Result<NodeId> id = AddNode(options_.node, kAutoShard);
+  THEMIS_CHECK(id.ok());
+  return *id;
 }
 
-NodeId Fsps::AddNode(NodeOptions node_options, int shard) {
+NodeId Fsps::AddNode(NodeOptions node_options) {
+  Result<NodeId> id = AddNode(node_options, kAutoShard);
+  THEMIS_CHECK(id.ok());
+  return *id;
+}
+
+Result<NodeId> Fsps::AddNode(NodeOptions node_options, int shard) {
+  int shards = engine_->num_shards();
+  if (shard != kAutoShard && (shard < 0 || shard >= shards)) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range [0, " +
+                                   std::to_string(shards) + ")");
+  }
+  if (started_ && shards > 1 && !options_.elastic) {
+    return Status::FailedPrecondition(
+        "adding a node to a started sharded engine requires "
+        "FspsOptions::elastic (the non-elastic shard plan freezes the node "
+        "set at Start)");
+  }
+  return AddNodeNow(node_options, shard);
+}
+
+NodeId Fsps::AddNodeNow(NodeOptions node_options, int shard) {
+  // The offered-load tracker only runs when something reads it — the
+  // arrival-cost placement signal or the elastic control plane (its
+  // autoscaler and re-balancer weigh nodes by OfferedLoadUs). Keeping it
+  // off otherwise preserves the historical data-plane allocation counts.
+  if (options_.load_signal == LoadSignalKind::kArrivalCost ||
+      options_.elastic) {
+    node_options.track_arrivals = true;
+  }
   NodeId id = static_cast<NodeId>(nodes_.size());
   int shards = engine_->num_shards();
-  // Multi-shard runs freeze the shard plan (and the lookahead derived from
-  // it) at Start().
-  THEMIS_CHECK(shards == 1 || !started_);
   int s = shard == kAutoShard ? id % shards : shard;
-  THEMIS_CHECK(s >= 0 && s < shards);
   shard_of_node_.push_back(s);
   nodes_.push_back(std::make_unique<Node>(id, node_options, engine_->queue(s),
                                           this, MakeShedder()));
+  if (started_) {
+    // Mid-run join. Pre-Start nodes get their source link and Start() call
+    // from Fsps::Start; a joiner does both here, at the control-plane
+    // boundary. On a sharded engine the link edit is queued (the matrix is
+    // frozen mid-run) and lands at the next RunFor boundary — before any
+    // source can target the node, since deployment is also boundary-only —
+    // and the shard map grows in place so deliveries route to the new
+    // node's shard immediately.
+    if (shards > 1) {
+      network_.QueueSetLatency(kInvalidId, id, options_.source_link_latency);
+      network_.UpdateShardMap(shard_of_node_);
+      topology_dirty_ = true;  // links to the joiner constrain the epoch
+    } else {
+      Status st =
+          network_.SetLatency(kInvalidId, id, options_.source_link_latency);
+      THEMIS_CHECK(st.ok());
+    }
+    nodes_.back()->Start();
+    churn_stats_.nodes_added += 1;
+  }
   return id;
 }
 
@@ -349,14 +404,137 @@ void Fsps::MarkRecoveryDisturbance(DisturbanceKind kind) {
 }
 
 Status Fsps::CrashNode(NodeId id) {
+  return PlanTopology().Crash(id).Apply();
+}
+
+Status Fsps::RestoreNode(NodeId id) {
+  return PlanTopology().Restore(id).Apply();
+}
+
+Status Fsps::SetLinkLatency(NodeId a, NodeId b, SimDuration latency) {
+  return PlanTopology().SetLinkLatency(a, b, latency).Apply();
+}
+
+Status Fsps::ValidatePlanOp(const TopologyPlan::Op& op,
+                            std::vector<char>* scratch_alive) const {
+  // `scratch_alive` carries the liveness/existence state the plan's earlier
+  // ops promise: one entry per existing or staged node, 1 = alive. It is
+  // the only state the validator mutates.
+  std::vector<char>& alive = *scratch_alive;
+  auto known = [&alive](NodeId x) {
+    return x >= 0 && static_cast<size_t>(x) < alive.size();
+  };
+  switch (op.kind) {
+    case TopologyPlan::OpKind::kCrash:
+      if (!known(op.a)) {
+        return Status::NotFound("unknown node " + std::to_string(op.a));
+      }
+      if (!alive[op.a]) {
+        return Status::FailedPrecondition("node " + std::to_string(op.a) +
+                                          " is already crashed");
+      }
+      alive[op.a] = 0;
+      return Status::OK();
+    case TopologyPlan::OpKind::kRestore:
+      if (!known(op.a)) {
+        return Status::NotFound("unknown node " + std::to_string(op.a));
+      }
+      if (alive[op.a]) {
+        return Status::FailedPrecondition("node " + std::to_string(op.a) +
+                                          " is not crashed");
+      }
+      alive[op.a] = 1;
+      return Status::OK();
+    case TopologyPlan::OpKind::kSetLink: {
+      if (op.a == op.b) {
+        return Status::InvalidArgument("self-links have fixed zero latency");
+      }
+      if ((op.a != kInvalidId && !known(op.a)) ||
+          (op.b != kInvalidId && !known(op.b))) {
+        return Status::InvalidArgument("unknown node in link (" +
+                                       std::to_string(op.a) + ", " +
+                                       std::to_string(op.b) + ")");
+      }
+      if (op.latency < 0) {
+        return Status::InvalidArgument("negative link latency");
+      }
+      if (engine_->num_shards() > 1 && op.latency == 0) {
+        return Status::InvalidArgument(
+            "zero-latency links admit no conservative parallel schedule on a "
+            "sharded engine");
+      }
+      return Status::OK();
+    }
+    case TopologyPlan::OpKind::kAddNode: {
+      int shards = engine_->num_shards();
+      if (op.shard != kAutoShard && (op.shard < 0 || op.shard >= shards)) {
+        return Status::InvalidArgument("shard " + std::to_string(op.shard) +
+                                       " out of range [0, " +
+                                       std::to_string(shards) + ")");
+      }
+      if (started_ && shards > 1 && !options_.elastic) {
+        return Status::FailedPrecondition(
+            "adding a node to a started sharded engine requires "
+            "FspsOptions::elastic (the non-elastic shard plan freezes the "
+            "node set at Start)");
+      }
+      alive.push_back(1);
+      return Status::OK();
+    }
+    case TopologyPlan::OpKind::kRebalance:
+      if (engine_->num_shards() <= 1) return Status::OK();  // no-op
+      if (!options_.elastic) {
+        return Status::FailedPrecondition(
+            "re-balancing a sharded engine requires FspsOptions::elastic");
+      }
+      if (!started_) {
+        return Status::FailedPrecondition(
+            "re-balance before Start(): assign shards at AddNode instead");
+      }
+      if (!op.group_of_node.empty() &&
+          op.group_of_node.size() != alive.size()) {
+        return Status::InvalidArgument(
+            "group map covers " + std::to_string(op.group_of_node.size()) +
+            " nodes, federation has " + std::to_string(alive.size()));
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown plan op");
+}
+
+Status Fsps::ApplyPlan(const TopologyPlan& plan) {
+  // Phase 1: validate every op against scratch state, so a bad op halfway
+  // through the batch fails the plan before anything mutates.
+  std::vector<char> scratch_alive = AliveMask();
+  for (const TopologyPlan::Op& op : plan.ops_) {
+    THEMIS_RETURN_NOT_OK(ValidatePlanOp(op, &scratch_alive));
+  }
+  // Phase 2: commit in order. The only Status left is Rebalance's
+  // commit-time epoch-width check (see topology_plan.h).
+  for (const TopologyPlan::Op& op : plan.ops_) {
+    switch (op.kind) {
+      case TopologyPlan::OpKind::kCrash:
+        CrashNodeNow(op.a);
+        break;
+      case TopologyPlan::OpKind::kRestore:
+        RestoreNodeNow(op.a);
+        break;
+      case TopologyPlan::OpKind::kSetLink:
+        SetLinkLatencyNow(op.a, op.b, op.latency);
+        break;
+      case TopologyPlan::OpKind::kAddNode:
+        AddNodeNow(op.node_options, op.shard);
+        break;
+      case TopologyPlan::OpKind::kRebalance:
+        THEMIS_RETURN_NOT_OK(RebalanceNow(op.group_of_node));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void Fsps::CrashNodeNow(NodeId id) {
   Node* n = node(id);
-  if (n == nullptr) {
-    return Status::NotFound("unknown node " + std::to_string(id));
-  }
-  if (!n->alive()) {
-    return Status::FailedPrecondition("node " + std::to_string(id) +
-                                      " is already crashed");
-  }
   if (options_.recovery.enabled) {
     // Baseline the dip before the crash mutates anything: a wave of
     // CrashNode calls at one instant coalesces into one disturbance.
@@ -378,51 +556,133 @@ Status Fsps::CrashNode(NodeId id) {
     }
   }
   for (QueryId q : affected) ReplaceOrphans(q, id);
-  return Status::OK();
 }
 
-Status Fsps::RestoreNode(NodeId id) {
-  Node* n = node(id);
-  if (n == nullptr) {
-    return Status::NotFound("unknown node " + std::to_string(id));
-  }
-  if (n->alive()) {
-    return Status::FailedPrecondition("node " + std::to_string(id) +
-                                      " is not crashed");
-  }
+void Fsps::RestoreNodeNow(NodeId id) {
   if (options_.recovery.enabled) {
     MarkRecoveryDisturbance(DisturbanceKind::kRestore);
   }
-  n->Restore();
+  nodes_[id]->Restore();
   churn_stats_.restores += 1;
   // Links to the rejoined node constrain the epoch again.
   topology_dirty_ = true;
-  return Status::OK();
 }
 
-Status Fsps::SetLinkLatency(NodeId a, NodeId b, SimDuration latency) {
-  if (a == b) {
-    return Status::InvalidArgument("self-links have fixed zero latency");
-  }
-  auto known = [this](NodeId x) {
-    return x == kInvalidId || node(x) != nullptr;
-  };
-  if (!known(a) || !known(b)) {
-    return Status::InvalidArgument("unknown node in link (" +
-                                   std::to_string(a) + ", " +
-                                   std::to_string(b) + ")");
-  }
-  if (latency < 0) {
-    return Status::InvalidArgument("negative link latency");
-  }
-  if (engine_->num_shards() > 1 && latency == 0) {
-    return Status::InvalidArgument(
-        "zero-latency links admit no conservative parallel schedule on a "
-        "sharded engine");
-  }
+void Fsps::SetLinkLatencyNow(NodeId a, NodeId b, SimDuration latency) {
   network_.QueueSetLatency(a, b, latency);
   churn_stats_.latency_updates += 1;
   topology_dirty_ = true;
+}
+
+Status Fsps::RebalanceNow(const std::vector<int>& group_of_node) {
+  const int shards = engine_->num_shards();
+  if (shards <= 1) {
+    // Trivially balanced — but still counted, so a sequential run and a
+    // parsim@1 run of the same elastic scenario report identical stats.
+    churn_stats_.rebalances += 1;
+    return Status::OK();
+  }
+  const size_t n = nodes_.size();
+  std::vector<int> groups(group_of_node);
+  if (groups.empty()) {
+    groups.resize(n);
+    for (size_t i = 0; i < n; ++i) groups[i] = static_cast<int>(i);
+  }
+
+  // Group loads under the configured signal; crashed nodes carry none.
+  // Ordered maps keep the walk deterministic in group id.
+  SimTime now = engine_->now();
+  std::map<int, double> load;
+  std::map<int, std::vector<NodeId>> members;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    members[groups[i]].push_back(id);
+    load[groups[i]] += nodes_[i]->alive() ? NodeLoadSignal(id, now) : 0.0;
+  }
+
+  // Nothing to balance yet (e.g. a control tick before the first arrival):
+  // keep the current map rather than letting the zero-load LPT collapse
+  // every group onto shard 0.
+  double total_load = 0.0;
+  for (const auto& [g, l] : load) total_load += l;
+  if (total_load == 0.0) {
+    churn_stats_.rebalances += 1;
+    return Status::OK();
+  }
+
+  // LPT greedy: heaviest group first onto the least-loaded shard. Ties —
+  // equal group loads, equal shard loads — break by ascending id, so the
+  // packing is a pure function of the load vector.
+  std::vector<std::pair<double, int>> order;
+  order.reserve(load.size());
+  for (const auto& [g, l] : load) order.push_back({l, g});
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<double> shard_load(shards, 0.0);
+  std::vector<int> new_map = shard_of_node_;
+  for (const auto& [l, g] : order) {
+    int best = 0;
+    for (int s = 1; s < shards; ++s) {
+      if (shard_load[s] < shard_load[best]) best = s;
+    }
+    shard_load[best] += l;
+    for (NodeId id : members[g]) new_map[id] = best;
+  }
+
+  if (new_map == shard_of_node_) {
+    churn_stats_.rebalances += 1;
+    return Status::OK();
+  }
+  // Commit-time feasibility: the re-derived epoch width must stay positive
+  // (a zero-latency pair split across shards admits no conservative
+  // schedule). Checked before anything migrates — a refusal leaves the
+  // federation exactly as it was.
+  SimDuration lookahead = network_.MinCrossShardLatency(new_map, AliveMask());
+  if (lookahead == 0) {
+    return Status::InvalidArgument(
+        "re-balance would place a zero-latency link across shards");
+  }
+  if (lookahead < 0) {
+    // Every live node on one shard: no cross-shard link bounds the epoch.
+    // A one-group map on a multi-shard engine gets here; refuse rather
+    // than hand the engine an unbounded epoch.
+    return Status::InvalidArgument(
+        "re-balance would leave no cross-shard links (single group?)");
+  }
+  if (options_.recovery.enabled) {
+    MarkRecoveryDisturbance(DisturbanceKind::kRebalance);
+  }
+
+  // Migration, in entity order (see Engine::EnableElastic for the
+  // protocol): nodes re-point their timer chains, the network's map swaps
+  // in place (jitter lanes stay with their shards), coordinators follow
+  // their home node, and source drivers follow their destination host so
+  // generated traffic stays shard-local.
+  uint64_t migrated = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (new_map[i] == shard_of_node_[i]) continue;
+    nodes_[i]->MigrateQueue(engine_->queue(new_map[i]));
+    ++migrated;
+  }
+  shard_of_node_ = new_map;
+  network_.UpdateShardMap(shard_of_node_);
+  for (auto& [q, coord] : coordinators_) {
+    coord->MigrateQueue(engine_->queue(shard_of_node_[coord->home()]));
+  }
+  for (auto& src : sources_) {
+    if (src->stopped()) continue;
+    auto git = graphs_.find(src->query_id());
+    if (git == graphs_.end()) continue;
+    NodeId dest = placements_.at(src->query_id())
+                      .at(git->second->fragment_of(src->target_op()));
+    src->Rehome(engine_->queue(shard_of_node_[dest]),
+                nodes_[dest]->batch_pool());
+  }
+  topology_dirty_ = true;  // the epoch width re-derives at the next RunFor
+  churn_stats_.rebalances += 1;
+  churn_stats_.migrated_nodes += migrated;
   return Status::OK();
 }
 
@@ -487,8 +747,12 @@ void Fsps::ReplaceOrphans(QueryId q, NodeId crashed) {
       if (nid == crashed) ++orphans;
     }
     if (orphans > 0) {
-      orphan_mass = nodes_[crashed]->AcceptedSic(q, now) /
-                    static_cast<double>(orphans);
+      // The projected mass must be in the same unit as the ranking signal.
+      double carried =
+          options_.load_signal == LoadSignalKind::kArrivalCost
+              ? nodes_[crashed]->OfferedLoadUs(q, now)
+              : nodes_[crashed]->AcceptedSic(q, now);
+      orphan_mass = carried / static_cast<double>(orphans);
     }
   }
 
@@ -541,6 +805,9 @@ void Fsps::ReplaceOrphans(QueryId q, NodeId crashed) {
 
 double Fsps::NodeLoadSignal(NodeId id, SimTime now) {
   Node* n = nodes_[id].get();
+  if (options_.load_signal == LoadSignalKind::kArrivalCost) {
+    return n->OfferedLoadUs(now);
+  }
   double accepted = 0.0;
   for (QueryId q : n->HostedQueries()) {
     accepted += n->AcceptedSic(q, now);

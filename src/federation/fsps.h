@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "federation/coordinator.h"
 #include "federation/placement.h"
+#include "federation/topology_plan.h"
 #include "metrics/recovery_tracker.h"
 #include "node/node.h"
 #include "runtime/query_graph.h"
@@ -67,6 +68,22 @@ struct FspsOptions {
   /// PR 4 round-robin cursor byte-for-byte; kSicAware moves orphans to the
   /// least-overloaded live candidate (see federation/placement.h).
   ReplacementPolicy replacement = ReplacementPolicy::kRoundRobin;
+  /// What per-node signal ranks the kSicAware candidates and weighs the
+  /// elastic re-balancer's groups. The default keeps the PR 5/6 trailing
+  /// accepted-SIC figures byte-identical; kArrivalCost is forward-looking
+  /// (arrival rate x measured per-tuple cost) and is what the elastic
+  /// federation uses — an overloaded node that sheds hard no longer looks
+  /// idle to the placer.
+  LoadSignalKind load_signal = LoadSignalKind::kAcceptedSic;
+  /// Elastic mode: the sharded engine admits mid-run topology growth
+  /// (AddNode after Start) and shard re-balancing (TopologyPlan::Rebalance)
+  /// by wrapping every sharded delivery in a re-forwarding trampoline (see
+  /// Engine::EnableElastic for the migration protocol). Off by default: the
+  /// wrapper costs one allocation per message, and elastic runs at
+  /// different shard counts may diverge from each other (run-to-run
+  /// determinism at a fixed count, and sequential == parsim@1, still hold
+  /// exactly). Irrelevant at shards == 1.
+  bool elastic = false;
   /// Recovery observability (metrics/recovery_tracker.h). When
   /// `recovery.enabled`, RunFor splits its run at the sampling cadence and
   /// feeds every deployed query's SIC into the tracker, and the churn
@@ -85,6 +102,9 @@ struct FspsChurnStats {
   uint64_t latency_updates = 0;    ///< queued SetLinkLatency edits
   uint64_t replaced_fragments = 0; ///< orphans moved to live nodes
   uint64_t dropped_queries = 0;    ///< force-undeployed: no live candidates
+  uint64_t nodes_added = 0;        ///< mid-run joins (AddNode after Start)
+  uint64_t rebalances = 0;         ///< committed TopologyPlan::Rebalance ops
+  uint64_t migrated_nodes = 0;     ///< nodes whose shard changed, summed
 };
 
 /// \brief A complete simulated FSPS deployment.
@@ -99,6 +119,8 @@ class Fsps : public BatchRouter {
   static constexpr int kAutoShard = -1;
 
   /// Adds a processing node using the options template; returns its id.
+  /// Convenience wrapper over the Result overload (aborts on the errors
+  /// that overload reports; they are unreachable before Start()).
   NodeId AddNode();
   /// Adds a node with explicit options (heterogeneous capacities).
   NodeId AddNode(NodeOptions options);
@@ -106,7 +128,16 @@ class Fsps : public BatchRouter {
   /// topology-aware callers co-locate LAN clusters on one shard so only
   /// long WAN links cross shards and the epoch stays wide). `kAutoShard`
   /// round-robins node id over the shards.
-  NodeId AddNode(NodeOptions options, int shard);
+  ///
+  /// Before Start() this always succeeds. After Start() the node joins the
+  /// running federation: it starts immediately, its source link is queued
+  /// for the next RunFor boundary, and on a sharded engine the shard map
+  /// grows in place — which requires FspsOptions::elastic
+  /// (FailedPrecondition otherwise; the non-elastic sharded contract
+  /// freezes the node set at Start). InvalidArgument for an out-of-range
+  /// shard. Prefer staging joins on a TopologyPlan so they validate and
+  /// commit with the rest of a transition.
+  Result<NodeId> AddNode(NodeOptions options, int shard);
 
   Node* node(NodeId id);
   std::vector<NodeId> node_ids() const;
@@ -128,6 +159,8 @@ class Fsps : public BatchRouter {
   /// Current simulated time (all shards agree between RunFor calls).
   SimTime now() const { return engine_->now(); }
   Rng* rng() { return &rng_; }
+  /// The configuration this federation was built with (read-only).
+  const FspsOptions& options() const { return options_; }
 
   // --- query deployment -----------------------------------------------------
 
@@ -149,6 +182,14 @@ class Fsps : public BatchRouter {
 
   // --- dynamic topology (control plane; call between RunFor calls) ----------
 
+  /// Returns a fresh mutation batch against this federation. Stage ops on
+  /// it and commit with Apply(); see federation/topology_plan.h. This is
+  /// the control-plane entry point — the per-call methods below are
+  /// single-op shims kept for source compatibility.
+  TopologyPlan PlanTopology() { return TopologyPlan(this); }
+
+  /// DEPRECATED shim for PlanTopology().Crash(id).Apply().
+  ///
   /// Fails node `id`: its input buffer drains back to the batch pool,
   /// in-flight batches addressed to it die at ingress, and every fragment
   /// it hosted is re-placed onto live nodes (on the crashed node's
@@ -159,11 +200,15 @@ class Fsps : public BatchRouter {
   /// ids, FailedPrecondition if already crashed.
   Status CrashNode(NodeId id);
 
+  /// DEPRECATED shim for PlanTopology().Restore(id).Apply().
+  ///
   /// Rejoins a crashed node, empty: it accepts traffic and deployments
   /// again (fragments do not move back automatically). Errors: NotFound,
   /// FailedPrecondition if not crashed.
   Status RestoreNode(NodeId id);
 
+  /// DEPRECATED shim for PlanTopology().SetLinkLatency(a, b, l).Apply().
+  ///
   /// Queues a link-latency change ((a, b), both directions; kInvalidId is
   /// the source pseudo-node). The edit — and the re-derived epoch width on
   /// a sharded engine — takes effect at the next RunFor boundary, never
@@ -203,7 +248,30 @@ class Fsps : public BatchRouter {
                      const std::vector<Tuple>& results) override;
 
  private:
+  friend class TopologyPlan;
+
   std::unique_ptr<Shedder> MakeShedder();
+  /// Validates `plan`'s ops in order against a scratch topology (node
+  /// count + liveness), then commits them in order via the *Now internals.
+  /// See TopologyPlan for the atomicity contract.
+  Status ApplyPlan(const TopologyPlan& plan);
+  /// Validation half of ApplyPlan; mutates only the scratch vectors.
+  Status ValidatePlanOp(const TopologyPlan::Op& op,
+                        std::vector<char>* scratch_alive) const;
+  // Commit internals: the single-op bodies behind both TopologyPlan and the
+  // deprecated per-call shims. Preconditions were validated; the remaining
+  // Status returns are the commit-time checks (see topology_plan.h).
+  void CrashNodeNow(NodeId id);
+  void RestoreNodeNow(NodeId id);
+  void SetLinkLatencyNow(NodeId a, NodeId b, SimDuration latency);
+  NodeId AddNodeNow(NodeOptions node_options, int shard);
+  /// Elastic shard re-balance (TopologyPlan::Rebalance). Computes group
+  /// loads from the configured load signal, packs groups onto shards with
+  /// an LPT greedy (heaviest group first onto the least-loaded shard; ties
+  /// break by ascending id, so the map is a pure function of the loads),
+  /// checks the new map still admits a conservative schedule, then migrates
+  /// every entity whose shard changed and swaps the network's map in place.
+  Status RebalanceNow(const std::vector<int>& group_of_node);
   /// Estimated wire size of a batch (tuple payloads + the 10-byte header).
   static size_t BatchBytes(const Batch& b);
   /// Source-batch delivery with a placement lookup per batch, so sources
@@ -212,9 +280,10 @@ class Fsps : public BatchRouter {
   /// Moves query `q`'s fragments off `crashed` onto live nodes (same shard
   /// when sharded), or force-undeploys `q` when none exist.
   void ReplaceOrphans(QueryId q, NodeId crashed);
-  /// Overload signal of node `id` for the kSicAware re-placement chooser:
-  /// the SIC mass the node currently admits over the trailing STW, summed
-  /// over its hosted queries (0 for an idle or freshly restored node).
+  /// Overload signal of node `id` for the kSicAware re-placement chooser
+  /// and the re-balancer's group loads, per options_.load_signal: admitted
+  /// SIC mass over the trailing STW (kAcceptedSic) or offered load in
+  /// busy-us (kArrivalCost). 0 for an idle or freshly restored node.
   double NodeLoadSignal(NodeId id, SimTime now);
   /// Feeds the current per-query SICs into the recovery tracker (no-op at a
   /// repeated instant; only called when options_.recovery.enabled).

@@ -98,6 +98,16 @@ std::string ReplacementPolicyName(ReplacementPolicy policy) {
   return "?";
 }
 
+std::string LoadSignalName(LoadSignalKind kind) {
+  switch (kind) {
+    case LoadSignalKind::kAcceptedSic:
+      return "accepted-sic";
+    case LoadSignalKind::kArrivalCost:
+      return "arrival-cost";
+  }
+  return "?";
+}
+
 NodeId ChooseLeastLoaded(const std::vector<ReplacementCandidate>& candidates,
                          const std::set<NodeId>& occupied) {
   NodeId best = kInvalidId, best_any = kInvalidId;

@@ -56,6 +56,26 @@ enum class ReplacementPolicy {
 /// Policy name as printed in reports ("round-robin", "sic-aware").
 std::string ReplacementPolicyName(ReplacementPolicy policy);
 
+/// What per-node quantity feeds the kSicAware chooser (and the elastic
+/// re-balancer's group loads).
+enum class LoadSignalKind {
+  /// PR 5 behaviour, byte-for-byte: the SIC mass the node *admitted* over
+  /// the trailing STW. Backward-looking — a node that sheds hard reports a
+  /// low signal exactly because it is overloaded, so a crash wave can herd
+  /// orphans onto the most saturated host.
+  kAcceptedSic,
+  /// Forward-looking offered load: tuple arrival rate over the trailing STW
+  /// times the measured per-tuple cost, which already folds in the node's
+  /// cpu_speed (an estimate of the busy-microseconds the node's current
+  /// intake demands).
+  /// Measured at ingress, before admission control, so shedding cannot mask
+  /// overload. The elastic federation defaults to this.
+  kArrivalCost,
+};
+
+/// Signal name as printed in reports ("accepted-sic", "arrival-cost").
+std::string LoadSignalName(LoadSignalKind kind);
+
 /// One re-placement candidate: a live node and its overload signal
 /// (smaller = less loaded; the federation layer feeds accepted-SIC mass).
 struct ReplacementCandidate {

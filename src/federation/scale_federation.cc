@@ -41,7 +41,7 @@ std::unique_ptr<Fsps> MakeScaleFederation(const ScaleScenario& scenario,
     int cluster = scenario.cluster_of_node[n];
     int shard = static_cast<int>(static_cast<int64_t>(cluster) * shards /
                                  o.clusters);
-    fsps->AddNode(base.node, shard);
+    THEMIS_CHECK(fsps->AddNode(base.node, shard).ok());
   }
   // Intra-cluster links run at LAN latency (default covers the WAN pairs).
   for (int a = 0; a < o.nodes; ++a) {
@@ -91,6 +91,8 @@ bool ScaleDeployer::DeployQuery(const ScaleQuerySpec& spec) {
   co.dataset = options_.dataset;
   co.burst_prob = options_.burst_prob;
   co.burst_multiplier = options_.burst_multiplier;
+  co.diurnal_amplitude = options_.diurnal_amplitude;
+  co.diurnal_period = options_.diurnal_period;
   BuiltQuery built = factory_.MakeComplex(spec.kind, spec.id, co);
 
   std::map<FragmentId, NodeId> placement;

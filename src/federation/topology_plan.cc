@@ -1,0 +1,67 @@
+#include "federation/topology_plan.h"
+
+#include <utility>
+
+#include "federation/fsps.h"
+
+namespace themis {
+
+TopologyPlan::TopologyPlan(Fsps* fsps)
+    : fsps_(fsps), promised_nodes_(fsps->node_ids().size()) {}
+
+TopologyPlan& TopologyPlan::Crash(NodeId id) {
+  Op op;
+  op.kind = OpKind::kCrash;
+  op.a = id;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+TopologyPlan& TopologyPlan::Restore(NodeId id) {
+  Op op;
+  op.kind = OpKind::kRestore;
+  op.a = id;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+TopologyPlan& TopologyPlan::SetLinkLatency(NodeId a, NodeId b,
+                                           SimDuration latency) {
+  Op op;
+  op.kind = OpKind::kSetLink;
+  op.a = a;
+  op.b = b;
+  op.latency = latency;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+NodeId TopologyPlan::AddNode(NodeOptions options, int shard) {
+  Op op;
+  op.kind = OpKind::kAddNode;
+  op.node_options = options;
+  op.shard = shard;
+  ops_.push_back(std::move(op));
+  // The id is deterministic — node ids are dense and allocated in call
+  // order — so the builder can promise it before validation. If the plan
+  // never applies (or fails validation), the id is never allocated.
+  return static_cast<NodeId>(promised_nodes_++);
+}
+
+TopologyPlan& TopologyPlan::Rebalance(std::vector<int> group_of_node) {
+  Op op;
+  op.kind = OpKind::kRebalance;
+  op.group_of_node = std::move(group_of_node);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Status TopologyPlan::Apply() {
+  if (applied_) {
+    return Status::FailedPrecondition("topology plan already applied");
+  }
+  applied_ = true;
+  return fsps_->ApplyPlan(*this);
+}
+
+}  // namespace themis

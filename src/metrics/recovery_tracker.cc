@@ -33,6 +33,8 @@ std::string DisturbanceKindName(DisturbanceKind kind) {
       return "restore";
     case DisturbanceKind::kLinkChange:
       return "link-change";
+    case DisturbanceKind::kRebalance:
+      return "rebalance";
   }
   return "?";
 }

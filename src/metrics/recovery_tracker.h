@@ -83,6 +83,7 @@ enum class DisturbanceKind {
   kCrashWave,   ///< one or more CrashNode calls at the same instant
   kRestore,     ///< RestoreNode (rejoin churn also perturbs placement)
   kLinkChange,  ///< a batch of link-latency edits applied at a run boundary
+  kRebalance,   ///< an elastic shard re-balance migrated entities
 };
 
 std::string DisturbanceKindName(DisturbanceKind kind);

@@ -47,17 +47,43 @@ void Node::UnhostQuery(QueryId q) {
   hosted_fragments_.erase(q);
   query_sic_.erase(q);
   accepted_sic_.erase(q);
+  arrival_tuples_.erase(q);
   efficiency_.erase(q);
   stamper_.RemoveQuery(q);
   ib_.RemoveQuery(q);
+}
+
+void Node::ArmShedTimer(SimTime at) {
+  shed_timer_armed_ = true;
+  shed_next_at_ = at;
+  queue_->Schedule(at, [this, gen = generation_] { OnShedTimer(gen); });
 }
 
 void Node::Start() {
   if (started_) return;
   started_ = true;
   if (alive_) {
-    shed_timer_armed_ = true;
-    queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+    ArmShedTimer(queue_->now() + options_.shed_interval);
+  }
+}
+
+void Node::MigrateQueue(EventQueue* queue) {
+  if (queue == queue_) return;
+  queue_ = queue;
+  // Neuter every timer event still queued on the old shard, then re-arm the
+  // live chains here at their original deadlines: the tick sequence is the
+  // same as if the node had always lived on this shard.
+  ++generation_;
+  if (shed_timer_armed_) {
+    // Re-armed even while crashed: the pending pre-crash tick owns the
+    // armed flag, and its re-homed copy clears it exactly like the stale
+    // original would have (Restore then re-arms as usual).
+    queue_->Schedule(shed_next_at_,
+                     [this, gen = generation_] { OnShedTimer(gen); });
+  }
+  if (processing_scheduled_) {
+    queue_->Schedule(processing_at_,
+                     [this, gen = generation_] { ProcessNext(gen); });
   }
 }
 
@@ -74,8 +100,7 @@ void Node::Restore() {
   if (alive_) return;
   alive_ = true;
   if (started_ && !shed_timer_armed_) {
-    shed_timer_armed_ = true;
-    queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+    ArmShedTimer(queue_->now() + options_.shed_interval);
   }
 }
 
@@ -117,6 +142,18 @@ void Node::Receive(Batch batch) {
   // rate estimate for this (query, source) pair (§6 "SIC maintenance").
   stamper_.StampSourceBatch(&batch, now, hs->graph->num_sources());
 
+  // Offered-load accounting (before admission: shed tuples still count —
+  // the placement signal should see demand, not the shedder's verdict).
+  if (options_.track_arrivals) {
+    auto arr_it = arrival_tuples_.find(batch.header.query_id);
+    if (arr_it == arrival_tuples_.end()) {
+      arr_it = arrival_tuples_
+                   .emplace(batch.header.query_id, StwTracker(options_.stw))
+                   .first;
+    }
+    arr_it->second.AddResultSic(now, static_cast<double>(batch.size()));
+  }
+
   ib_.Push(std::move(batch));
   ScheduleProcessing();
 }
@@ -132,6 +169,25 @@ size_t Node::CurrentCapacity() const {
 double Node::AcceptedSic(QueryId q, SimTime now) {
   auto it = accepted_sic_.find(q);
   return it == accepted_sic_.end() ? 0.0 : it->second.tracker.QuerySic(now);
+}
+
+double Node::ArrivalTuplesStw(QueryId q, SimTime now) {
+  auto it = arrival_tuples_.find(q);
+  return it == arrival_tuples_.end() ? 0.0 : it->second.RawSum(now);
+}
+
+double Node::OfferedLoadUs(QueryId q, SimTime now) {
+  // PerTupleUs() is measured from interval busy time, which already folds
+  // in cpu_speed — the product is simulated processing-µs directly.
+  return ArrivalTuplesStw(q, now) * cost_model_.PerTupleUs();
+}
+
+double Node::OfferedLoadUs(SimTime now) {
+  double total = 0.0;
+  for (auto& [q, tracker] : arrival_tuples_) {
+    total += tracker.RawSum(now);
+  }
+  return total * cost_model_.PerTupleUs();
 }
 
 double Node::AcceptedSicTotal(QueryId q) const {
@@ -156,10 +212,12 @@ void Node::ScheduleProcessing() {
   if (processing_scheduled_ || ib_.empty()) return;
   processing_scheduled_ = true;
   SimTime at = std::max(queue_->now(), busy_until_);
-  queue_->Schedule(at, [this] { ProcessNext(); });
+  processing_at_ = at;
+  queue_->Schedule(at, [this, gen = generation_] { ProcessNext(gen); });
 }
 
-void Node::ProcessNext() {
+void Node::ProcessNext(uint64_t gen) {
+  if (gen != generation_) return;  // stale event from before a migration
   processing_scheduled_ = false;
   SimTime now = queue_->now();
   if (now < busy_until_) {
@@ -269,7 +327,8 @@ Batch Node::BuildBatch(QueryId query, OperatorId op, int port, SimTime created,
   return b;
 }
 
-void Node::OnShedTimer() {
+void Node::OnShedTimer(uint64_t gen) {
+  if (gen != generation_) return;  // stale event from before a migration
   if (!alive_) {
     // Crashed between ticks: let the timer chain die (Restore re-arms it).
     shed_timer_armed_ = false;
@@ -334,7 +393,7 @@ void Node::OnShedTimer() {
     }
   }
 
-  queue_->ScheduleAfter(options_.shed_interval, [this] { OnShedTimer(); });
+  ArmShedTimer(now + options_.shed_interval);
 }
 
 }  // namespace themis

@@ -52,6 +52,12 @@ struct NodeOptions {
   /// §6 local projection of result SIC in the shedder (see BalanceSicOptions;
   /// also exposed here so FSPS presets can toggle it globally).
   bool project_local_shedding = true;
+  /// Track per-query tuple arrival rates at ingress (feeds OfferedLoadUs —
+  /// the forward-looking placement/autoscaler signal). Off by default: the
+  /// tracker allocates on the data-plane hot path, and the historical
+  /// benches pin allocs/tuple. Fsps enables it when the configured load
+  /// signal (or elastic mode) needs it.
+  bool track_arrivals = false;
 };
 
 /// Per-node counters exposed to experiments and tests.
@@ -87,6 +93,15 @@ class Node {
 
   /// Starts the periodic overload-detector/shedder timer.
   void Start();
+
+  /// Moves the node to another shard's event queue (elastic re-balance; see
+  /// Engine::EnableElastic for the protocol). Only legal between engine
+  /// runs. Live timer chains (shed timer, pending processing event) re-arm
+  /// on the new queue at their original deadlines — the phase is kept —
+  /// and the events still queued on the old shard are neutered by a
+  /// generation bump, so they no-op when that shard fires them.
+  void MigrateQueue(EventQueue* queue);
+  EventQueue* queue() const { return queue_; }
 
   /// Simulates a node failure: every buffered batch drains back to the
   /// batch pool, further arrivals are dropped at ingress (in-flight batches
@@ -125,6 +140,17 @@ class Node {
   /// SIC mass accepted for processing for query `q` over the trailing STW
   /// (diagnostics; the shedder sees this scaled by the efficiency estimate).
   double AcceptedSic(QueryId q, SimTime now);
+  /// Tuples that arrived for query `q` over the trailing STW — the *offered*
+  /// load, counted at ingress before admission or shedding (so an overloaded
+  /// node's signal reflects demand, not what survived the shedder). 0 for
+  /// unknown queries and while crashed (a dead node observes nothing).
+  double ArrivalTuplesStw(QueryId q, SimTime now);
+  /// Forward-looking load signal (LoadSignalKind::kArrivalCost): the work in
+  /// simulated µs the trailing-STW arrival mass of query `q` implies at the
+  /// measured per-tuple cost (which already reflects this node's CPU speed).
+  double OfferedLoadUs(QueryId q, SimTime now);
+  /// OfferedLoadUs summed over every query with recent arrivals.
+  double OfferedLoadUs(SimTime now);
   /// Cumulative SIC mass admitted for query `q` since the node started.
   /// Used by the server oracle tests/bench to compare the live runtime
   /// against this discrete-event execution.
@@ -134,7 +160,12 @@ class Node {
 
  private:
   void ScheduleProcessing();
-  void ProcessNext();
+  /// `gen` guards against stale events after MigrateQueue: an event armed
+  /// before a migration carries the old generation and must no-op — it may
+  /// fire on the *old* shard's worker thread, so it must return after the
+  /// generation check without touching any other member (generations are
+  /// only written between runs, making the check itself race-free).
+  void ProcessNext(uint64_t gen);
   /// Executes one admitted batch through the hosted part of its query graph.
   /// Returns the simulated work in microseconds.
   double ExecuteBatch(const Batch& batch);
@@ -166,7 +197,9 @@ class Node {
   /// Builds a pooled batch addressed to `(query, op, port)` from `tuples`.
   Batch BuildBatch(QueryId query, OperatorId op, int port, SimTime created,
                    const std::vector<Tuple>& tuples);
-  void OnShedTimer();
+  void OnShedTimer(uint64_t gen);
+  /// Arms the shed-timer tick at `at` on the current queue.
+  void ArmShedTimer(SimTime at);
   SimTime Watermark() const;
 
   NodeId id_;
@@ -210,6 +243,9 @@ class Node {
     uint64_t total_tuples = 0;
   };
   std::map<QueryId, AcceptedAccount> accepted_sic_;
+  // Trailing-STW arrival (offered-load) mass per query, fed at ingress
+  // before admission; the arrival-rate x cost placement signal reads it.
+  std::map<QueryId, StwTracker> arrival_tuples_;
   std::map<QueryId, Ewma> efficiency_;
   // Reused per shed tick; indexed by QueryId (see ShedContext).
   std::vector<double> accepted_snapshot_;
@@ -223,6 +259,12 @@ class Node {
   // itself while crashed, and Restore() must not start a second chain when
   // the last pre-crash tick is still queued.
   bool shed_timer_armed_ = false;
+  // Elastic migration state: the generation stamps every armed timer event;
+  // MigrateQueue bumps it (neutering events left on the old queue) and
+  // re-arms live chains at these recorded deadlines, preserving phase.
+  uint64_t generation_ = 0;
+  SimTime shed_next_at_ = 0;
+  SimTime processing_at_ = 0;
 
   // Cost-model interval accounting.
   uint64_t interval_tuples_ = 0;

@@ -42,8 +42,12 @@ void ParallelEngine::EnqueueRemote(int from_shard, int to_shard,
   // a shard runs straight to the target and a remote delivery inside that
   // stretch would be missed. Fsps derives the lookahead from the topology
   // whenever any node pair crosses shards, so this firing means a
-  // zero-latency cross-shard link (or a bypassed Fsps::Start).
-  THEMIS_CHECK(lookahead_ > 0);
+  // zero-latency cross-shard link (or a bypassed Fsps::Start). Exception:
+  // on an elastic engine a stale re-forward (a delivery whose destination
+  // migrated while it was in flight) may arrive after a re-balance removed
+  // the last cross-shard link; it merges at the end of the current stretch
+  // and runs in the next one — late, but deterministic.
+  THEMIS_CHECK(lookahead_ > 0 || elastic_);
   rings_[static_cast<size_t>(from_shard) * queues_.size() + to_shard]
       .items.push_back({deliver_time, std::move(cb)});
 }

@@ -53,6 +53,12 @@ class ParallelEngine : public Engine, public CrossShardSink {
   }
   SimDuration lookahead() const override { return lookahead_; }
 
+  /// Elastic mode (see Engine::EnableElastic): the shard map may change
+  /// between runs, so EnqueueRemote accepts stale re-forwards even when the
+  /// current topology has no cross-shard link (lookahead <= 0) — they merge
+  /// at the end of the stretch and run in the next stretch.
+  void EnableElastic() override { elastic_ = true; }
+
   void RunUntil(SimTime t) override;
   SimTime now() const override { return now_; }
   uint64_t executed() const override;
@@ -90,6 +96,7 @@ class ParallelEngine : public Engine, public CrossShardSink {
   std::vector<MergeScratch> scratch_;
   SimDuration lookahead_ = -1;
   SimTime now_ = 0;
+  bool elastic_ = false;
 };
 
 }  // namespace themis

@@ -84,6 +84,30 @@ class Engine {
   /// Current lookahead (epoch width); -1 on engines without one.
   virtual SimDuration lookahead() const { return -1; }
 
+  /// Declares that the node->shard map may change between runs (elastic
+  /// federation). Call before the first RunUntil. The migration protocol —
+  /// every step happens between RunUntil calls, where all shard clocks are
+  /// equal and the cross-shard inbox rings are provably empty (the final
+  /// epoch's merge runs before RunUntil returns):
+  ///   1. Entities re-point their timer chains at the new shard's queue,
+  ///      bumping a generation counter so events still queued on the old
+  ///      shard no-op when they fire there (generations are only written
+  ///      between runs, so worker-thread reads are race-free).
+  ///   2. The Network's shard map is swapped in place (jitter lanes and
+  ///      traffic counters stay with their shards).
+  ///   3. In-flight deliveries scheduled before the re-balance fire on the
+  ///      shard that held the destination at send time; the Network's
+  ///      elastic trampoline re-forwards them through EnqueueRemote to the
+  ///      destination's current shard, where they land at the next epoch
+  ///      barrier. On an elastic engine EnqueueRemote therefore tolerates
+  ///      lookahead <= 0 (a re-forward may outlive the last cross-shard
+  ///      link); such stragglers merge at the end of the stretch instead.
+  /// Re-forwarded deliveries land up to one epoch late, so elastic runs at
+  /// different shard counts may diverge from each other — run-to-run
+  /// determinism at a fixed shard count and sequential == parsim@1 are
+  /// still exact (a one-shard map never changes).
+  virtual void EnableElastic() {}
+
   /// Cross-shard message sink, or nullptr for engines without one.
   virtual CrossShardSink* sink() { return nullptr; }
 

@@ -109,6 +109,30 @@ void Network::InstallShardPlan(ShardPlan plan) {
   }
 }
 
+void Network::UpdateShardMap(std::vector<int> shard_of_node) {
+  THEMIS_CHECK(sharded_);
+  plan_.shard_of_node = std::move(shard_of_node);
+}
+
+UniqueFunction Network::WrapElastic(NodeId to, int via_shard,
+                                    UniqueFunction inner) {
+  return UniqueFunction(
+      [this, to, via_shard, inner = std::move(inner)]() mutable {
+        int cur = plan_.ShardOf(to);
+        if (cur == via_shard || plan_.sink == nullptr) {
+          inner();
+          return;
+        }
+        // The destination migrated while this delivery was in flight:
+        // re-forward it (re-wrapped, in case it migrates again) to its
+        // current shard. It merges at the next epoch barrier and fires
+        // there — up to one epoch late, deterministically.
+        SimTime now = plan_.queues[via_shard]->now();
+        plan_.sink->EnqueueRemote(via_shard, cur, now,
+                                  WrapElastic(to, cur, std::move(inner)));
+      });
+}
+
 uint64_t Network::messages_sent() const {
   uint64_t total = 0;
   for (const Lane& lane : lanes_) total += lane.messages;
@@ -140,6 +164,11 @@ void Network::Send(NodeId from, NodeId to, size_t payload_bytes,
   EventQueue* src_queue = plan_.queues[shard];
   SimTime deliver = src_queue->now() + std::max<SimDuration>(lat, 0);
   int dest_shard = plan_.ShardOf(to);
+  if (elastic_) {
+    // The destination may migrate before `deliver`; the wrapper re-checks
+    // its shard at fire time and re-forwards if it moved.
+    on_delivery = WrapElastic(to, dest_shard, std::move(on_delivery));
+  }
   if (dest_shard == shard || plan_.sink == nullptr) {
     plan_.queues[dest_shard]->Schedule(deliver, std::move(on_delivery));
   } else {

@@ -99,6 +99,21 @@ class Network {
   /// queues replace the constructor queue; call before the first event runs.
   void InstallShardPlan(ShardPlan plan);
 
+  /// Replaces the node->shard map of the installed plan in place — the
+  /// elastic re-balance path. Unlike InstallShardPlan it keeps the per-shard
+  /// lanes (jitter RNG streams and traffic counters stay with their shards),
+  /// so a re-balance never rewinds or reseeds a jitter stream. Only legal
+  /// between engine runs, with a plan installed.
+  void UpdateShardMap(std::vector<int> shard_of_node);
+
+  /// Elastic mode: every sharded delivery is wrapped so that a message in
+  /// flight across a re-balance boundary — scheduled on the shard that held
+  /// its destination at send time — re-forwards itself to the destination's
+  /// current shard instead of firing on the stale one (see
+  /// Engine::EnableElastic for the protocol). Call before the first send;
+  /// adds one wrapper per message, so it is opt-in.
+  void EnableElastic() { elastic_ = true; }
+
   /// Delivers `on_delivery` at the destination after the link latency.
   /// `payload_bytes` only feeds the traffic statistics. The callback may own
   /// its payload (move-only): batches move through the network, not copy.
@@ -123,6 +138,11 @@ class Network {
     NodeId b;
     SimDuration latency;
   };
+
+  /// Wraps a sharded delivery callback for elastic mode: fires `inner` if
+  /// the destination still lives on `via_shard`, else re-forwards it (re-
+  /// wrapped) to the destination's current shard through the sink.
+  UniqueFunction WrapElastic(NodeId to, int via_shard, UniqueFunction inner);
 
   /// Grows the matrix to cover ids up to `need - 2` (index dimension
   /// `need`), preserving existing overrides.
@@ -150,6 +170,7 @@ class Network {
   std::vector<Lane> lanes_;
   ShardPlan plan_;
   bool sharded_ = false;
+  bool elastic_ = false;
 };
 
 }  // namespace themis

@@ -54,6 +54,12 @@ struct ScaleScenarioOptions {
   /// scenario raises it so load spikes land on partially failed clusters.
   double burst_prob = 0.0;
   double burst_multiplier = 10.0;
+  /// Diurnal modulation of every source (see SourceModel): a triangle wave
+  /// scaling the base rate in [1 - amplitude, 1 + amplitude]. 0 (default)
+  /// keeps constant-rate streams byte-identical; the elastic scenario raises
+  /// it so the autoscaler has a slow load swing to track under bursts.
+  double diurnal_amplitude = 0.0;
+  SimDuration diurnal_period = Seconds(60);
 
   /// Aggregate-load / cluster-capacity target once all queries arrived
   /// (>1 = permanent overload; shedding decisions are exercised).

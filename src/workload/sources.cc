@@ -27,13 +27,28 @@ SourceDriver::SourceDriver(SourceId source, QueryId query, OperatorId target_op,
       std::llround(std::max(model_.tuples_per_sec / bps, 1.0)));
 }
 
+void SourceDriver::ArmGenerate(SimTime at) {
+  next_generate_at_ = at;
+  queue_->Schedule(at, [this, gen = generation_] { GenerateBatch(gen); });
+}
+
 void SourceDriver::Start() {
   if (started_) return;
   started_ = true;
   // Stagger the first emission so sources do not fire in lockstep.
   SimDuration offset =
       static_cast<SimDuration>(rng_.UniformInt(0, period_ - 1));
-  queue_->ScheduleAfter(offset, [this] { GenerateBatch(); });
+  ArmGenerate(queue_->now() + offset);
+}
+
+void SourceDriver::Rehome(EventQueue* queue, BatchPool* pool) {
+  pool_ = pool;  // cross-pool Release is fine: batches recycle where they land
+  if (queue == queue_) return;
+  queue_ = queue;
+  ++generation_;  // neuter the emission still queued on the old shard
+  if (started_ && !stopped_) {
+    ArmGenerate(next_generate_at_);
+  }
 }
 
 size_t SourceDriver::CurrentBatchSize() {
@@ -44,13 +59,33 @@ size_t SourceDriver::CurrentBatchSize() {
       bursting_ = rng_.Bernoulli(model_.burst_prob);
     }
   }
-  if (!bursting_) return base_batch_size_;  // precomputed constant rate
+  // Diurnal factor: a pure-integer-phase triangle wave in
+  // [1 - amplitude, 1 + amplitude] (phase 0 -> trough, period/2 -> peak).
+  // 1.0 exactly when the knob is off, so the historical arithmetic below is
+  // untouched byte-for-byte.
+  double diurnal = 1.0;
+  if (model_.diurnal_amplitude > 0.0 && model_.diurnal_period > 0) {
+    SimTime phase = queue_->now() % model_.diurnal_period;
+    SimTime half = model_.diurnal_period / 2;
+    double tri = phase <= half
+                     ? -1.0 + 2.0 * static_cast<double>(phase) /
+                                  static_cast<double>(half)
+                     : 1.0 - 2.0 * static_cast<double>(phase - half) /
+                                 static_cast<double>(half);
+    diurnal = 1.0 + model_.diurnal_amplitude * tri;
+  }
+  if (!bursting_) {
+    if (diurnal == 1.0) return base_batch_size_;  // precomputed constant rate
+    double scaled = static_cast<double>(base_batch_size_) * diurnal;
+    return static_cast<size_t>(std::llround(std::max(scaled, 1.0)));
+  }
   double per_batch = model_.tuples_per_sec * model_.burst_multiplier /
-                     std::max(model_.batches_per_sec, 1);
+                     std::max(model_.batches_per_sec, 1) * diurnal;
   return static_cast<size_t>(std::llround(std::max(per_batch, 1.0)));
 }
 
-void SourceDriver::GenerateBatch() {
+void SourceDriver::GenerateBatch(uint64_t gen) {
+  if (gen != generation_) return;  // stale event from before a re-homing
   if (stopped_) return;
   SimTime now = queue_->now();
   size_t n = CurrentBatchSize();
@@ -77,7 +112,7 @@ void SourceDriver::GenerateBatch() {
   b.RefreshHeaderSic();
   deliver_(std::move(b));
 
-  queue_->ScheduleAfter(period_, [this] { GenerateBatch(); });
+  ArmGenerate(queue_->now() + period_);
 }
 
 }  // namespace themis

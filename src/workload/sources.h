@@ -35,6 +35,14 @@ struct SourceModel {
   /// `burst_multiplier` times the base rate.
   double burst_prob = 0.0;
   double burst_multiplier = 10.0;
+  /// Diurnal rate modulation: the base rate is scaled by a triangle wave in
+  /// [1 - amplitude, 1 + amplitude] of period `diurnal_period` (a pure-
+  /// integer waveform, bit-identical across platforms — same idea as the
+  /// churn scenario's latency drift). 0 (default) leaves the constant-rate
+  /// path untouched, byte-for-byte. Bursts multiply on top, so a burst at
+  /// the diurnal peak is the autoscaler's worst case.
+  double diurnal_amplitude = 0.0;
+  SimDuration diurnal_period = Seconds(60);
 };
 
 /// \brief Event-driven batch generator for one source.
@@ -56,12 +64,27 @@ class SourceDriver {
   void Stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
+  /// Moves the driver to another shard's queue and batch pool (elastic
+  /// re-balance: a driver follows its destination node's shard so its
+  /// deliveries stay shard-local). Only legal between engine runs. The
+  /// generation chain re-arms on the new queue at its original deadline —
+  /// the emission schedule is unchanged — and the event left on the old
+  /// queue is neutered by a generation bump.
+  void Rehome(EventQueue* queue, BatchPool* pool);
+  EventQueue* queue() const { return queue_; }
+
   SourceId source_id() const { return source_; }
   QueryId query_id() const { return query_; }
+  OperatorId target_op() const { return target_op_; }
   uint64_t tuples_generated() const { return tuples_generated_; }
 
  private:
-  void GenerateBatch();
+  /// `gen` guards against stale events after Rehome: an emission armed
+  /// before a migration may fire on the old shard's thread and must return
+  /// after the generation check without touching other members.
+  void GenerateBatch(uint64_t gen);
+  /// Arms the next emission at `at` on the current queue.
+  void ArmGenerate(SimTime at);
   size_t CurrentBatchSize();
 
   SourceId source_;
@@ -82,6 +105,9 @@ class SourceDriver {
   uint64_t tuples_generated_ = 0;
   bool started_ = false;
   bool stopped_ = false;
+  // Elastic migration state (see Node's counterpart).
+  uint64_t generation_ = 0;
+  SimTime next_generate_at_ = 0;
 };
 
 }  // namespace themis

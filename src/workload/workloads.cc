@@ -119,6 +119,8 @@ BuiltQuery WorkloadFactory::MakeAvgAll(QueryId q,
       model.dataset = opts.dataset;
       model.burst_prob = opts.burst_prob;
       model.burst_multiplier = opts.burst_multiplier;
+      model.diurnal_amplitude = opts.diurnal_amplitude;
+      model.diurnal_period = opts.diurnal_period;
       built.sources[src] = model;
     }
   }
@@ -201,6 +203,8 @@ BuiltQuery WorkloadFactory::MakeTop5(QueryId q,
       cpu_model.batches_per_sec = opts.batches_per_sec;
       cpu_model.burst_prob = opts.burst_prob;
       cpu_model.burst_multiplier = opts.burst_multiplier;
+      cpu_model.diurnal_amplitude = opts.diurnal_amplitude;
+      cpu_model.diurnal_period = opts.diurnal_period;
       cpu_model.payload = IdValuePayload(monitored, cpu_gen);
       built.sources[cpu_src] = cpu_model;
 
@@ -253,6 +257,8 @@ BuiltQuery WorkloadFactory::MakeCov(QueryId q,
     model.dataset = opts.dataset;
     model.burst_prob = opts.burst_prob;
     model.burst_multiplier = opts.burst_multiplier;
+    model.diurnal_amplitude = opts.diurnal_amplitude;
+    model.diurnal_period = opts.diurnal_period;
     SourceId s1 = AllocateSourceId();
     SourceId s2 = AllocateSourceId();
     built.sources[s1] = model;

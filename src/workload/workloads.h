@@ -50,6 +50,9 @@ struct ComplexQueryOptions {
   int batches_per_sec = 3;
   double burst_prob = 0.0;              ///< §7.4 burstiness
   double burst_multiplier = 10.0;
+  /// Diurnal modulation of every source (see SourceModel); 0 = off.
+  double diurnal_amplitude = 0.0;
+  SimDuration diurnal_period = Seconds(60);
   size_t top_k = 5;
   double mem_threshold_kb = 100000.0;   ///< TOP-5 `mem.free >= 100,000`
 };

@@ -183,7 +183,7 @@ class ShardedChurnTest : public ::testing::Test {
     opts.default_link_latency = Millis(50);
     fsps_ = std::make_unique<Fsps>(opts);
     for (int i = 0; i < 4; ++i) {
-      nodes_.push_back(fsps_->AddNode(opts.node, i / 2));  // 0,1 | 2,3
+      nodes_.push_back(*fsps_->AddNode(opts.node, i / 2));  // 0,1 | 2,3
     }
   }
 

@@ -1,0 +1,306 @@
+// Elastic-federation tests: shard re-balancing mid-churn (entity migration
+// with traffic in flight), the TopologyPlan control plane's validate-then-
+// commit contract, mid-run AddNode on a started sharded engine, the
+// autoscaler loop, and the determinism contract across re-balances —
+// sequential == parsim@1 byte-for-byte, and bit-identical run-to-run at
+// every shard count. The ASan/TSan jobs cover this file: migration moves
+// live timer chains, inbox rings and pooled batches between shards.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "federation/elastic_federation.h"
+#include "federation/fsps.h"
+#include "workload/workloads.h"
+
+namespace themis {
+namespace {
+
+// --- control-plane fixture ----------------------------------------------
+//
+// Three nodes on two shards (0,1 | 2) over 50 ms links: crashing node 2
+// empties shard 1 of live nodes, the canonical starvation shape.
+class ElasticShardTest : public ::testing::Test {
+ protected:
+  ElasticShardTest() : factory_(9) {
+    FspsOptions opts;
+    opts.seed = 77;
+    opts.shards = 2;
+    opts.elastic = true;
+    opts.default_link_latency = Millis(50);
+    opts.source_link_latency = Millis(50);
+    options_ = opts;
+    fsps_ = std::make_unique<Fsps>(opts);
+    nodes_.push_back(fsps_->AddNode());                  // shard 0
+    nodes_.push_back(fsps_->AddNode());                  // shard 0
+    nodes_.push_back(*fsps_->AddNode(opts.node, 1));     // shard 1
+  }
+
+  // Two-fragment COV query on shard-0 nodes (survives a shard-1 crash).
+  Status DeployCov(QueryId q) {
+    ComplexQueryOptions co;
+    co.fragments = 2;
+    co.source_rate = 50;
+    BuiltQuery built = factory_.MakeCov(q, co);
+    std::map<FragmentId, NodeId> placement = {{0, nodes_[0]}, {1, nodes_[1]}};
+    THEMIS_RETURN_NOT_OK(fsps_->Deploy(std::move(built.graph), placement));
+    return fsps_->AttachSources(q, built.sources);
+  }
+
+  WorkloadFactory factory_;
+  FspsOptions options_;
+  std::unique_ptr<Fsps> fsps_;
+  std::vector<NodeId> nodes_;
+};
+
+TEST_F(ElasticShardTest, PlanValidatesAsAWholeAndCommitsNothingOnError) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(1));
+  // Crash is staged before the invalid op, but the plan validates as a
+  // whole: nothing commits, node 2 stays alive.
+  Status s = fsps_->PlanTopology()
+                 .Crash(nodes_[2])
+                 .SetLinkLatency(nodes_[0], nodes_[0], Millis(5))
+                 .Apply();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_TRUE(fsps_->node_alive(nodes_[2]));
+  EXPECT_EQ(fsps_->churn_stats().crashes, 0u);
+}
+
+TEST_F(ElasticShardTest, PlanValidatesAgainstStagedStateNotCurrentState) {
+  // Crash + restore of the same node in one plan: the restore is valid
+  // only against the staged (post-crash) liveness, and both commit.
+  ASSERT_TRUE(
+      fsps_->PlanTopology().Crash(nodes_[2]).Restore(nodes_[2]).Apply().ok());
+  EXPECT_TRUE(fsps_->node_alive(nodes_[2]));
+  EXPECT_EQ(fsps_->churn_stats().crashes, 1u);
+  EXPECT_EQ(fsps_->churn_stats().restores, 1u);
+  // A double crash inside one plan is caught up front.
+  Status s = fsps_->PlanTopology().Crash(nodes_[2]).Crash(nodes_[2]).Apply();
+  EXPECT_TRUE(s.IsFailedPrecondition());
+  EXPECT_TRUE(fsps_->node_alive(nodes_[2]));
+}
+
+TEST_F(ElasticShardTest, PlanRejectsDoubleApply) {
+  TopologyPlan plan = fsps_->PlanTopology();
+  plan.SetLinkLatency(nodes_[0], nodes_[1], Millis(20));
+  ASSERT_TRUE(plan.Apply().ok());
+  EXPECT_TRUE(plan.Apply().IsFailedPrecondition());
+}
+
+TEST_F(ElasticShardTest, PlannedAddNodeIdIsUsableWithinTheSamePlan) {
+  fsps_->RunFor(Seconds(1));
+  TopologyPlan plan = fsps_->PlanTopology();
+  NodeId id = plan.AddNode(options_.node, 1);
+  EXPECT_EQ(id, static_cast<NodeId>(nodes_.size()));
+  plan.SetLinkLatency(id, nodes_[2], Millis(5));
+  ASSERT_TRUE(plan.Apply().ok());
+  EXPECT_TRUE(fsps_->node_alive(id));
+  EXPECT_EQ(fsps_->shard_of(id), 1);
+  EXPECT_EQ(fsps_->churn_stats().nodes_added, 1u);
+  // The queued link edit lands at the next boundary, like any other edit.
+  fsps_->RunFor(Seconds(1));
+  EXPECT_EQ(fsps_->network()->Latency(id, nodes_[2]), Millis(5));
+}
+
+TEST_F(ElasticShardTest, RebalanceValidatesGroupsAndEpochWidth) {
+  // Before Start() there is nothing to re-balance.
+  EXPECT_TRUE(fsps_->PlanTopology().Rebalance().Apply().IsFailedPrecondition());
+  ASSERT_TRUE(DeployCov(1).ok());
+  fsps_->RunFor(Seconds(2));
+  // Wrong group-map size.
+  EXPECT_TRUE(fsps_->PlanTopology()
+                  .Rebalance({0, 1})
+                  .Apply()
+                  .IsInvalidArgument());
+  // A single group would leave no cross-shard links (lookahead undefined).
+  EXPECT_TRUE(fsps_->PlanTopology()
+                  .Rebalance({0, 0, 0})
+                  .Apply()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ElasticShardTest, StarvedShardRebalancesBackToBothShards) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  ASSERT_TRUE(DeployCov(2).ok());
+  fsps_->RunFor(Millis(5130));  // mid-interval: traffic strictly in flight
+
+  // Crash the only shard-1 node: every live entity now sits on shard 0 and
+  // the parallel engine runs effectively single-shard.
+  ASSERT_TRUE(fsps_->PlanTopology().Crash(nodes_[2]).Apply().ok());
+  uint64_t results_before = fsps_->coordinator(1)->result_tuples() +
+                            fsps_->coordinator(2)->result_tuples();
+
+  // Re-balance with per-node groups: the two live (loaded) nodes must land
+  // on different shards — parallelism restored, dead node wherever.
+  ASSERT_TRUE(fsps_->PlanTopology().Rebalance().Apply().ok());
+  EXPECT_EQ(fsps_->churn_stats().rebalances, 1u);
+  EXPECT_GE(fsps_->churn_stats().migrated_nodes, 1u);
+  EXPECT_NE(fsps_->shard_of(nodes_[0]), fsps_->shard_of(nodes_[1]));
+
+  // The migrated node keeps producing: queries survive with phase intact,
+  // in-flight deliveries re-forward to the new shard, nothing is lost.
+  fsps_->RunFor(Seconds(10));
+  EXPECT_GT(fsps_->coordinator(1)->result_tuples() +
+                fsps_->coordinator(2)->result_tuples(),
+            results_before);
+  EXPECT_GT(fsps_->QuerySic(1), 0.0);
+  EXPECT_GT(fsps_->QuerySic(2), 0.0);
+}
+
+TEST_F(ElasticShardTest, MidChurnRebalancePreservesConservationAndLiveness) {
+  ASSERT_TRUE(DeployCov(1).ok());
+  ASSERT_TRUE(DeployCov(2).ok());
+  fsps_->RunFor(Millis(5130));
+
+  // Crash + re-balance in one plan, with deliveries in flight.
+  ASSERT_TRUE(fsps_->PlanTopology().Crash(nodes_[2]).Rebalance().Apply().ok());
+  fsps_->RunFor(Seconds(5));
+  // Restore + re-balance again: the revived node re-enters the map.
+  ASSERT_TRUE(
+      fsps_->PlanTopology().Restore(nodes_[2]).Rebalance().Apply().ok());
+  fsps_->RunFor(Seconds(10));
+
+  EXPECT_EQ(fsps_->churn_stats().rebalances, 2u);
+  EXPECT_EQ(fsps_->live_node_ids().size(), 3u);
+  // Conservation: every tuple a node accepted was either processed or
+  // shed; the remainder is still buffered, never silently lost.
+  NodeStats stats = fsps_->TotalNodeStats();
+  EXPECT_GE(stats.tuples_received,
+            stats.tuples_processed + stats.tuples_shed);
+  EXPECT_GT(stats.tuples_processed, 0u);
+  EXPECT_GT(fsps_->QuerySic(1), 0.0);
+  EXPECT_GT(fsps_->QuerySic(2), 0.0);
+}
+
+TEST_F(ElasticShardTest, RebalanceRequiresElasticOnShardedEngine) {
+  FspsOptions opts = options_;
+  opts.elastic = false;
+  Fsps rigid(opts);
+  rigid.AddNode();
+  rigid.AddNode(opts.node, 1);
+  rigid.RunFor(Seconds(1));
+  EXPECT_TRUE(rigid.PlanTopology().Rebalance().Apply().IsFailedPrecondition());
+}
+
+// --- scenario-level determinism -----------------------------------------
+
+ElasticScenarioOptions SmallElasticOptions() {
+  ElasticScenarioOptions eo;
+  eo.churn.scale.nodes = 16;
+  eo.churn.scale.clusters = 8;
+  eo.churn.scale.queries = 12;
+  eo.churn.scale.arrival_wave = 4;
+  eo.churn.churn_horizon = Seconds(20);
+  eo.churn.crashes_per_wave = 1;
+  eo.diurnal_period = Seconds(8);
+  eo.autoscaler.max_added_nodes = 8;
+  return eo;
+}
+
+// Serialises every deterministic field of an elastic run.
+std::string Digest(const ElasticRunResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "recv=%llu proc=%llu shed=%llu msg=%llu ev=%llu crash=%llu rest=%llu "
+      "lat=%llu repl=%llu dropq=%llu skip=%llu dead=%llu added=%llu "
+      "rebal=%llu migr=%llu ticks=%llu grow=%llu shrink=%llu asadd=%llu "
+      "asrest=%llu asdecom=%llu live=%d util=%.17g sic=%.17g jain=%.17g",
+      static_cast<unsigned long long>(r.churn.scale.tuples_received),
+      static_cast<unsigned long long>(r.churn.scale.tuples_processed),
+      static_cast<unsigned long long>(r.churn.scale.tuples_shed),
+      static_cast<unsigned long long>(r.churn.scale.messages),
+      static_cast<unsigned long long>(r.churn.scale.events),
+      static_cast<unsigned long long>(r.churn.crashes),
+      static_cast<unsigned long long>(r.churn.restores),
+      static_cast<unsigned long long>(r.churn.latency_updates),
+      static_cast<unsigned long long>(r.churn.replaced_fragments),
+      static_cast<unsigned long long>(r.churn.dropped_queries),
+      static_cast<unsigned long long>(r.churn.skipped_arrivals),
+      static_cast<unsigned long long>(r.churn.tuples_dropped_dead),
+      static_cast<unsigned long long>(r.nodes_added),
+      static_cast<unsigned long long>(r.rebalances),
+      static_cast<unsigned long long>(r.migrated_nodes),
+      static_cast<unsigned long long>(r.autoscaler.ticks),
+      static_cast<unsigned long long>(r.autoscaler.grow_actions),
+      static_cast<unsigned long long>(r.autoscaler.shrink_actions),
+      static_cast<unsigned long long>(r.autoscaler.nodes_added),
+      static_cast<unsigned long long>(r.autoscaler.nodes_restored),
+      static_cast<unsigned long long>(r.autoscaler.nodes_decommissioned),
+      r.final_live_nodes, r.final_utilization, r.churn.scale.mean_sic,
+      r.churn.scale.jain);
+  std::string out = buf;
+  for (double sic : r.churn.scale.final_sics) {
+    std::snprintf(buf, sizeof(buf), " %.17g", sic);
+    out += buf;
+  }
+  return out;
+}
+
+ElasticRunResult RunOnce(const ElasticScenario& scenario, int shards,
+                         bool force_parsim) {
+  FspsOptions fo;
+  fo.shards = shards;
+  fo.force_parsim_engine = force_parsim;
+  auto fsps = MakeElasticFederation(scenario, fo);
+  return RunElasticScenario(fsps.get(), scenario, Seconds(5));
+}
+
+TEST(ElasticScenarioTest, SequentialMatchesParsimAtOneShardAcrossRebalance) {
+  ElasticScenario scenario = MakeElasticScenario(SmallElasticOptions());
+  ElasticRunResult seq = RunOnce(scenario, 1, false);
+  ElasticRunResult par = RunOnce(scenario, 1, true);
+  EXPECT_EQ(Digest(seq), Digest(par));
+}
+
+TEST(ElasticScenarioTest, RunToRunDigestIdentityAtEveryShardCount) {
+  ElasticScenario scenario = MakeElasticScenario(SmallElasticOptions());
+  for (int shards : {1, 4, 8}) {
+    ElasticRunResult a = RunOnce(scenario, shards, false);
+    ElasticRunResult b = RunOnce(scenario, shards, false);
+    EXPECT_EQ(Digest(a), Digest(b)) << "shards=" << shards;
+    if (shards > 1) {
+      EXPECT_GT(a.rebalances, 0u) << "shards=" << shards;
+      EXPECT_GT(a.migrated_nodes, 0u) << "shards=" << shards;
+    }
+  }
+}
+
+TEST(ElasticScenarioTest, AutoscalerTracksLoad) {
+  // The small scenario is permanently overloaded (overload_factor 2), so
+  // the loop must grow the federation; diurnal troughs and the burst gaps
+  // pull utilization back down, so hysteresis must gate the actions.
+  ElasticScenario scenario = MakeElasticScenario(SmallElasticOptions());
+  ElasticRunResult r = RunOnce(scenario, 4, false);
+  EXPECT_GT(r.autoscaler.ticks, 0u);
+  EXPECT_GT(r.autoscaler.grow_actions, 0u);
+  EXPECT_GT(r.nodes_added, 0u);
+  EXPECT_GT(r.final_live_nodes, 16);
+  EXPECT_LE(r.autoscaler.nodes_added, 8u);  // max_added_nodes cap
+  EXPECT_GT(r.churn.scale.tuples_processed, 0u);
+  EXPECT_GT(r.churn.scale.mean_sic, 0.0);
+}
+
+TEST(ElasticScenarioTest, ScenarioGenerationIsSeedDeterministic) {
+  ElasticScenario a = MakeElasticScenario(SmallElasticOptions());
+  ElasticScenario b = MakeElasticScenario(SmallElasticOptions());
+  ASSERT_EQ(a.churn.events.size(), b.churn.events.size());
+  ASSERT_EQ(a.churn.base.queries.size(), b.churn.base.queries.size());
+  // Diurnal + burst knobs land on the scale options the sources are
+  // generated from, and the topology schedule matches the plain one.
+  EXPECT_GT(a.churn.base.options.diurnal_amplitude, 0.0);
+  EXPECT_GT(a.churn.base.options.burst_prob, 0.0);
+  ChurnScenario plain = MakeChurnScenario(SmallElasticOptions().churn);
+  ASSERT_EQ(a.churn.events.size(), plain.events.size());
+  for (size_t i = 0; i < plain.events.size(); ++i) {
+    EXPECT_EQ(a.churn.events[i].time, plain.events[i].time);
+    EXPECT_EQ(a.churn.events[i].a, plain.events[i].a);
+  }
+}
+
+}  // namespace
+}  // namespace themis

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "federation/fsps.h"
 #include "parsim/parallel_engine.h"
 #include "sim/engine.h"
 #include "sim/network.h"
@@ -285,6 +286,52 @@ TEST(ParallelEngineTest, MinCrossShardLatencySkipsDeadNodes) {
   EXPECT_EQ(net.MinCrossShardLatency(shard_of_node, {1, 1, 1, 0}), Millis(50));
   // Restore: the link constrains the epoch again.
   EXPECT_EQ(net.MinCrossShardLatency(shard_of_node, {1, 1, 1, 1}), Millis(5));
+}
+
+// --- mid-run AddNode admission (Fsps control plane over this engine) ----
+
+TEST(ParallelEngineTest, AddNodeAfterStartRejectedWithoutElastic) {
+  FspsOptions opts;
+  opts.shards = 2;
+  Fsps fsps(opts);
+  fsps.AddNode();
+  fsps.AddNode(opts.node, 1);
+  fsps.RunFor(Millis(100));  // Start(): the non-elastic shard plan freezes
+  Result<NodeId> late = fsps.AddNode(opts.node, 0);
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsFailedPrecondition());
+  // Before the engine starts the same call is fine, and a bad shard is an
+  // argument error, not a precondition.
+  Fsps fresh(opts);
+  fresh.AddNode();
+  EXPECT_TRUE(fresh.AddNode(opts.node, 1).ok());
+  EXPECT_TRUE(fresh.AddNode(opts.node, 7).status().IsInvalidArgument());
+  EXPECT_TRUE(fresh.AddNode(opts.node, -2).status().IsInvalidArgument());
+}
+
+TEST(ParallelEngineTest, AddNodeAfterStartAdmittedWhenElastic) {
+  FspsOptions opts;
+  opts.shards = 2;
+  opts.elastic = true;
+  Fsps fsps(opts);
+  fsps.AddNode();
+  fsps.AddNode(opts.node, 1);
+  fsps.RunFor(Millis(100));
+  Result<NodeId> late = fsps.AddNode(opts.node, 1);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(*late, 2);
+  EXPECT_TRUE(fsps.node_alive(*late));
+  EXPECT_EQ(fsps.shard_of(*late), 1);
+  // The join's source-link wiring defers to the next run boundary, like
+  // any sharded topology edit; the node is schedulable right after it.
+  fsps.RunFor(Millis(100));
+  EXPECT_EQ(fsps.live_node_ids().size(), 3u);
+  // Sequential engines always admitted late joins; elastic keeps that.
+  FspsOptions seq_opts;
+  Fsps seq(seq_opts);
+  seq.AddNode();
+  seq.RunFor(Millis(100));
+  EXPECT_TRUE(seq.AddNode(seq_opts.node, 0).ok());
 }
 
 TEST(ParallelEngineTest, PingPongAcrossShards) {
