@@ -6,6 +6,7 @@
 // the figure benches measure the same machinery under full simulations.
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -102,6 +103,10 @@ int main(int argc, char** argv) {
   using namespace themis;
   using namespace themis::bench;
   PerfRecorder perf(argc, argv, "bench_dataplane");
+  bool with_telemetry = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--with-telemetry") == 0) with_telemetry = true;
+  }
   std::printf("Data-plane microbenchmark: single node, AVG pipeline, no "
               "overload.\n");
 
@@ -118,6 +123,25 @@ int main(int argc, char** argv) {
                 config.c_str(),
                 static_cast<unsigned long long>(out.tuples), per_tuple,
                 AllocCounter::active() ? "" : " (alloc counting inactive)");
+  }
+
+  // Opt-in overhead probe (CI gates it within 5% of the plain run): the
+  // same hot path with a Telemetry installed, so every per-batch accepted-
+  // mass hook and shed-tick hook takes its enabled branch. Default
+  // invocations skip this block entirely, keeping their stdout bytes
+  // unchanged.
+  if (with_telemetry) {
+    std::unique_ptr<telemetry::Telemetry> local;
+    if (telemetry::Get() == nullptr) {
+      local = std::make_unique<telemetry::Telemetry>();
+      telemetry::Install(local.get());
+    }
+    perf.BeginRun("batch_size=80+telemetry");
+    Outcome out = Drive(batches, 80);
+    perf.EndRun(out.tuples);
+    if (local != nullptr) telemetry::Uninstall();
+    std::printf("batch_size=80+telemetry tuples=%llu\n",
+                static_cast<unsigned long long>(out.tuples));
   }
   return 0;
 }

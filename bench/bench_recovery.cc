@@ -124,6 +124,10 @@ int main(int argc, char** argv) {
     perf.AddMetric("mean_dip_depth", waves.mean_dip_depth);
     perf.AddMetric("unrecovered", waves.unrecovered);
     perf.AddMetric("min_jain", waves.min_jain);
+    // Fairness recovery (ROADMAP item 5): censored mean time for the Jain
+    // index to regain jain_recover_fraction of its pre-fault value.
+    perf.AddMetric("mean_jain_ttr_ms", waves.mean_jain_ttr_ms);
+    perf.AddMetric("jain_dips", waves.jain_dips);
 
     // One deterministic line per config; a parsim@1 run must match its
     // sequential twin byte-for-byte (single-shard parallel fast path).

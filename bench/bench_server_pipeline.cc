@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <thread>
@@ -65,7 +66,8 @@ Batch SourceBatch(QueryId q, SourceId src, SimTime now, size_t n) {
 // Config 1: closed-loop throughput.
 // ---------------------------------------------------------------------
 
-void RunThroughput(PerfRecorder& perf, bool quick) {
+void RunThroughput(PerfRecorder& perf, bool quick,
+                   const char* config = "throughput") {
   const uint64_t kBatchTuples = 1024;
   const uint64_t kBatches = quick ? 2000 : 10000;
 
@@ -79,7 +81,7 @@ void RunThroughput(PerfRecorder& perf, bool quick) {
   p.AddQuery(graph.get());
   p.Start();
 
-  perf.BeginRun("throughput");
+  perf.BeginRun(config);
   for (uint64_t i = 0; i < kBatches; ++i) {
     p.Push(SourceBatch(1, 10, clock.NowMicros(), kBatchTuples));
   }
@@ -90,7 +92,7 @@ void RunThroughput(PerfRecorder& perf, bool quick) {
   perf.EndRun(processed);
   p.Stop();
 
-  std::printf("throughput: %llu of %llu tuples processed\n",
+  std::printf("%s: %llu of %llu tuples processed\n", config,
               static_cast<unsigned long long>(processed),
               static_cast<unsigned long long>(kBatches * kBatchTuples));
 }
@@ -361,10 +363,27 @@ int RunOracle(PerfRecorder& perf, bool quick) {
 int main(int argc, char** argv) {
   using namespace themis::bench;
   PerfRecorder perf(argc, argv, "bench_server_pipeline");
+  bool with_telemetry = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--with-telemetry") == 0) with_telemetry = true;
+  }
   std::printf("Real-time server pipeline: wall-clock throughput, overload "
               "fairness, DES oracle check.\n");
 
   RunThroughput(perf, perf.quick());
+  // Opt-in overhead probe (CI gates it within 5% of the plain run): the
+  // same closed-loop drive with a Telemetry installed, so the per-stage
+  // wall-clock histograms and per-batch accepted hooks take their enabled
+  // branches. Default invocations skip this, keeping stdout unchanged.
+  if (with_telemetry) {
+    std::unique_ptr<themis::telemetry::Telemetry> local;
+    if (themis::telemetry::Get() == nullptr) {
+      local = std::make_unique<themis::telemetry::Telemetry>();
+      themis::telemetry::Install(local.get());
+    }
+    RunThroughput(perf, perf.quick(), "throughput+telemetry");
+    if (local != nullptr) themis::telemetry::Uninstall();
+  }
   RunOverload(perf, perf.quick(), /*balance=*/true);
   RunOverload(perf, perf.quick(), /*balance=*/false);
   int mismatches = RunOracle(perf, perf.quick());

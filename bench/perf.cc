@@ -74,7 +74,19 @@ PerfRecorder::PerfRecorder(int argc, char** argv, std::string bench_name)
       quick_ = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path_ = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path_ = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path_ = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path_ = argv[i] + 10;
     }
+  }
+  if (!trace_path_.empty() || !metrics_path_.empty()) {
+    telemetry_ = std::make_unique<telemetry::Telemetry>();
+    telemetry::Install(telemetry_.get());
   }
   if (json_path_.empty()) {
     if (const char* env = std::getenv("THEMIS_BENCH_JSON"); env != nullptr) {
@@ -121,6 +133,35 @@ void PerfRecorder::EndRun(uint64_t tuples_processed) {
 }
 
 PerfRecorder::~PerfRecorder() {
+  std::string telemetry_json;
+  if (telemetry_ != nullptr) {
+    // Benches destroy the recorder after their runs finish and their
+    // threads join, so the tracer/registry are quiescent here.
+    telemetry::Uninstall();
+    if (!trace_path_.empty()) {
+      std::string trace;
+      telemetry_->tracer().ExportChromeTrace(&trace);
+      std::ofstream out(trace_path_, std::ios::trunc);
+      if (out) {
+        out << trace << "\n";
+      } else {
+        std::fprintf(stderr, "perf: cannot write %s\n", trace_path_.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      std::string prom;
+      telemetry_->metrics().ExportProm(&prom);
+      std::ofstream out(metrics_path_, std::ios::trunc);
+      if (out) {
+        out << prom;
+      } else {
+        std::fprintf(stderr, "perf: cannot write %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    telemetry_->metrics().ExportJson(&telemetry_json);
+  }
+
   if (json_path_.empty()) return;
 
   // One entry (line) per bench; the file is a JSON array. Re-writing keeps
@@ -170,7 +211,11 @@ PerfRecorder::~PerfRecorder() {
     }
     entry << "}";
   }
-  entry << "]}";
+  entry << "]";
+  if (!telemetry_json.empty()) {
+    entry << ",\"telemetry\":" << telemetry_json;
+  }
+  entry << "}";
 
   // Merge: keep existing entries of other benches (the writer emits exactly
   // one entry per line, so a line-based merge is sufficient).

@@ -14,6 +14,12 @@
 //   THEMIS_BENCH_JSON  same as --json (flag wins); JSON is only written when
 //                      one of the two is present, so plain runs and parallel
 //                      ctest invocations never race on a shared file
+//   --trace PATH       install a Telemetry for the whole bench and write a
+//                      Chrome-trace JSON of its spans to PATH on exit
+//   --metrics PATH     same install; write a Prometheus-style metric
+//                      snapshot to PATH on exit (both flags also accept
+//                      --flag=PATH). When either is given, the bench's
+//                      BENCH_results.json entry gains a "telemetry" object.
 //
 // See EXPERIMENTS.md ("BENCH_results.json") for the schema and the baseline
 // refresh workflow.
@@ -22,9 +28,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "telemetry/telemetry.h"
 
 namespace themis {
 namespace bench {
@@ -42,6 +51,10 @@ class PerfRecorder {
 
   /// True when the binary should run its seconds-scale smoke configuration.
   bool quick() const { return quick_; }
+
+  /// Telemetry installed by this recorder for the bench's lifetime, or
+  /// null when neither --trace nor --metrics was given.
+  telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
 
   /// Starts timing one experiment run labelled `config`.
   void BeginRun(std::string config);
@@ -70,6 +83,9 @@ class PerfRecorder {
   std::string bench_name_;
   bool quick_ = false;
   std::string json_path_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::vector<Run> runs_;
   // Fixed-work CPU score measured at construction; the regression gate
   // divides throughput by it, cancelling machine-class and coarse host-load

@@ -2,7 +2,13 @@
 # Runs every bench binary found in a build tree sequentially, merging their
 # machine-readable output into one JSON file (see EXPERIMENTS.md).
 #
-# Usage: bench/run_benches.sh BUILD_DIR OUT_JSON [--quick]
+# Usage: bench/run_benches.sh BUILD_DIR OUT_JSON [--quick] [EXTRA_ARGS...]
+#
+# EXTRA_ARGS are passed through to every bench invocation; the literal
+# token `{bench}` inside an extra arg is replaced with the bench's name,
+# so e.g.
+#   bench/run_benches.sh build out.json --quick --metrics=/tmp/{bench}.prom
+# writes one telemetry snapshot per bench.
 #
 # Sequential on purpose: the benches merge into one file, and concurrent
 # writers would race. Refresh bench/baseline.json with:
@@ -10,13 +16,19 @@
 set -euo pipefail
 
 if [[ $# -lt 2 ]]; then
-  echo "usage: $0 BUILD_DIR OUT_JSON [--quick]" >&2
+  echo "usage: $0 BUILD_DIR OUT_JSON [--quick] [EXTRA_ARGS...]" >&2
   exit 2
 fi
 
 build_dir=$1
 out_json=$2
-quick_flag=${3:-}
+shift 2
+quick_flag=
+if [[ ${1:-} == "--quick" ]]; then
+  quick_flag=--quick
+  shift
+fi
+extra_args=("$@")
 
 bench_dir="$build_dir/bench"
 if [[ ! -d "$bench_dir" ]]; then
@@ -28,14 +40,20 @@ rm -f "$out_json"
 for bin in "$bench_dir"/bench_*; do
   [[ -x "$bin" && ! -d "$bin" ]] || continue
   name=$(basename "$bin")
+  args=()
+  for a in "${extra_args[@]+"${extra_args[@]}"}"; do
+    args+=("${a//\{bench\}/$name}")
+  done
   if [[ "$name" == "bench_sec76_overhead" ]]; then
-    # Google-Benchmark binary: no PerfRecorder JSON; run it for smoke only.
+    # Google-Benchmark binary: no PerfRecorder JSON; run it for smoke only
+    # (extra args are PerfRecorder flags, so they are not passed here).
     echo "== $name (no JSON) =="
     "$bin" ${quick_flag:+--quick} > /dev/null
     continue
   fi
   echo "== $name =="
-  "$bin" ${quick_flag:+--quick} --json "$out_json" > /dev/null
+  "$bin" ${quick_flag:+--quick} --json "$out_json" \
+    "${args[@]+"${args[@]}"}" > /dev/null
   # A bench that runs but never lands an entry in the merged JSON would
   # silently drop out of the regression gate; fail loudly instead.
   if ! grep -q "\"bench\":\"$name\"" "$out_json" 2>/dev/null; then

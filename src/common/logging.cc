@@ -2,13 +2,29 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace themis {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
-const char* LevelName(LogLevel level) {
+// Sink registration: guarded by a mutex rather than atomics so the
+// (sink, ctx) pair always swaps as a unit. Emit copies the pair out under
+// the lock and calls it unlocked, so a sink may itself log.
+std::mutex g_sink_mu;
+Logging::Sink g_sink = nullptr;
+void* g_sink_ctx = nullptr;
+
+void StderrSink(void* /*ctx*/, LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelName(level), file, line,
+               msg.c_str());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -23,7 +39,6 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void Logging::SetLevel(LogLevel level) {
   g_level.store(static_cast<int>(level));
@@ -31,11 +46,61 @@ void Logging::SetLevel(LogLevel level) {
 
 LogLevel Logging::GetLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void Logging::SetSink(Sink sink, void* ctx) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink;
+  g_sink_ctx = ctx;
+}
+
 void Logging::Emit(LogLevel level, const char* file, int line,
                    const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
-               msg.c_str());
+  Sink sink;
+  void* ctx;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink = g_sink;
+    ctx = g_sink_ctx;
+  }
+  if (sink == nullptr) {
+    sink = StderrSink;
+    ctx = nullptr;
+  }
+  sink(ctx, level, file, line, msg);
+}
+
+ScopedLogCapture::ScopedLogCapture(LogLevel capture_level)
+    : saved_level_(Logging::GetLevel()) {
+  if (static_cast<int>(capture_level) < static_cast<int>(saved_level_)) {
+    Logging::SetLevel(capture_level);
+  }
+  Logging::SetSink(&ScopedLogCapture::CaptureSink, this);
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  Logging::SetSink(nullptr, nullptr);
+  Logging::SetLevel(saved_level_);
+}
+
+std::vector<CapturedLog> ScopedLogCapture::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captured_;
+}
+
+bool ScopedLogCapture::Contains(const std::string& substr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CapturedLog& line : captured_) {
+    if (line.msg.find(substr) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void ScopedLogCapture::CaptureSink(void* ctx, LogLevel level,
+                                   const char* /*file*/, int /*line*/,
+                                   const std::string& msg) {
+  auto* self = static_cast<ScopedLogCapture*>(ctx);
+  std::lock_guard<std::mutex> lock(self->mu_);
+  self->captured_.push_back(CapturedLog{level, msg});
 }
 
 }  // namespace themis

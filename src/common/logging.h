@@ -1,11 +1,13 @@
-// Minimal leveled logger. Not thread-aware beyond atomic level switching; the
-// simulator is single-threaded by design, so this is sufficient.
+// Minimal leveled logger with a swappable sink. Level switching and sink
+// installation are thread-safe; the default sink writes to stderr.
 #ifndef THEMIS_COMMON_LOGGING_H_
 #define THEMIS_COMMON_LOGGING_H_
 
 #include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace themis {
 
@@ -17,16 +19,58 @@ enum class LogLevel : int {
   kOff = 4
 };
 
+/// Name of a level as emitted in log lines ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
 /// Process-wide logging configuration.
 class Logging {
  public:
-  /// Sets the minimum level emitted to stderr. Default: kWarn (quiet tools).
+  /// Receives every emitted line (already level-filtered). `ctx` is the
+  /// pointer registered alongside the sink.
+  using Sink = void (*)(void* ctx, LogLevel level, const char* file,
+                        int line, const std::string& msg);
+
+  /// Sets the minimum level emitted. Default: kWarn (quiet tools).
   static void SetLevel(LogLevel level);
   static LogLevel GetLevel();
+
+  /// Replaces the output sink; `sink == nullptr` restores stderr. Tests
+  /// capture and assert on decision logs through this (ScopedLogCapture).
+  static void SetSink(Sink sink, void* ctx);
 
   /// Emits one line (implementation detail of the THEMIS_LOG macro).
   static void Emit(LogLevel level, const char* file, int line,
                    const std::string& msg);
+};
+
+/// \brief Captured log line (level + message; file/line dropped so tests
+/// don't pin source positions).
+struct CapturedLog {
+  LogLevel level;
+  std::string msg;
+};
+
+/// \brief RAII sink that captures every line at or above `capture_level`
+/// into a vector, restoring the previous stderr sink and level on exit.
+/// Lowers the global level to `capture_level` for its lifetime.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(LogLevel capture_level = LogLevel::kInfo);
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  std::vector<CapturedLog> lines() const;
+  /// True when any captured message contains `substr`.
+  bool Contains(const std::string& substr) const;
+
+ private:
+  static void CaptureSink(void* ctx, LogLevel level, const char* file,
+                          int line, const std::string& msg);
+
+  LogLevel saved_level_;
+  mutable std::mutex mu_;
+  std::vector<CapturedLog> captured_;
 };
 
 namespace internal {

@@ -1,9 +1,11 @@
 #include "federation/autoscaler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace themis {
 
@@ -74,6 +76,14 @@ Status Autoscaler::Tick() {
   } else {
     grow_streak_ = 0;
     shrink_streak_ = 0;
+  }
+  // Decision inputs, captured before acting resets the streaks: the audit
+  // log must show the values the decision was made on.
+  const int grow_streak = grow_streak_;
+  const int shrink_streak = shrink_streak_;
+  if (telemetry::Telemetry* tel = telemetry::Get()) {
+    tel->metrics().GetCounter("autoscaler.ticks")->Add(1);
+    tel->metrics().GetGauge("autoscaler.utilization")->Set(util);
   }
 
   // Stage the whole decision on one plan; bookkeeping (added_ /
@@ -161,6 +171,35 @@ Status Autoscaler::Tick() {
     staged_rebalance = true;
   }
 
+  // Structured decision audit log: one key=value line per tick with the
+  // signal, the thresholds and streaks it was judged against, and the
+  // committed action. "hold" ticks log at Debug, actions at Info; tests
+  // capture these through Logging::SetSink (ScopedLogCapture).
+  const char* action = "hold";
+  if (!pending_adds.empty() || !pending_restores.empty()) {
+    action = "grow";
+  } else if (!pending_decoms.empty()) {
+    action = "shrink";
+  } else if (staged_rebalance) {
+    action = "rebalance";
+  }
+  {
+    internal::LogMessage line(
+        acted || staged_rebalance ? LogLevel::kInfo : LogLevel::kDebug,
+        __FILE__, __LINE__);
+    char util_buf[32];
+    std::snprintf(util_buf, sizeof(util_buf), "%.4f", util);
+    line << "autoscaler decision t_us=" << now << " util=" << util_buf
+         << " grow_util=" << options_.grow_utilization
+         << " shrink_util=" << options_.shrink_utilization
+         << " grow_streak=" << grow_streak
+         << " shrink_streak=" << shrink_streak << " action=" << action
+         << " adds=" << pending_adds.size()
+         << " restores=" << pending_restores.size()
+         << " decoms=" << pending_decoms.size()
+         << " rebalance=" << (staged_rebalance ? 1 : 0);
+  }
+
   if (plan.size() == 0) return Status::OK();
   THEMIS_RETURN_NOT_OK(plan.Apply());
 
@@ -183,6 +222,20 @@ Status Autoscaler::Tick() {
     stats_.nodes_decommissioned += 1;
   }
   if (staged_rebalance) stats_.rebalances_requested += 1;
+  if (telemetry::Telemetry* tel = telemetry::Get()) {
+    telemetry::MetricRegistry& m = tel->metrics();
+    if (!pending_restores.empty() || !pending_adds.empty()) {
+      m.GetCounter("autoscaler.grow_actions")->Add(1);
+    }
+    if (!pending_decoms.empty()) {
+      m.GetCounter("autoscaler.shrink_actions")->Add(1);
+    }
+    m.GetCounter("autoscaler.nodes_added")->Add(pending_adds.size());
+    m.GetCounter("autoscaler.nodes_restored")->Add(pending_restores.size());
+    m.GetCounter("autoscaler.nodes_decommissioned")
+        ->Add(pending_decoms.size());
+    if (staged_rebalance) m.GetCounter("autoscaler.rebalances")->Add(1);
+  }
   return Status::OK();
 }
 

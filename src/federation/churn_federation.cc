@@ -41,21 +41,31 @@ ChurnRunResult RunChurnScenario(Fsps* fsps, const ChurnScenario& scenario,
       continue;
     }
     TopologyPlan plan = fsps->PlanTopology();
+    uint64_t crashes = 0;
+    uint64_t restores = 0;
+    uint64_t link_updates = 0;
     while (next_event < events.size() && events[next_event].time == at) {
       const ChurnEvent& ev = events[next_event];
       ++next_event;
       switch (ev.kind) {
         case ChurnEventKind::kCrash:
           plan.Crash(ev.a);
+          ++crashes;
           break;
         case ChurnEventKind::kRestore:
           plan.Restore(ev.a);
+          ++restores;
           break;
         case ChurnEventKind::kSetLinkLatency:
           plan.SetLinkLatency(ev.a, ev.b, ev.latency);
+          ++link_updates;
           break;
       }
     }
+    THEMIS_LOG(Info) << "churn wave t_us=" << at << " crashes=" << crashes
+                     << " restores=" << restores
+                     << " link_updates=" << link_updates
+                     << " plan_ops=" << plan.size();
     THEMIS_CHECK(plan.Apply().ok());
   }
   fsps->RunFor(measure);

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "parsim/parallel_engine.h"
+#include "telemetry/telemetry.h"
 #include "shedding/baseline_shedders.h"
 #include "shedding/random_shedder.h"
 
@@ -363,6 +364,7 @@ void Fsps::ApplyTopologyMutations() {
 }
 
 void Fsps::RunFor(SimDuration d) {
+  telemetry::TraceScope span("fsps.run_for");
   Start();
   ApplyTopologyMutations();
   SimTime end = engine_->now() + d;
@@ -392,7 +394,18 @@ void Fsps::SampleRecovery() {
   for (auto& [q, coord] : coordinators_) {
     sics.emplace_back(q, coord->CurrentSic());
   }
+  uint64_t before = recovery_.jain_series().pushed();
   recovery_.Sample(engine_->now(), sics);
+  if (recovery_.jain_series().pushed() != before) {
+    // Mirror the accepted Jain sample into the telemetry snapshot path
+    // (the tracker de-duplicates repeated instants, so gate on `pushed`).
+    if (telemetry::Telemetry* tel = telemetry::Get()) {
+      tel->metrics()
+          .GetSeries("recovery.jain")
+          ->Append(static_cast<int64_t>(engine_->now()),
+                   recovery_.jain_series().back().value);
+    }
+  }
 }
 
 void Fsps::MarkRecoveryDisturbance(DisturbanceKind kind) {
@@ -503,33 +516,57 @@ Status Fsps::ValidatePlanOp(const TopologyPlan::Op& op,
 }
 
 Status Fsps::ApplyPlan(const TopologyPlan& plan) {
+  telemetry::TraceScope span("plan.apply");
+  telemetry::Telemetry* tel = telemetry::Get();
   // Phase 1: validate every op against scratch state, so a bad op halfway
   // through the batch fails the plan before anything mutates.
-  std::vector<char> scratch_alive = AliveMask();
-  for (const TopologyPlan::Op& op : plan.ops_) {
-    THEMIS_RETURN_NOT_OK(ValidatePlanOp(op, &scratch_alive));
+  {
+    telemetry::TraceScope validate_span("plan.validate");
+    std::vector<char> scratch_alive = AliveMask();
+    for (const TopologyPlan::Op& op : plan.ops_) {
+      Status s = ValidatePlanOp(op, &scratch_alive);
+      if (!s.ok()) {
+        if (tel != nullptr) tel->metrics().GetCounter("plan.rejected")->Add(1);
+        return s;
+      }
+    }
   }
   // Phase 2: commit in order. The only Status left is Rebalance's
   // commit-time epoch-width check (see topology_plan.h).
+  telemetry::TraceScope commit_span("plan.commit");
   for (const TopologyPlan::Op& op : plan.ops_) {
     switch (op.kind) {
       case TopologyPlan::OpKind::kCrash:
+        if (tel != nullptr) tel->metrics().GetCounter("plan.ops.crash")->Add(1);
         CrashNodeNow(op.a);
         break;
       case TopologyPlan::OpKind::kRestore:
+        if (tel != nullptr) {
+          tel->metrics().GetCounter("plan.ops.restore")->Add(1);
+        }
         RestoreNodeNow(op.a);
         break;
       case TopologyPlan::OpKind::kSetLink:
+        if (tel != nullptr) {
+          tel->metrics().GetCounter("plan.ops.set_link")->Add(1);
+        }
         SetLinkLatencyNow(op.a, op.b, op.latency);
         break;
       case TopologyPlan::OpKind::kAddNode:
+        if (tel != nullptr) {
+          tel->metrics().GetCounter("plan.ops.add_node")->Add(1);
+        }
         AddNodeNow(op.node_options, op.shard);
         break;
       case TopologyPlan::OpKind::kRebalance:
+        if (tel != nullptr) {
+          tel->metrics().GetCounter("plan.ops.rebalance")->Add(1);
+        }
         THEMIS_RETURN_NOT_OK(RebalanceNow(op.group_of_node));
         break;
     }
   }
+  if (tel != nullptr) tel->metrics().GetCounter("plan.applied")->Add(1);
   return Status::OK();
 }
 
@@ -683,6 +720,9 @@ Status Fsps::RebalanceNow(const std::vector<int>& group_of_node) {
   topology_dirty_ = true;  // the epoch width re-derives at the next RunFor
   churn_stats_.rebalances += 1;
   churn_stats_.migrated_nodes += migrated;
+  if (telemetry::Telemetry* tel = telemetry::Get()) {
+    tel->metrics().GetCounter("plan.migrated_nodes")->Add(migrated);
+  }
   return Status::OK();
 }
 

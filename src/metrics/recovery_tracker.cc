@@ -69,12 +69,12 @@ void RecoveryTracker::Sample(
   min_jain_ = std::min(min_jain_, jain);
 
   for (Disturbance& d : disturbances_) {
-    if (d.open) UpdateDisturbance(now, prev, &d, sics);
+    if (d.open) UpdateDisturbance(now, prev, jain, &d, sics);
   }
 }
 
 void RecoveryTracker::UpdateDisturbance(
-    SimTime now, SimTime prev_sample_time, Disturbance* d,
+    SimTime now, SimTime prev_sample_time, double jain, Disturbance* d,
     const std::vector<std::pair<QueryId, double>>& sics) const {
   // The integration step starts at the later of the disturbance instant and
   // the previous sample (overlapping dips must not double count the time
@@ -116,6 +116,23 @@ void RecoveryTracker::UpdateDisturbance(
     }
     if (!dip.settled) any_open = true;
   }
+  // The Jain fairness dip follows the same lifecycle at the federation
+  // level: armed until it dents within the onset window, then open until
+  // the index regains jain_recover_fraction of its pre-fault value.
+  if (!d->jain_settled) {
+    if (!d->jain_dipped) {
+      if (jain < d->jain_threshold) {
+        d->jain_dipped = true;
+      } else if (now - d->time > options_.dip_onset_window) {
+        d->jain_settled = true;  // fairness never dented
+      }
+    } else if (jain >= d->jain_threshold) {
+      d->jain_recovered = true;
+      d->jain_settled = true;
+      d->jain_time_to_recover = now - d->time;
+    }
+    if (!d->jain_settled) any_open = true;
+  }
   d->open = any_open;
 }
 
@@ -131,6 +148,13 @@ void RecoveryTracker::MarkDisturbance(SimTime now, DisturbanceKind kind) {
   Disturbance d;
   d.time = now;
   d.kind = kind;
+  if (!jain_series_.empty()) {
+    d.jain_baseline = jain_series_.back().value;
+    d.jain_threshold = options_.jain_recover_fraction * d.jain_baseline;
+  } else {
+    // A mark before the first sample has no pre-fault fairness level.
+    d.jain_settled = true;
+  }
   // Baseline every query at its latest sampled SIC. Queries never sampled
   // yet (a mark before the first cadence tick) get no dip record: there is
   // no pre-fault level to measure a dip against.
@@ -165,10 +189,22 @@ RecoverySummary RecoveryTracker::SummarizeMatching(bool any_kind,
   s.final_jain = jain_series_.empty() ? 1.0 : jain_series_.back().value;
   double sum_dip = 0.0, sum_area = 0.0, sum_ttr_ms = 0.0;
   double sum_censored_ttr_ms = 0.0;
+  double sum_jain_ttr_ms = 0.0;
   int recovered = 0;
   for (const Disturbance& d : disturbances_) {
     if (!any_kind && d.kind != kind) continue;
     s.disturbances += 1;
+    if (d.jain_dipped) {
+      s.jain_dips += 1;
+      if (d.jain_recovered) {
+        sum_jain_ttr_ms +=
+            static_cast<double>(d.jain_time_to_recover) / kMillisecond;
+      } else {
+        s.jain_unrecovered += 1;
+        sum_jain_ttr_ms +=
+            static_cast<double>(last_sample_time_ - d.time) / kMillisecond;
+      }
+    }
     for (const QueryDip& dip : d.dips) {
       if (!dip.dipped) continue;
       s.affected += 1;
@@ -195,6 +231,7 @@ RecoverySummary RecoveryTracker::SummarizeMatching(bool any_kind,
     s.mean_censored_ttr_ms = sum_censored_ttr_ms / s.affected;
   }
   if (recovered > 0) s.mean_ttr_ms = sum_ttr_ms / recovered;
+  if (s.jain_dips > 0) s.mean_jain_ttr_ms = sum_jain_ttr_ms / s.jain_dips;
   return s;
 }
 

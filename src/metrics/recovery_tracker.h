@@ -40,6 +40,9 @@ struct RecoveryTrackerOptions {
   /// A query counts as recovered from a disturbance once its SIC climbs
   /// back to this fraction of its pre-fault baseline.
   double recover_fraction = 0.9;
+  /// Fairness recovery: the federation counts as fairness-recovered once
+  /// the Jain index regains this fraction of its pre-fault value.
+  double jain_recover_fraction = 0.95;
   /// How long after a disturbance a query's SIC may take to fall below the
   /// recovery threshold before the query is settled as unaffected. SIC is
   /// an STW-smoothed signal: a crash at t dents it over the following
@@ -114,7 +117,16 @@ struct Disturbance {
   DisturbanceKind kind = DisturbanceKind::kCrashWave;
   int events = 1;  ///< coalesced control-plane calls at this (time, kind)
   std::vector<QueryDip> dips;  ///< query-id order
-  bool open = true;  ///< at least one dip not yet settled
+  bool open = true;  ///< at least one dip (or the Jain dip) not settled
+  /// Fairness dip: the federation-wide Jain index tracked through the
+  /// same armed -> dipped -> recovered lifecycle as a QueryDip, against
+  /// jain_recover_fraction * the pre-fault Jain value.
+  double jain_baseline = 0.0;
+  double jain_threshold = 0.0;
+  bool jain_dipped = false;
+  bool jain_recovered = false;
+  bool jain_settled = false;
+  SimDuration jain_time_to_recover = -1;  ///< -1 while unrecovered
 };
 
 /// Aggregate recovery statistics over a set of disturbances.
@@ -136,6 +148,14 @@ struct RecoverySummary {
   /// Federation-wide Jain-over-time extremes (whole run, all samples).
   double min_jain = 1.0;
   double final_jain = 1.0;
+  /// Fairness recovery: disturbances whose Jain index dipped below
+  /// jain_recover_fraction * pre-fault Jain, how many never regained it,
+  /// and the censored mean time for Jain to regain it (unrecovered
+  /// disturbances count their elapsed open time, as mean_censored_ttr_ms
+  /// does for queries).
+  int jain_dips = 0;
+  int jain_unrecovered = 0;
+  double mean_jain_ttr_ms = 0.0;
 };
 
 /// \brief Samples per-query SIC over time and measures recovery from
@@ -188,7 +208,7 @@ class RecoveryTracker {
  private:
   RecoverySummary SummarizeMatching(bool any_kind, DisturbanceKind kind) const;
   void UpdateDisturbance(
-      SimTime now, SimTime prev_sample_time, Disturbance* d,
+      SimTime now, SimTime prev_sample_time, double jain, Disturbance* d,
       const std::vector<std::pair<QueryId, double>>& sics) const;
 
   RecoveryTrackerOptions options_;

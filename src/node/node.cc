@@ -238,6 +238,10 @@ void Node::ProcessNext(uint64_t gen) {
   acc_it->second.tracker.AddResultSic(now, batch->header.sic);
   acc_it->second.total_sic += batch->header.sic;
   acc_it->second.total_tuples += batch->size();
+  if (telemetry::Telemetry* tel = telemetry::Get()) {
+    query_telemetry_.RecordAccepted(tel, batch_query, batch->header.sic,
+                                    batch->size());
+  }
 
   double work_us = ExecuteBatch(*batch);
   SimDuration work = static_cast<SimDuration>(work_us);
@@ -336,6 +340,8 @@ void Node::OnShedTimer(uint64_t gen) {
   }
   SimTime now = queue_->now();
   stats_.detector_invocations += 1;
+  telemetry::Telemetry* tel = telemetry::Get();
+  telemetry::TraceScope span("node.shed_tick");
 
   // Feed the cost model with the last interval's measurements (§6).
   cost_model_.RecordInterval(interval_tuples_, interval_busy_);
@@ -365,7 +371,11 @@ void Node::OnShedTimer(uint64_t gen) {
     }
   }
 
-  if (detector_.IsOverloaded(ib_.num_tuples(), capacity)) {
+  bool overloaded = detector_.IsOverloaded(ib_.num_tuples(), capacity);
+  if (tel != nullptr) {
+    RecordShedTick(tel, ib_.num_tuples(), capacity, overloaded);
+  }
+  if (overloaded) {
     accepted_snapshot_.assign(hosted_.size(), 0.0);
     for (auto& [q, acc] : accepted_sic_) {
       double eff = 1.0;
@@ -384,6 +394,9 @@ void Node::OnShedTimer(uint64_t gen) {
     ctx.local_accepted_sic = &accepted_snapshot_;
     std::vector<size_t> keep =
         shedder_->SelectBatchesToKeep(ib_.batches(), ctx);
+    if (tel != nullptr) {
+      RecordShedDrops(tel, &query_telemetry_, ib_.batches(), keep);
+    }
     size_t before_batches = ib_.num_batches();
     size_t dropped = ib_.RetainIndices(keep);
     if (dropped > 0) {

@@ -13,6 +13,7 @@
 #include "common/time_types.h"
 #include "node/input_buffer.h"
 #include "node/sic_stamper.h"
+#include "node/telemetry_hooks.h"
 #include "runtime/batch_pool.h"
 #include "runtime/query_graph.h"
 #include "shedding/cost_model.h"
@@ -249,6 +250,8 @@ class Node {
   std::map<QueryId, Ewma> efficiency_;
   // Reused per shed tick; indexed by QueryId (see ShedContext).
   std::vector<double> accepted_snapshot_;
+  // Cached per-query telemetry counters (no-op unless installed).
+  QueryTelemetry query_telemetry_;
 
   // Processing bookkeeping.
   bool processing_scheduled_ = false;

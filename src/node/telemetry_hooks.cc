@@ -1,0 +1,89 @@
+#include "node/telemetry_hooks.h"
+
+#include <cstdio>
+#include <string>
+
+namespace themis {
+namespace {
+
+telemetry::Counter* QueryCounter(telemetry::Telemetry* t, QueryId q,
+                                 const char* suffix) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "query.%lld.%s",
+                static_cast<long long>(q), suffix);
+  return t->metrics().GetCounter(name);
+}
+
+}  // namespace
+
+QueryTelemetry::PerQuery* QueryTelemetry::Resolve(telemetry::Telemetry* t,
+                                                  QueryId q) {
+  if (owner_ != t) {
+    by_query_.clear();
+    owner_ = t;
+  }
+  size_t idx = static_cast<size_t>(q);
+  if (idx >= by_query_.size()) by_query_.resize(idx + 1);
+  PerQuery& pq = by_query_[idx];
+  if (pq.accepted_sic == nullptr) {
+    pq.accepted_sic = QueryCounter(t, q, "accepted_sic_fp");
+    pq.accepted_tuples = QueryCounter(t, q, "accepted_tuples");
+    pq.dropped_sic = QueryCounter(t, q, "dropped_sic_fp");
+    pq.dropped_tuples = QueryCounter(t, q, "dropped_tuples");
+  }
+  return &pq;
+}
+
+void QueryTelemetry::RecordAccepted(telemetry::Telemetry* t, QueryId q,
+                                    double sic, uint64_t tuples) {
+  PerQuery* pq = Resolve(t, q);
+  pq->accepted_sic->Add(
+      static_cast<uint64_t>(telemetry::FixedFromDouble(sic)));
+  pq->accepted_tuples->Add(tuples);
+}
+
+void QueryTelemetry::RecordDropped(telemetry::Telemetry* t, QueryId q,
+                                   double sic, uint64_t tuples) {
+  PerQuery* pq = Resolve(t, q);
+  pq->dropped_sic->Add(
+      static_cast<uint64_t>(telemetry::FixedFromDouble(sic)));
+  pq->dropped_tuples->Add(tuples);
+}
+
+void RecordShedTick(telemetry::Telemetry* t, uint64_t ib_tuples,
+                    uint64_t capacity, bool overloaded) {
+  telemetry::MetricRegistry& m = t->metrics();
+  m.GetCounter("shed.ticks")->Add(1);
+  if (overloaded) m.GetCounter("shed.overloaded_ticks")->Add(1);
+  m.GetHistogram("shed.ib_tuples")->Observe(static_cast<double>(ib_tuples));
+  m.GetHistogram("shed.capacity")->Observe(static_cast<double>(capacity));
+}
+
+void RecordShedDrops(telemetry::Telemetry* t, QueryTelemetry* queries,
+                     const std::deque<Batch>& ib,
+                     const std::vector<size_t>& keep) {
+  uint64_t total_tuples = 0;
+  uint64_t dropped_tuples = 0;
+  uint64_t dropped_batches = 0;
+  size_t next_keep = 0;
+  for (size_t i = 0; i < ib.size(); ++i) {
+    const Batch& b = ib[i];
+    total_tuples += b.size();
+    if (next_keep < keep.size() && keep[next_keep] == i) {
+      ++next_keep;
+      continue;
+    }
+    dropped_tuples += b.size();
+    dropped_batches += 1;
+    queries->RecordDropped(t, b.header.query_id, b.header.sic, b.size());
+  }
+  if (dropped_batches == 0) return;
+  telemetry::MetricRegistry& m = t->metrics();
+  m.GetCounter("shed.dropped_tuples")->Add(dropped_tuples);
+  m.GetCounter("shed.dropped_batches")->Add(dropped_batches);
+  m.GetHistogram("shed.fraction")
+      ->Observe(static_cast<double>(dropped_tuples) /
+                static_cast<double>(total_tuples));
+}
+
+}  // namespace themis

@@ -1,0 +1,66 @@
+// Shared telemetry hooks for the shed tick / admission seams.
+//
+// Node::OnShedTimer (DES) and ServerPipeline::TickPhase2 (realtime) run
+// the same detector -> shedder -> RetainIndices sequence; both call these
+// helpers at the same points with the same simulated-state inputs, which
+// is what makes a server kModeled metric snapshot match the DES snapshot
+// bit for bit (telemetry_test's oracle test pins this).
+//
+// Every helper takes the installed `Telemetry*` from the caller (which
+// already branched on it), so a disabled run pays nothing here.
+#ifndef THEMIS_NODE_TELEMETRY_HOOKS_H_
+#define THEMIS_NODE_TELEMETRY_HOOKS_H_
+
+#include <deque>
+#include <vector>
+
+#include "runtime/batch.h"
+#include "telemetry/telemetry.h"
+
+namespace themis {
+
+/// \brief Cached per-query counter handles
+/// (`query.<q>.{accepted,dropped}_{sic_fp,tuples}`), re-resolved whenever
+/// the installed Telemetry changes. Not thread-safe: use one instance per
+/// single-threaded writer context.
+class QueryTelemetry {
+ public:
+  /// SIC mass accumulates into the `*_sic_fp` counters as Q44.20 fixed
+  /// point (telemetry::FixedFromDouble) so merges stay deterministic.
+  void RecordAccepted(telemetry::Telemetry* t, QueryId q, double sic,
+                      uint64_t tuples);
+  void RecordDropped(telemetry::Telemetry* t, QueryId q, double sic,
+                     uint64_t tuples);
+
+ private:
+  struct PerQuery {
+    telemetry::Counter* accepted_sic = nullptr;
+    telemetry::Counter* accepted_tuples = nullptr;
+    telemetry::Counter* dropped_sic = nullptr;
+    telemetry::Counter* dropped_tuples = nullptr;
+  };
+
+  PerQuery* Resolve(telemetry::Telemetry* t, QueryId q);
+
+  telemetry::Telemetry* owner_ = nullptr;
+  std::vector<PerQuery> by_query_;
+};
+
+/// Records one overload-detector verdict: counters `shed.ticks` /
+/// `shed.overloaded_ticks`, histograms `shed.ib_tuples` / `shed.capacity`.
+/// Call right after OverloadDetector::IsOverloaded with the same inputs.
+void RecordShedTick(telemetry::Telemetry* t, uint64_t ib_tuples,
+                    uint64_t capacity, bool overloaded);
+
+/// Records one shed decision: per-query dropped SIC/tuple mass (through
+/// `queries`), counters `shed.dropped_tuples` / `shed.dropped_batches`,
+/// and the `shed.fraction` histogram (dropped tuples / buffered tuples).
+/// Call after SelectBatchesToKeep and before RetainIndices; `keep` holds
+/// ascending indices into `ib` of the batches that survive.
+void RecordShedDrops(telemetry::Telemetry* t, QueryTelemetry* queries,
+                     const std::deque<Batch>& ib,
+                     const std::vector<size_t>& keep);
+
+}  // namespace themis
+
+#endif  // THEMIS_NODE_TELEMETRY_HOOKS_H_

@@ -61,6 +61,11 @@ void ParallelEngine::MergeInbox(int shard) {
     for (Pending& p : ring) merged.push_back(std::move(p));
     ring.clear();  // keeps capacity: rings are allocation-free in steady state
   }
+  if (telemetry::Telemetry* tel = telemetry::Get()) {
+    tel->metrics()
+        .GetHistogram("infra.parsim.inbox_depth")
+        ->Observe(static_cast<double>(merged.size()));
+  }
   // Rings were appended in (from_shard, ring_seq) order; the stable sort
   // over delivery time alone therefore realises the documented total order
   // (deliver_time, from_shard, ring_seq) without materialising the key.
@@ -73,6 +78,7 @@ void ParallelEngine::MergeInbox(int shard) {
 }
 
 void ParallelEngine::RunUntil(SimTime t) {
+  telemetry::TraceScope run_span("parsim.run_until");
   const int shards = num_shards();
   if (t <= now_) {
     // RunFor(0) semantics: run events at exactly the current clock, shard
@@ -97,8 +103,21 @@ void ParallelEngine::RunUntil(SimTime t) {
   std::barrier barrier(shards);
   const SimTime start = now_;
   const SimDuration lookahead = lookahead_;
-  auto worker = [this, start, t, lookahead, &barrier](int shard) {
+  // Epoch metrics: handles resolved once per run, shared by all workers
+  // (per-lane slots make the writes contention- and merge-order-free).
+  telemetry::Telemetry* tel = telemetry::Get();
+  telemetry::Counter* epochs_c = nullptr;
+  telemetry::Histogram* busy_h = nullptr;
+  telemetry::Histogram* wait_h = nullptr;
+  if (tel != nullptr) {
+    epochs_c = tel->metrics().GetCounter("infra.parsim.epochs");
+    busy_h = tel->metrics().GetHistogram("infra.parsim.epoch_busy_us");
+    wait_h = tel->metrics().GetHistogram("infra.parsim.epoch_wait_us");
+  }
+  auto worker = [this, start, t, lookahead, &barrier, tel, epochs_c, busy_h,
+                 wait_h](int shard) {
     tls_running_shard = shard;
+    telemetry::SetLane(shard);
     EventQueue* q = queues_[shard].get();
     // Zero-width boundary epoch first: events pending at exactly `start`
     // (scheduled by the driver between runs, or clamped to the clock) run
@@ -122,13 +141,25 @@ void ParallelEngine::RunUntil(SimTime t) {
       } else {
         next = t;
       }
+      uint64_t t0 = tel != nullptr ? tel->tracer().NowMicros() : 0;
       q->RunUntil(next);
+      if (tel != nullptr) {
+        uint64_t t1 = tel->tracer().NowMicros();
+        busy_h->Observe(static_cast<double>(t1 - t0));
+        t0 = t1;
+      }
       barrier.arrive_and_wait();  // all sends of this epoch are buffered
+      if (tel != nullptr) {
+        wait_h->Observe(
+            static_cast<double>(tel->tracer().NowMicros() - t0));
+        epochs_c->Add(1);
+      }
       MergeInbox(shard);
       barrier.arrive_and_wait();  // merges done before anyone writes rings
       cur = next;
     }
     tls_running_shard = -1;
+    telemetry::SetLane(0);
   };
 
   std::vector<std::thread> threads;

@@ -30,6 +30,7 @@
 #include "common/time_types.h"
 #include "sim/engine.h"
 #include "sim/event_queue.h"
+#include "telemetry/telemetry.h"
 
 namespace themis {
 
@@ -50,6 +51,11 @@ class ParallelEngine : public Engine, public CrossShardSink {
   /// to the target in one stretch.
   void SetLookahead(SimDuration lookahead) override {
     lookahead_ = lookahead;
+    if (telemetry::Telemetry* tel = telemetry::Get()) {
+      tel->metrics()
+          .GetGauge("infra.parsim.lookahead_us")
+          ->Set(static_cast<double>(lookahead));
+    }
   }
   SimDuration lookahead() const override { return lookahead_; }
 

@@ -76,6 +76,13 @@ class Scheduler {
 
   size_t workers() const { return workers_; }
 
+  /// Tasks currently runnable (queued, not in a running slice). A
+  /// point-in-time reading for telemetry; stale by the time it returns.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return runnable_.size();
+  }
+
  private:
   void WorkerLoop();
   /// Runs `t`'s slice with the lock dropped, then applies the requeue
@@ -83,7 +90,7 @@ class Scheduler {
   void RunOne(Task* t, std::unique_lock<std::mutex>& lock);
 
   const size_t workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<Task*> runnable_;

@@ -86,6 +86,11 @@ void ServerPipeline::Stop() {
 }
 
 bool ServerPipeline::Push(Batch batch) {
+  // Ingest/stamp stage timing (kMeasured only: oracle runs on a manual
+  // clock and must not read the wall clock on the data path).
+  telemetry::Telemetry* tel = telemetry::Get();
+  const bool timed = tel != nullptr && measured_accounting();
+  uint64_t ingest_t0 = timed ? tel->tracer().NowMicros() : 0;
   std::unique_lock<std::mutex> lock(mu_);
   if (options_.ib_high_watermark > 0) {
     // Hysteresis: a full IB closes the gate for every source until the
@@ -112,7 +117,18 @@ bool ServerPipeline::Push(Batch batch) {
     pool_.Release(std::move(batch));
     return true;
   }
-  stamper_.StampSourceBatch(&batch, now, it->second.graph->num_sources());
+  if (timed) {
+    uint64_t stamp_t0 = tel->tracer().NowMicros();
+    stamper_.StampSourceBatch(&batch, now, it->second.graph->num_sources());
+    uint64_t stamp_t1 = tel->tracer().NowMicros();
+    telemetry::MetricRegistry& m = tel->metrics();
+    m.GetHistogram("infra.server.stamp_us")
+        ->Observe(static_cast<double>(stamp_t1 - stamp_t0));
+    m.GetHistogram("infra.server.ingest_us")
+        ->Observe(static_cast<double>(stamp_t1 - ingest_t0));
+  } else {
+    stamper_.StampSourceBatch(&batch, now, it->second.graph->num_sources());
+  }
   ib_.Push(std::move(batch));
   lock.unlock();
   sched_.Notify(ingress_.get());
@@ -158,6 +174,9 @@ RunStatus ServerPipeline::IngressSlice() {
     if (!dest->input()->TryPush(&*staged_, ingress_.get(), &sched_)) {
       // Downstream full: stay paused with the batch staged. Admission
       // accounting happens only when it actually lands.
+      if (telemetry::Telemetry* tel = telemetry::Get()) {
+        tel->metrics().GetCounter("infra.server.credit_stalls")->Add(1);
+      }
       return RunStatus::kBlocked;
     }
     staged_.reset();
@@ -171,6 +190,11 @@ RunStatus ServerPipeline::IngressSlice() {
       acc->second.tracker.AddResultSic(now, sic);
       acc->second.total_sic += sic;
       acc->second.total_tuples += n;
+      if (telemetry::Telemetry* tel = telemetry::Get()) {
+        // Same seam as Node::ProcessNext's admission accounting, so a
+        // kModeled snapshot matches the DES snapshot bit for bit.
+        query_telemetry_.RecordAccepted(tel, q, sic, n);
+      }
       stats_.batches_processed += 1;
       stats_.tuples_processed += n;
       interval_tuples_ += n;
@@ -217,6 +241,13 @@ void ServerPipeline::ChargeModeled(double work_us) {
 
 void ServerPipeline::RecordMeasuredBusy(SimDuration busy_us) {
   if (options_.accounting != CostAccounting::kMeasured) return;
+  if (telemetry::Telemetry* tel = telemetry::Get()) {
+    // Operator-execute stage: the slice already measured its own busy
+    // time, so this costs no extra clock read.
+    tel->metrics()
+        .GetHistogram("infra.server.execute_us")
+        ->Observe(static_cast<double>(busy_us));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   interval_busy_ += busy_us;
   stats_.busy_time += busy_us;
@@ -263,6 +294,9 @@ void ServerPipeline::TickPhase1() {
 }
 
 void ServerPipeline::TickPhase2() {
+  telemetry::Telemetry* tel = telemetry::Get();
+  const bool timed = tel != nullptr && measured_accounting();
+  uint64_t shed_t0 = timed ? tel->tracer().NowMicros() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     SimTime now = clock_->NowMicros();
@@ -293,7 +327,12 @@ void ServerPipeline::TickPhase2() {
       }
     }
 
-    if (detector_.IsOverloaded(ib_.num_tuples(), capacity)) {
+    bool overloaded = detector_.IsOverloaded(ib_.num_tuples(), capacity);
+    if (tel != nullptr) {
+      // Same seam and inputs as Node::OnShedTimer's verdict record.
+      RecordShedTick(tel, ib_.num_tuples(), capacity, overloaded);
+    }
+    if (overloaded) {
       size_t max_qid =
           queries_.empty()
               ? 0
@@ -316,6 +355,9 @@ void ServerPipeline::TickPhase2() {
       ctx.local_accepted_sic = &accepted_snapshot_;
       std::vector<size_t> keep =
           shedder_->SelectBatchesToKeep(ib_.batches(), ctx);
+      if (tel != nullptr) {
+        RecordShedDrops(tel, &query_telemetry_, ib_.batches(), keep);
+      }
       size_t before_batches = ib_.num_batches();
       size_t dropped = ib_.RetainIndices(keep);
       if (dropped > 0) {
@@ -325,6 +367,13 @@ void ServerPipeline::TickPhase2() {
       }
       WakeSourcesIfDrainedLocked();
     }
+  }
+  if (timed) {
+    telemetry::MetricRegistry& m = tel->metrics();
+    m.GetHistogram("infra.server.shed_us")
+        ->Observe(static_cast<double>(tel->tracer().NowMicros() - shed_t0));
+    m.GetGauge("infra.server.queue_depth")
+        ->Set(static_cast<double>(sched_.queue_depth()));
   }
   sched_.Notify(ingress_.get());
 }

@@ -30,6 +30,7 @@
 #include "common/time_types.h"
 #include "node/input_buffer.h"
 #include "node/sic_stamper.h"
+#include "node/telemetry_hooks.h"
 #include "runtime/batch_pool.h"
 #include "runtime/clock.h"
 #include "runtime/query_graph.h"
@@ -212,6 +213,8 @@ class ServerPipeline : private ServerSite {
   std::map<QueryId, Account> results_;
   std::map<QueryId, Ewma> efficiency_;
   std::vector<double> accepted_snapshot_;
+  /// Cached per-query telemetry counters; all writers hold mu_.
+  QueryTelemetry query_telemetry_;
   SimTime busy_until_ = 0;
   uint64_t interval_tuples_ = 0;
   SimDuration interval_busy_ = 0;

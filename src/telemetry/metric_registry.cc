@@ -1,0 +1,292 @@
+#include "telemetry/metric_registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace themis {
+namespace telemetry {
+namespace {
+
+thread_local int tls_lane = 0;
+
+/// Formats a fixed-point value as a plain decimal with 6 fractional
+/// digits — enough to round-trip Q44.20 exactly for display purposes and
+/// deterministic across platforms (no float-to-shortest ambiguity).
+void AppendFixed(std::string* out, int64_t fp) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", FixedToDouble(fp));
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+bool IsInfra(std::string_view name) {
+  return name.size() >= 6 && name.substr(0, 6) == "infra.";
+}
+
+}  // namespace
+
+int64_t FixedFromDouble(double v) {
+  return static_cast<int64_t>(
+      std::llround(std::ldexp(v, kFixedPointBits)));
+}
+
+double FixedToDouble(int64_t fp) {
+  return std::ldexp(static_cast<double>(fp), -kFixedPointBits);
+}
+
+void SetLane(int lane) {
+  if (lane < 0) lane = 0;
+  if (lane >= kMaxLanes) lane = kMaxLanes - 1;
+  tls_lane = lane;
+}
+
+int Lane() { return tls_lane; }
+
+void Counter::Add(uint64_t n) {
+  lanes_[tls_lane].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t sum = 0;
+  for (const LaneCell& lane : lanes_) {
+    sum += lane.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Gauge::Set(double v) {
+  fp_.store(FixedFromDouble(v), std::memory_order_relaxed);
+}
+
+void Gauge::SetRaw(int64_t fp) { fp_.store(fp, std::memory_order_relaxed); }
+
+int64_t Gauge::Raw() const { return fp_.load(std::memory_order_relaxed); }
+
+double Gauge::Value() const { return FixedToDouble(Raw()); }
+
+int Histogram::BucketOf(double v) {
+  if (!(v > 0.0)) return 0;
+  int exp = 0;
+  (void)std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  int b = exp + kBucketBias;
+  if (b < 0) b = 0;
+  if (b >= kBuckets) b = kBuckets - 1;
+  return b;
+}
+
+void Histogram::Observe(double v) {
+  Lane& lane = lanes_[tls_lane];
+  lane.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  lane.count.fetch_add(1, std::memory_order_relaxed);
+  lane.sum_fp.fetch_add(FixedFromDouble(v), std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t sum = 0;
+  for (const Lane& lane : lanes_) {
+    sum += lane.count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+int64_t Histogram::SumRaw() const {
+  int64_t sum = 0;
+  for (const Lane& lane : lanes_) {
+    sum += lane.sum_fp.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double Histogram::Sum() const { return FixedToDouble(SumRaw()); }
+
+uint64_t Histogram::BucketCount(int b) const {
+  uint64_t sum = 0;
+  for (const Lane& lane : lanes_) {
+    sum += lane.buckets[b].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Series::Append(int64_t time_us, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.push_back(Point{time_us, FixedFromDouble(value)});
+}
+
+std::vector<Series::Point> Series::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+namespace {
+
+template <typename Map, typename T>
+T* GetOrCreate(std::mutex* mu, Map* map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate<decltype(counters_), Counter>(&mu_, &counters_, name);
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate<decltype(gauges_), Gauge>(&mu_, &gauges_, name);
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate<decltype(histograms_), Histogram>(&mu_, &histograms_,
+                                                       name);
+}
+
+Series* MetricRegistry::GetSeries(std::string_view name) {
+  return GetOrCreate<decltype(series_), Series>(&mu_, &series_, name);
+}
+
+void MetricRegistry::ExportProm(std::string* out, bool include_infra) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    if (!include_infra && IsInfra(name)) continue;
+    out->append(name);
+    out->push_back(' ');
+    AppendU64(out, counter->Value());
+    out->push_back('\n');
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (!include_infra && IsInfra(name)) continue;
+    out->append(name);
+    out->push_back(' ');
+    AppendFixed(out, gauge->Raw());
+    out->push_back('\n');
+  }
+  for (const auto& [name, hist] : histograms_) {
+    if (!include_infra && IsInfra(name)) continue;
+    out->append(name);
+    out->append("_count ");
+    AppendU64(out, hist->Count());
+    out->push_back('\n');
+    out->append(name);
+    out->append("_sum ");
+    AppendFixed(out, hist->SumRaw());
+    out->push_back('\n');
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      uint64_t n = hist->BucketCount(b);
+      if (n == 0) continue;
+      out->append(name);
+      out->append("_bucket{pow2=\"");
+      AppendI64(out, b - Histogram::kBucketBias);
+      out->append("\"} ");
+      AppendU64(out, n);
+      out->push_back('\n');
+    }
+  }
+  for (const auto& [name, series] : series_) {
+    if (!include_infra && IsInfra(name)) continue;
+    for (const Series::Point& p : series->Snapshot()) {
+      out->append(name);
+      out->append("{t_us=\"");
+      AppendI64(out, p.time_us);
+      out->append("\"} ");
+      AppendFixed(out, p.value_fp);
+      out->push_back('\n');
+    }
+  }
+}
+
+void MetricRegistry::ExportJson(std::string* out, bool include_infra) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!include_infra && IsInfra(name)) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    out->append(name);
+    out->append("\":");
+    AppendU64(out, counter->Value());
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!include_infra && IsInfra(name)) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    out->append(name);
+    out->append("\":");
+    AppendFixed(out, gauge->Raw());
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!include_infra && IsInfra(name)) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    out->append(name);
+    out->append("\":{\"count\":");
+    AppendU64(out, hist->Count());
+    out->append(",\"sum\":");
+    AppendFixed(out, hist->SumRaw());
+    out->append(",\"buckets\":{");
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      uint64_t n = hist->BucketCount(b);
+      if (n == 0) continue;
+      if (!first_bucket) out->push_back(',');
+      first_bucket = false;
+      out->push_back('"');
+      AppendI64(out, b - Histogram::kBucketBias);
+      out->append("\":");
+      AppendU64(out, n);
+    }
+    out->append("}}");
+  }
+  out->append("},\"series\":{");
+  first = true;
+  for (const auto& [name, series] : series_) {
+    if (!include_infra && IsInfra(name)) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    out->append(name);
+    out->append("\":[");
+    bool first_point = true;
+    for (const Series::Point& p : series->Snapshot()) {
+      if (!first_point) out->push_back(',');
+      first_point = false;
+      out->push_back('[');
+      AppendI64(out, p.time_us);
+      out->push_back(',');
+      AppendFixed(out, p.value_fp);
+      out->push_back(']');
+    }
+    out->push_back(']');
+  }
+  out->append("}}");
+}
+
+}  // namespace telemetry
+}  // namespace themis

@@ -1,0 +1,95 @@
+#include "telemetry/span_tracer.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace themis {
+namespace telemetry {
+namespace {
+
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local cache of the calling thread's ring for one tracer. Keyed
+// by the tracer's process-unique id (never an address, which could be
+// reused by a later tracer).
+thread_local uint64_t tls_tracer_id = 0;
+thread_local void* tls_log = nullptr;
+
+}  // namespace
+
+SpanTracer::SpanTracer(size_t ring_capacity)
+    : capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      id_(NextTracerId()),
+      origin_(std::chrono::steady_clock::now()) {}
+
+uint64_t SpanTracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+SpanTracer::ThreadLog* SpanTracer::RegisterThisThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto log = std::make_unique<ThreadLog>();
+  log->ring.reserve(capacity_);
+  log->tid = static_cast<int>(logs_.size());
+  ThreadLog* raw = log.get();
+  logs_.push_back(std::move(log));
+  return raw;
+}
+
+void SpanTracer::Record(const char* name, uint64_t start_us,
+                        uint64_t dur_us) {
+  if (tls_tracer_id != id_) {
+    tls_log = RegisterThisThread();
+    tls_tracer_id = id_;
+  }
+  ThreadLog* log = static_cast<ThreadLog*>(tls_log);
+  SpanEvent event{name, start_us, dur_us};
+  if (log->ring.size() < capacity_) {
+    log->ring.push_back(event);
+  } else {
+    log->ring[log->next] = event;
+    log->next = (log->next + 1) % capacity_;
+  }
+  ++log->recorded;
+}
+
+uint64_t SpanTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& log : logs_) total += log->recorded;
+  return total;
+}
+
+void SpanTracer::ExportChromeTrace(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->append("{\"traceEvents\":[");
+  bool first = true;
+  char buf[160];
+  for (const auto& log : logs_) {
+    // Oldest-first: the overwrite cursor marks the oldest retained span.
+    const size_t n = log->ring.size();
+    for (size_t i = 0; i < n; ++i) {
+      const SpanEvent& e = log->ring[(log->next + i) % n];
+      if (!first) out->push_back(',');
+      first = false;
+      out->append("{\"name\":\"");
+      out->append(e.name);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"X\",\"cat\":\"themis\",\"ts\":%llu,"
+                    "\"dur\":%llu,\"pid\":1,\"tid\":%d}",
+                    static_cast<unsigned long long>(e.start_us),
+                    static_cast<unsigned long long>(e.dur_us), log->tid);
+      out->append(buf);
+    }
+  }
+  out->append("],\"displayTimeUnit\":\"ms\"}");
+}
+
+}  // namespace telemetry
+}  // namespace themis

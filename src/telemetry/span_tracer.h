@@ -1,0 +1,75 @@
+// Span tracer: timed scopes recorded into per-thread ring buffers and
+// exported as Chrome-trace JSON (load in Perfetto / chrome://tracing).
+//
+// Recording is wait-free after a thread's first span (one mutex-guarded
+// ring registration per thread, then plain writes into that thread's own
+// ring). Timestamps are wall-clock microseconds since tracer construction
+// — spans are a profiling aid and explicitly outside the determinism
+// contract; export only runs after worker threads have quiesced
+// (PerfRecorder's destructor, end of themis_sim).
+#ifndef THEMIS_TELEMETRY_SPAN_TRACER_H_
+#define THEMIS_TELEMETRY_SPAN_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace themis {
+namespace telemetry {
+
+/// One completed span. `name` must be a string literal (stored by
+/// pointer; never freed before export).
+struct SpanEvent {
+  const char* name = nullptr;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+};
+
+/// \brief Per-thread ring-buffer span recorder with Chrome-trace export.
+class SpanTracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1 << 16;
+
+  explicit SpanTracer(size_t ring_capacity = kDefaultRingCapacity);
+
+  /// Wall-clock microseconds since construction.
+  uint64_t NowMicros() const;
+
+  /// Records one span on the calling thread's ring; once the ring is
+  /// full the oldest span is overwritten.
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us);
+
+  /// Spans ever recorded across threads (including overwritten ones).
+  /// Exact only after writers have quiesced.
+  uint64_t recorded() const;
+  size_t ring_capacity() const { return capacity_; }
+
+  /// Appends `{"traceEvents":[...],"displayTimeUnit":"ms"}` — one
+  /// complete ("ph":"X") event per retained span, tid = ring
+  /// registration order. Call only after recording threads quiesced.
+  void ExportChromeTrace(std::string* out) const;
+
+ private:
+  struct ThreadLog {
+    std::vector<SpanEvent> ring;
+    size_t next = 0;        ///< overwrite cursor once ring is full
+    uint64_t recorded = 0;  ///< total spans this thread ever recorded
+    int tid = 0;
+  };
+
+  ThreadLog* RegisterThisThread();
+
+  const size_t capacity_;
+  const uint64_t id_;  ///< process-unique, guards tls cache reuse
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+}  // namespace telemetry
+}  // namespace themis
+
+#endif  // THEMIS_TELEMETRY_SPAN_TRACER_H_

@@ -1,0 +1,19 @@
+#include "telemetry/telemetry.h"
+
+namespace themis {
+namespace telemetry {
+
+namespace internal {
+std::atomic<Telemetry*> g_telemetry{nullptr};
+}  // namespace internal
+
+void Install(Telemetry* t) {
+  internal::g_telemetry.store(t, std::memory_order_release);
+}
+
+void Uninstall() {
+  internal::g_telemetry.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace telemetry
+}  // namespace themis

@@ -235,5 +235,64 @@ TEST(RecoveryTrackerTest, MonotoneClocksAndDeterministicDebugString) {
   EXPECT_EQ(a.DebugString(), b.DebugString());
 }
 
+TEST(RecoveryTrackerTest, JainDipFollowsTheArmedDippedRecoveredLifecycle) {
+  RecoveryTracker tracker(SmallOptions());
+  tracker.Sample(Seconds(1), Sics{{0, 1.0}, {1, 1.0}});  // jain = 1
+  tracker.MarkDisturbance(Seconds(1), DisturbanceKind::kCrashWave);
+  // Query 1 collapses: jain = 1.1^2 / (2 * 1.01) ~ 0.599 < 0.95.
+  tracker.Sample(Seconds(2), Sics{{0, 1.0}, {1, 0.1}});
+  // Back near parity: jain = 1.9^2 / (2 * 1.81) ~ 0.997 >= 0.95.
+  tracker.Sample(Seconds(3), Sics{{0, 1.0}, {1, 0.9}});
+
+  const Disturbance& d = tracker.disturbances()[0];
+  EXPECT_DOUBLE_EQ(d.jain_baseline, 1.0);
+  EXPECT_DOUBLE_EQ(d.jain_threshold, 0.95);
+  EXPECT_TRUE(d.jain_dipped);
+  EXPECT_TRUE(d.jain_recovered);
+  EXPECT_TRUE(d.jain_settled);
+  EXPECT_EQ(d.jain_time_to_recover, Seconds(2));
+
+  RecoverySummary s = tracker.Summarize(DisturbanceKind::kCrashWave);
+  EXPECT_EQ(s.jain_dips, 1);
+  EXPECT_EQ(s.jain_unrecovered, 0);
+  EXPECT_DOUBLE_EQ(s.mean_jain_ttr_ms, 2000.0);
+}
+
+TEST(RecoveryTrackerTest, UnrecoveredJainDipIsCensoredIntoTheMean) {
+  RecoveryTracker tracker(SmallOptions());
+  tracker.Sample(Seconds(1), Sics{{0, 1.0}, {1, 1.0}});
+  tracker.MarkDisturbance(Seconds(1), DisturbanceKind::kCrashWave);
+  tracker.Sample(Seconds(2), Sics{{0, 1.0}, {1, 0.1}});
+  tracker.Sample(Seconds(4), Sics{{0, 1.0}, {1, 0.2}});  // still unfair
+
+  const Disturbance& d = tracker.disturbances()[0];
+  EXPECT_TRUE(d.jain_dipped);
+  EXPECT_FALSE(d.jain_recovered);
+  EXPECT_TRUE(d.open);
+  EXPECT_EQ(d.jain_time_to_recover, -1);
+
+  // Censored: the open dip counts its elapsed time (4s - 1s = 3s).
+  RecoverySummary s = tracker.Summarize(DisturbanceKind::kCrashWave);
+  EXPECT_EQ(s.jain_dips, 1);
+  EXPECT_EQ(s.jain_unrecovered, 1);
+  EXPECT_DOUBLE_EQ(s.mean_jain_ttr_ms, 3000.0);
+}
+
+TEST(RecoveryTrackerTest, SteadyJainSettlesAfterTheOnsetWindow) {
+  RecoveryTracker tracker(SmallOptions());
+  tracker.Sample(Seconds(1), Sics{{0, 1.0}, {1, 1.0}});
+  tracker.MarkDisturbance(Seconds(1), DisturbanceKind::kCrashWave);
+  // Both queries dip together: SIC dips open but fairness never dents.
+  tracker.Sample(Seconds(2), Sics{{0, 0.5}, {1, 0.5}});
+  tracker.Sample(Seconds(4), Sics{{0, 0.95}, {1, 0.95}});  // past onset
+
+  const Disturbance& d = tracker.disturbances()[0];
+  EXPECT_FALSE(d.jain_dipped);
+  EXPECT_TRUE(d.jain_settled);
+  RecoverySummary s = tracker.Summarize(DisturbanceKind::kCrashWave);
+  EXPECT_EQ(s.jain_dips, 0);
+  EXPECT_DOUBLE_EQ(s.mean_jain_ttr_ms, 0.0);
+}
+
 }  // namespace
 }  // namespace themis

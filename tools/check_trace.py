@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file emitted by themis_telemetry.
+
+Usage: check_trace.py TRACE_JSON [--require SPAN_NAME ...] [--min-events N]
+
+Checks that the file parses as JSON, carries a `traceEvents` list, and that
+every event is a well-formed complete ("ph":"X") span: string `name`,
+numeric non-negative `ts`/`dur`, numeric `pid`/`tid`. Each --require names
+a span that must appear at least once (repeatable); --min-events pins a
+lower bound on the total span count. Exits non-zero, listing every
+violation, when any check fails — CI runs this against the traces written
+by `themis_sim --trace` and the bench `--trace` flag so the exporter
+cannot silently drift away from the Perfetto-loadable format.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="SPAN_NAME",
+        help="span name that must appear at least once (repeatable)")
+    parser.add_argument(
+        "--min-events", type=int, default=1,
+        help="minimum number of trace events (default 1)")
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        print(f"error: {args.trace}: no traceEvents list", file=sys.stderr)
+        return 1
+
+    names = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty name")
+        else:
+            names.add(name)
+        if ev.get("ph") != "X":
+            errors.append(f"{where}: ph is {ev.get('ph')!r}, expected 'X'")
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            if not isinstance(v, numbers.Real) or isinstance(v, bool):
+                errors.append(f"{where}: {field} is not numeric: {v!r}")
+            elif v < 0:
+                errors.append(f"{where}: {field} is negative: {v!r}")
+        for field in ("pid", "tid"):
+            v = ev.get(field)
+            if not isinstance(v, numbers.Real) or isinstance(v, bool):
+                errors.append(f"{where}: {field} is not numeric: {v!r}")
+
+    if len(events) < args.min_events:
+        errors.append(
+            f"only {len(events)} event(s), need >= {args.min_events}")
+    for required in args.require:
+        if required not in names:
+            errors.append(f"required span {required!r} never recorded")
+
+    if errors:
+        print(f"{args.trace}: {len(errors)} problem(s):", file=sys.stderr)
+        for e in errors[:50]:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: OK ({len(events)} events, "
+          f"{len(names)} distinct spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

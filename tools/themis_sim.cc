@@ -3,20 +3,26 @@
 //   $ themis_sim --nodes=6 --queries=80 --fragments=3 --overload=3
 //
 // with optional flags --policy=balance-sic|random|fifo --seconds=40
-// --zipf=1.0 --seed=42 --interval-ms=250 --burst=0.1 --csv
+// --zipf=1.0 --seed=42 --interval-ms=250 --burst=0.1 --csv --shards=N
+// --trace=PATH --metrics=PATH
 //
 // Deploys a mixed complex workload (AVG-all / TOP-5 / COV) with the given
 // shape and prints per-second fairness metrics, so deployments can be
-// explored without writing C++.
+// explored without writing C++. --trace writes a Chrome-trace JSON of the
+// run's spans (open in Perfetto); --metrics writes a Prometheus-style
+// snapshot whose non-`infra.` lines are bit-identical at any --shards (the
+// CI cross-shard gate diffs them at shards 1 vs 4).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/stats.h"
 #include "federation/fsps.h"
 #include "federation/placement.h"
 #include "metrics/jain.h"
+#include "telemetry/telemetry.h"
 #include "workload/workloads.h"
 
 namespace {
@@ -35,6 +41,9 @@ struct Flags {
   int interval_ms = 250;
   double burst = 0.0;
   bool csv = false;
+  int shards = 1;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -67,6 +76,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->interval_ms = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "burst", &v)) {
       flags->burst = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "shards", &v)) {
+      flags->shards = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "trace", &v)) {
+      flags->trace_path = v;
+    } else if (ParseFlag(argv[i], "metrics", &v)) {
+      flags->metrics_path = v;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       flags->csv = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -100,7 +115,8 @@ int main(int argc, char** argv) {
         "                  [--overload=X] [--policy=balance-sic|random|\n"
         "                   drop-newest|drop-oldest|proportional]\n"
         "                  [--seconds=N] [--zipf=S] [--seed=N]\n"
-        "                  [--interval-ms=N] [--burst=P] [--csv]\n");
+        "                  [--interval-ms=N] [--burst=P] [--csv]\n"
+        "                  [--shards=N] [--trace=PATH] [--metrics=PATH]\n");
     return 2;
   }
   auto policy = PolicyFromName(flags.policy);
@@ -112,9 +128,18 @@ int main(int argc, char** argv) {
   const double kSourceRate = 30.0;
   const int kSourcesPerFragment = 4;
 
+  // Install telemetry for the whole run when an export path was given; the
+  // non-`infra.` snapshot lines are a pure function of the scenario, so
+  // they match at any --shards value.
+  telemetry::Telemetry telemetry;
+  const bool telemetry_on =
+      !flags.trace_path.empty() || !flags.metrics_path.empty();
+  if (telemetry_on) telemetry::Install(&telemetry);
+
   FspsOptions opts;
   opts.policy = *policy;
   opts.seed = flags.seed;
+  opts.shards = flags.shards;
   opts.node.shed_interval = Millis(flags.interval_ms);
   opts.coordinator.update_interval = Millis(flags.interval_ms);
 
@@ -176,6 +201,30 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(shed - last_shed));
     }
     last_shed = shed;
+  }
+
+  if (telemetry_on) {
+    telemetry::Uninstall();
+    if (!flags.trace_path.empty()) {
+      std::string trace;
+      telemetry.tracer().ExportChromeTrace(&trace);
+      std::ofstream out(flags.trace_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", flags.trace_path.c_str());
+        return 1;
+      }
+      out << trace << "\n";
+    }
+    if (!flags.metrics_path.empty()) {
+      std::string prom;
+      telemetry.metrics().ExportProm(&prom);
+      std::ofstream out(flags.metrics_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", flags.metrics_path.c_str());
+        return 1;
+      }
+      out << prom;
+    }
   }
   return 0;
 }
