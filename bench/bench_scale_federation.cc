@@ -57,6 +57,13 @@ int main(int argc, char** argv) {
     measure = Seconds(10);
   }
   const int parallel_shards = FlagValue(argc, argv, "--shards", 4);
+  // Columnar data plane. Every figure this bench prints is simulated-domain
+  // state, so the output must be byte-identical with the flag on or off —
+  // CI diffs the two invocations to pin the columnar/row parity end-to-end.
+  bool columnar = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--columnar") == 0) columnar = true;
+  }
   ScaleScenario scenario = MakeScaleScenario(so);
 
   Reporter reporter(
@@ -88,6 +95,7 @@ int main(int argc, char** argv) {
     FspsOptions fo;
     fo.shards = config.shards;
     fo.force_parsim_engine = config.force_parsim;
+    fo.columnar = columnar;
     auto fsps = MakeScaleFederation(scenario, fo);
     perf.BeginRun(config.name);
     ScaleRunResult r = RunScaleScenario(fsps.get(), scenario, measure);

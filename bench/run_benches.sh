@@ -8,7 +8,12 @@
 # token `{bench}` inside an extra arg is replaced with the bench's name,
 # so e.g.
 #   bench/run_benches.sh build out.json --quick --metrics=/tmp/{bench}.prom
-# writes one telemetry snapshot per bench.
+# writes one telemetry snapshot per bench. Benches ignore flags they do not
+# know, so e.g.
+#   bench/run_benches.sh build out.json --quick --columnar
+# runs the whole suite with the columnar data plane wherever it exists
+# (bench_dataplane's SoA variant + parity gate, bench_scale_federation's
+# columnar sources) and leaves the other benches untouched.
 #
 # Sequential on purpose: the benches merge into one file, and concurrent
 # writers would race. Refresh bench/baseline.json with:

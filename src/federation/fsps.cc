@@ -238,6 +238,7 @@ Status Fsps::AttachSources(QueryId q,
     if (auto it = models.find(sb.source); it != models.end()) {
       model = it->second;
     }
+    if (options_.columnar) model.columnar = true;
 
     NodeId dest = placement.at(graph->fragment_of(sb.target));
     Node* dest_node = nodes_[dest].get();

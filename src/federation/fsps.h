@@ -92,6 +92,12 @@ struct FspsOptions {
   /// Disabled by default: zero overhead, zero RunFor re-segmentation, every
   /// pre-existing figure byte-identical.
   RecoveryTrackerOptions recovery;
+  /// Columnar data plane: sources emit SoA batches (see SourceModel::
+  /// columnar) and operators with columnar kernels consume them without row
+  /// materialization. Results are byte-identical either way — the flag
+  /// trades layout, not semantics (tests/columnar_test.cc and the CI parity
+  /// byte-diff pin this). Off by default.
+  bool columnar = false;
 };
 
 /// Counters of the dynamic-topology control plane (node churn, link drift,

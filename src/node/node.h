@@ -252,6 +252,8 @@ class Node {
   std::vector<double> accepted_snapshot_;
   // Cached per-query telemetry counters (no-op unless installed).
   QueryTelemetry query_telemetry_;
+  // Batch-pool occupancy/recycle export, published once per shed tick.
+  PoolTelemetry pool_telemetry_;
 
   // Processing bookkeeping.
   bool processing_scheduled_ = false;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "runtime/batch.h"
+#include "runtime/batch_pool.h"
 #include "telemetry/telemetry.h"
 
 namespace themis {
@@ -44,6 +45,38 @@ class QueryTelemetry {
 
   telemetry::Telemetry* owner_ = nullptr;
   std::vector<PerQuery> by_query_;
+};
+
+/// \brief Publishes BatchPool recycling statistics as `infra.pool.*`
+/// metrics (infra.* is the wall-clock/environment namespace excluded from
+/// determinism byte-diffs). Counters
+/// `infra.pool.{row,columnar}_{hits,misses,released,evicted}` advance by the
+/// delta since the last publish; gauges `infra.pool.{row,columnar}_pooled`
+/// and `..._peak` carry the current free-list occupancy / high-water mark.
+/// Call from the shed tick (one publish per interval is plenty).
+class PoolTelemetry {
+ public:
+  void Publish(telemetry::Telemetry* t, const BatchPool::Stats& s);
+
+ private:
+  struct Handles {
+    telemetry::Counter* row_hits = nullptr;
+    telemetry::Counter* row_misses = nullptr;
+    telemetry::Counter* row_released = nullptr;
+    telemetry::Counter* row_evicted = nullptr;
+    telemetry::Counter* columnar_hits = nullptr;
+    telemetry::Counter* columnar_misses = nullptr;
+    telemetry::Counter* columnar_released = nullptr;
+    telemetry::Counter* columnar_evicted = nullptr;
+    telemetry::Gauge* row_pooled = nullptr;
+    telemetry::Gauge* row_peak = nullptr;
+    telemetry::Gauge* columnar_pooled = nullptr;
+    telemetry::Gauge* columnar_peak = nullptr;
+  };
+
+  telemetry::Telemetry* owner_ = nullptr;
+  Handles h_;
+  BatchPool::Stats last_;
 };
 
 /// Records one overload-detector verdict: counters `shed.ticks` /

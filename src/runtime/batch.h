@@ -4,9 +4,11 @@
 #ifndef THEMIS_RUNTIME_BATCH_H_
 #define THEMIS_RUNTIME_BATCH_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/time_types.h"
+#include "runtime/columnar.h"
 #include "runtime/ids.h"
 #include "runtime/tuple.h"
 
@@ -30,13 +32,26 @@ struct BatchHeader {
 };
 
 /// \brief A batch of tuples plus its SIC header.
+///
+/// Dual representation: a batch carries its tuples either row-oriented (in
+/// `tuples`) or columnar (in `columnar`, SoA arrays), never both. Everything
+/// header-level (size, SIC mass, shedding decisions) is representation-
+/// agnostic; consumers that need rows materialize at the seam (see
+/// Operator::IngestColumnar's default). Holding the block by unique_ptr
+/// keeps Batch moves cheap and makes Batch move-only, so no code path can
+/// silently deep-copy a batch.
 struct Batch {
   BatchHeader header;
   std::vector<Tuple> tuples;
+  std::unique_ptr<ColumnarBlock> columnar;
+
+  bool is_columnar() const { return columnar != nullptr; }
 
   /// Number of tuples; this is what counts against node capacity `c`.
-  size_t size() const { return tuples.size(); }
-  bool empty() const { return tuples.empty(); }
+  size_t size() const {
+    return columnar != nullptr ? columnar->rows() : tuples.size();
+  }
+  bool empty() const { return size() == 0; }
 
   /// Recomputes the header SIC as the sum of tuple SIC values.
   void RefreshHeaderSic();

@@ -1,0 +1,229 @@
+#include "runtime/columnar.h"
+
+namespace themis {
+
+namespace {
+
+size_t Words(size_t bits) { return (bits + 63) / 64; }
+
+void SetBit(std::vector<uint64_t>* bits, size_t i) {
+  if (bits->size() < Words(i + 1)) bits->resize(Words(i + 1), 0);
+  (*bits)[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+// Materializes an all-valid bitmap for the first `nrows` rows; called when a
+// dense column sees its first missing value.
+void MakeSparse(ColumnarBlock::Column* col, size_t nrows) {
+  col->dense = false;
+  col->valid.assign(Words(nrows), ~uint64_t{0});
+  if (nrows % 64 != 0 && !col->valid.empty()) {
+    col->valid.back() = ~uint64_t{0} >> (64 - nrows % 64);
+  }
+}
+
+}  // namespace
+
+Value ColumnarBlock::Column::ValueAt(size_t row) const {
+  switch (kind) {
+    case Value::Kind::kInt64:
+      return Value(i64[row]);
+    case Value::Kind::kDouble:
+      return Value(f64[row]);
+    case Value::Kind::kString:
+      return Value::FromInterned(str[row]);
+  }
+  return Value(0.0);
+}
+
+void ColumnarBlock::Clear() {
+  timestamps_.clear();
+  sics_.clear();
+  for (Column& c : columns_) {
+    c.i64.clear();
+    c.f64.clear();
+    c.str.clear();
+    c.valid.clear();
+    c.dense = true;
+  }
+  width_ = 0;
+}
+
+void ColumnarBlock::ReserveRows(size_t n) {
+  timestamps_.reserve(n);
+  sics_.reserve(n);
+  for (size_t c = 0; c < width_; ++c) {
+    Column& col = columns_[c];
+    switch (col.kind) {
+      case Value::Kind::kInt64:
+        col.i64.reserve(n);
+        break;
+      case Value::Kind::kDouble:
+        col.f64.reserve(n);
+        break;
+      case Value::Kind::kString:
+        col.str.reserve(n);
+        break;
+    }
+  }
+}
+
+ColumnarBlock::Column& ColumnarBlock::Activate(size_t c, Value::Kind kind) {
+  if (c >= columns_.size()) columns_.resize(c + 1);
+  Column& col = columns_[c];
+  col.kind = kind;
+  col.i64.clear();
+  col.f64.clear();
+  col.str.clear();
+  const size_t nrows = rows();
+  // Rows appended before this column existed do not carry the field.
+  if (nrows > 0) {
+    col.dense = false;
+    col.valid.assign(Words(nrows), 0);
+    switch (kind) {
+      case Value::Kind::kInt64:
+        col.i64.resize(nrows, 0);
+        break;
+      case Value::Kind::kDouble:
+        col.f64.resize(nrows, 0.0);
+        break;
+      case Value::Kind::kString:
+        col.str.resize(nrows, 0);
+        break;
+    }
+  } else {
+    col.dense = true;
+    col.valid.clear();
+  }
+  width_ = c + 1;
+  return col;
+}
+
+void ColumnarBlock::AppendValue(Column* col, size_t row, const Value& v) {
+  if (!col->dense) SetBit(&col->valid, row);
+  switch (col->kind) {
+    case Value::Kind::kInt64:
+      col->i64.push_back(v.int_value());
+      break;
+    case Value::Kind::kDouble:
+      col->f64.push_back(v.double_value());
+      break;
+    case Value::Kind::kString:
+      col->str.push_back(v.string_id());
+      break;
+  }
+}
+
+void ColumnarBlock::AppendMissing(Column* col, size_t row) {
+  if (col->dense) MakeSparse(col, row);
+  if (col->valid.size() < Words(row + 1)) col->valid.resize(Words(row + 1), 0);
+  // Keep the typed array row-aligned with a zero slot (never read: the
+  // validity bit stays clear).
+  switch (col->kind) {
+    case Value::Kind::kInt64:
+      col->i64.push_back(0);
+      break;
+    case Value::Kind::kDouble:
+      col->f64.push_back(0.0);
+      break;
+    case Value::Kind::kString:
+      col->str.push_back(0);
+      break;
+  }
+}
+
+bool ColumnarBlock::AppendTuple(const Tuple& t) {
+  const size_t w = t.values.size();
+  // Validate before mutating: a failed append must leave the block intact so
+  // the caller can fall back to the row representation wholesale.
+  for (size_t c = 0; c < w && c < width_; ++c) {
+    if (columns_[c].kind != t.values[c].kind()) return false;
+  }
+  // Fill columns before growing the row spine: Activate() back-fills a
+  // lazily-created column for rows() existing rows, which must not include
+  // the row being appended here.
+  const size_t row = rows();
+  for (size_t c = 0; c < w; ++c) {
+    Column& col =
+        c < width_ ? columns_[c] : Activate(c, t.values[c].kind());
+    AppendValue(&col, row, t.values[c]);
+  }
+  for (size_t c = w; c < width_; ++c) AppendMissing(&columns_[c], row);
+  timestamps_.push_back(t.timestamp);
+  sics_.push_back(t.sic);
+  return true;
+}
+
+bool ColumnarBlock::AppendRowSlow(SimTime ts, double sic, double v,
+                                  size_t row) {
+  Column& c0 = columns_[0];
+  timestamps_.push_back(ts);
+  sics_.push_back(sic);
+  if (!c0.dense) SetBit(&c0.valid, row);
+  c0.f64.push_back(v);
+  for (size_t c = 1; c < width_; ++c) AppendMissing(&columns_[c], row);
+  return true;
+}
+
+void ColumnarBlock::MaterializeRow(size_t r, Tuple* t) const {
+  t->timestamp = timestamps_[r];
+  t->sic = sics_[r];
+  t->values.clear();
+  // Payloads are prefix-dense: the row's width is the length of its valid
+  // column prefix.
+  for (size_t c = 0; c < width_; ++c) {
+    const Column& col = columns_[c];
+    if (!col.IsValid(r)) break;
+    t->values.push_back(col.ValueAt(r));
+  }
+}
+
+void ColumnarBlock::MaterializeInto(std::vector<Tuple>* out) const {
+  const size_t n = rows();
+  out->reserve(out->size() + n);
+  for (size_t r = 0; r < n; ++r) {
+    MaterializeRow(r, &out->emplace_back());
+  }
+}
+
+double ColumnarBlock::SumSics() const {
+  double sum = 0.0;
+  for (double s : sics_) sum += s;
+  return sum;
+}
+
+void ColumnarBlock::GatherInto(const SelectionVector& sel,
+                               ColumnarBlock* out) const {
+  out->Clear();
+  out->timestamps_.reserve(sel.size());
+  out->sics_.reserve(sel.size());
+  for (size_t c = 0; c < width_; ++c) {
+    out->Activate(c, columns_[c].kind);
+  }
+  for (size_t i = 0; i < sel.size(); ++i) {
+    const size_t r = sel[i];
+    out->timestamps_.push_back(timestamps_[r]);
+    out->sics_.push_back(sics_[r]);
+    for (size_t c = 0; c < width_; ++c) {
+      const Column& src = columns_[c];
+      Column& dst = out->columns_[c];
+      if (src.IsValid(r)) {
+        if (!dst.dense) SetBit(&dst.valid, i);
+        switch (src.kind) {
+          case Value::Kind::kInt64:
+            dst.i64.push_back(src.i64[r]);
+            break;
+          case Value::Kind::kDouble:
+            dst.f64.push_back(src.f64[r]);
+            break;
+          case Value::Kind::kString:
+            dst.str.push_back(src.str[r]);
+            break;
+        }
+      } else {
+        AppendMissing(&dst, i);
+      }
+    }
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,132 @@
+// Columnar (SoA) batch storage. A ColumnarBlock holds the same logical
+// content as a row-oriented tuple vector — per-tuple timestamp, SIC and
+// payload — but laid out as contiguous per-field arrays so the hot kernels
+// (Eq. (1) stamping, selection, windowed aggregation) run as tight
+// auto-vectorizable loops instead of striding over 80-byte Tuples.
+//
+// Layout per block:
+//  - `timestamps()` / `sics()`: one entry per row.
+//  - one `Column` per payload field: a typed array (int64 / double /
+//    StringPool dictionary codes, mirroring Value's three kinds) plus a
+//    validity bitmap. Payloads are prefix-dense (ValueList has no holes), so
+//    row `r` carries field `c` iff `c < width(r)`; the bitmap encodes that
+//    prefix and `MaterializeInto()` reconstructs every row bit-for-bit.
+//
+// Conversion in either direction is exact: values keep their Value bits
+// (doubles are never re-rounded, string ids are carried verbatim), which is
+// what lets the columnar data plane guarantee byte-identical results vs the
+// row path (see tests/columnar_test.cc and the CI parity byte-diff).
+#ifndef THEMIS_RUNTIME_COLUMNAR_H_
+#define THEMIS_RUNTIME_COLUMNAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.h"
+#include "runtime/tuple.h"
+
+namespace themis {
+
+/// Row indices selected by a vectorized predicate, ascending. The columnar
+/// analogue of InputBuffer::RetainIndices' keep list, at tuple granularity.
+using SelectionVector = std::vector<uint32_t>;
+
+/// \brief Structure-of-arrays storage for one batch of tuples.
+class ColumnarBlock {
+ public:
+  /// One payload field: a typed contiguous array plus a validity bitmap.
+  /// Only the array matching `kind` is populated. While `dense` the bitmap
+  /// is not materialized (every row so far carries the field); the first
+  /// missing value materializes it.
+  struct Column {
+    Value::Kind kind = Value::Kind::kDouble;
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<uint32_t> str;  ///< StringPool dictionary codes
+    std::vector<uint64_t> valid;
+    bool dense = true;
+
+    bool IsValid(size_t row) const {
+      return dense || ((valid[row >> 6] >> (row & 63)) & 1u) != 0;
+    }
+    /// Field value of `row` as a Value (exact bits; row must be valid).
+    Value ValueAt(size_t row) const;
+    /// Numeric view (AsDouble semantics: ints widen, strings coerce to 0).
+    double DoubleAt(size_t row) const {
+      switch (kind) {
+        case Value::Kind::kDouble:
+          return f64[row];
+        case Value::Kind::kInt64:
+          return static_cast<double>(i64[row]);
+        case Value::Kind::kString:
+          return 0.0;
+      }
+      return 0.0;
+    }
+  };
+
+  size_t rows() const { return timestamps_.size(); }
+  /// Number of active columns (the widest payload appended so far).
+  size_t width() const { return width_; }
+
+  std::vector<SimTime>& timestamps() { return timestamps_; }
+  const std::vector<SimTime>& timestamps() const { return timestamps_; }
+  std::vector<double>& sics() { return sics_; }
+  const std::vector<double>& sics() const { return sics_; }
+  const Column& col(size_t c) const { return columns_[c]; }
+
+  /// Drops all rows but keeps every array's capacity (BatchPool recycling).
+  void Clear();
+  void ReserveRows(size_t n);
+
+  /// Appends one tuple. Returns false — without mutating the block — when
+  /// the payload cannot be stored columnar (a field's kind differs from the
+  /// column's established kind); the caller then falls back to rows.
+  bool AppendTuple(const Tuple& t);
+
+  /// Fast path for generated single-double payloads (the source hot loop).
+  /// Equivalent to AppendTuple({ts, sic, {v}}); false on column-kind clash.
+  /// Inline: the source generation loop calls this once per tuple.
+  bool AppendRow(SimTime ts, double sic, double v) {
+    if (width_ == 0) Activate(0, Value::Kind::kDouble);
+    Column& c0 = columns_[0];
+    if (c0.kind != Value::Kind::kDouble) return false;
+    const size_t row = rows();
+    if (c0.dense && width_ == 1) {  // hot case: single dense double column
+      timestamps_.push_back(ts);
+      sics_.push_back(sic);
+      c0.f64.push_back(v);
+      return true;
+    }
+    return AppendRowSlow(ts, sic, v, row);
+  }
+
+  /// Appends every row to `out` as Tuples, reconstructing each payload
+  /// exactly (same widths, same Value bits) as the rows that were appended.
+  void MaterializeInto(std::vector<Tuple>* out) const;
+  /// Same for a single row; `t`'s payload is cleared first.
+  void MaterializeRow(size_t r, Tuple* t) const;
+
+  /// Ordered sum of the SIC array — same accumulation order as the row
+  /// path's Batch::TotalSic(), so headers match bit-for-bit.
+  double SumSics() const;
+
+  /// Copies the selected rows (ascending `sel` indices) into `out`,
+  /// preserving column types and validity. `out` is cleared first.
+  void GatherInto(const SelectionVector& sel, ColumnarBlock* out) const;
+
+ private:
+  Column& Activate(size_t c, Value::Kind kind);
+  bool AppendRowSlow(SimTime ts, double sic, double v, size_t row);
+  static void AppendMissing(Column* col, size_t row);
+  static void AppendValue(Column* col, size_t row, const Value& v);
+
+  std::vector<SimTime> timestamps_;
+  std::vector<double> sics_;
+  std::vector<Column> columns_;  // storage kept across Clear() for reuse
+  size_t width_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_COLUMNAR_H_

@@ -1,0 +1,48 @@
+// Vectorizable kernels over ColumnarBlock arrays. Each kernel is a plain
+// sequential loop over contiguous data: floating-point accumulation order is
+// part of the determinism contract (columnar results must equal the row path
+// bit-for-bit), so none of these may be reordered — the compiler keeps the
+// serial FP chains, and the speedup comes from the contiguous layout, not
+// from re-associating sums.
+#ifndef THEMIS_RUNTIME_COLUMNAR_KERNELS_H_
+#define THEMIS_RUNTIME_COLUMNAR_KERNELS_H_
+
+#include <cstddef>
+
+#include "runtime/columnar.h"
+
+namespace themis {
+namespace columnar {
+
+/// Eq. (1) stamping: writes `sic` to every slot and returns the ordered sum
+/// — the same `sum += sic` loop SicStamper runs over row tuples, so the
+/// resulting batch header matches the row path to the last ulp.
+inline double StampSics(double* sics, size_t n, double sic) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sics[i] = sic;
+    sum += sic;
+  }
+  return sum;
+}
+
+/// Appends the indices of elements satisfying `pred` to `sel` (ascending).
+template <typename T, typename Pred>
+inline void SelectWhere(const T* x, size_t n, Pred pred,
+                        SelectionVector* sel) {
+  for (size_t i = 0; i < n; ++i) {
+    if (pred(x[i])) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+/// Ordered sum of a double array (row-path accumulation order).
+inline double SumDoubles(const double* x, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += x[i];
+  return sum;
+}
+
+}  // namespace columnar
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_COLUMNAR_KERNELS_H_

@@ -1,6 +1,14 @@
 #include "runtime/operator.h"
 
+#include "runtime/columnar.h"
+
 namespace themis {
+
+void Operator::IngestColumnar(const ColumnarBlock& block, int port) {
+  columnar_scratch_.clear();
+  block.MaterializeInto(&columnar_scratch_);
+  Ingest(columnar_scratch_, port);
+}
 
 namespace {
 

@@ -16,6 +16,8 @@
 
 namespace themis {
 
+class ColumnarBlock;
+
 /// \brief Base class of all stream operators.
 ///
 /// Lifecycle at a node: `Ingest()` is called for every delivered batch of
@@ -40,6 +42,25 @@ class Operator {
   /// Feeds tuples into the operator's window state.
   virtual void Ingest(const std::vector<Tuple>& tuples, int port) = 0;
 
+  /// Feeds a columnar block. Operators with a native columnar kernel
+  /// (AggregateOp, FilterOp with a FieldPredicate) override this (and
+  /// AcceptsColumnar); the default materializes rows into a scratch buffer
+  /// and forwards to Ingest(), so every operator consumes either
+  /// representation with identical results.
+  virtual void IngestColumnar(const ColumnarBlock& block, int port);
+
+  /// True when IngestColumnar avoids row materialization for `port` in the
+  /// operator's current configuration (diagnostics / tests).
+  virtual bool AcceptsColumnar(int port) const {
+    (void)port;
+    return false;
+  }
+
+  /// True for stateless forwarders (receiver/union/output): a node may
+  /// short-circuit a columnar batch past them on a linear chain, charging
+  /// their cost without materializing rows (see Node::ExecuteBatch).
+  virtual bool IsStatelessPassThrough() const { return false; }
+
   /// Closes windows up to `watermark` and appends derived tuples to `out`.
   virtual void Advance(SimTime watermark, std::vector<Tuple>* out) = 0;
 
@@ -54,6 +75,9 @@ class Operator {
   std::string name_;
   double cost_us_per_tuple_;
   OperatorId id_ = kInvalidId;
+  // Scratch for the default IngestColumnar materialization; reused across
+  // batches so the row fallback stays allocation-free in steady state.
+  std::vector<Tuple> columnar_scratch_;
 };
 
 /// \brief Single-input operator that processes one window pane at a time.
@@ -73,6 +97,11 @@ class WindowedOperator : public Operator {
   /// Computes derived payloads for one atomic input set. Implementations must
   /// not set `sic`; timestamps default to the pane end if left at 0.
   virtual void ProcessPane(const Pane& pane, std::vector<Tuple>* out) = 0;
+
+  /// Window state access for subclasses with a columnar fast path that
+  /// migrates open row panes into incremental accumulators.
+  WindowBuffer& window() { return window_; }
+  const WindowBuffer& window() const { return window_; }
 
  private:
   WindowBuffer window_;
@@ -115,6 +144,7 @@ class PassThroughOperator : public Operator {
 
   void Ingest(const std::vector<Tuple>& tuples, int port) override;
   void Advance(SimTime watermark, std::vector<Tuple>* out) override;
+  bool IsStatelessPassThrough() const override { return true; }
 
  private:
   std::vector<Tuple> pending_;

@@ -1,0 +1,74 @@
+// Pane-keyed state map for operators that fold input incrementally instead
+// of buffering row tuples. TumblingPanes mirrors WindowBuffer's tumbling
+// semantics exactly — same pane index computation, same late-tuple clamp to
+// the release watermark, same ascending release order, same watermark
+// update — which is what makes an incremental (columnar-mode) operator
+// bit-identical to its row-buffered counterpart (see tests/columnar_test.cc).
+#ifndef THEMIS_RUNTIME_TUMBLING_PANES_H_
+#define THEMIS_RUNTIME_TUMBLING_PANES_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/time_types.h"
+
+namespace themis {
+
+template <typename State>
+class TumblingPanes {
+ public:
+  explicit TumblingPanes(SimDuration range) : range_(range) {}
+
+  /// State of the pane covering `ts` (late timestamps clamp to the earliest
+  /// still-open pane, like WindowBuffer::Add). The returned pointer stays
+  /// valid until Release() erases the pane (map nodes are stable).
+  State* At(SimTime ts) {
+    SimTime clamped = ts > released_up_to_ ? ts : released_up_to_;
+    int64_t idx = clamped / range_;
+    if (idx != cached_idx_ || cached_ == nullptr) {
+      auto [it, inserted] = open_.try_emplace(idx);
+      (void)inserted;
+      cached_idx_ = idx;
+      cached_ = &it->second;
+    }
+    return cached_;
+  }
+
+  /// Calls `emit(pane_end, state)` for every pane with end <= `watermark`,
+  /// in ascending pane order, erasing them and advancing the clamp — the
+  /// incremental analogue of WindowBuffer::AdvanceTumbling.
+  template <typename Emit>
+  void Release(SimTime watermark, Emit&& emit) {
+    auto it = open_.begin();
+    if (it != open_.end() && PaneEnd(it->first) <= watermark) {
+      cached_idx_ = -1;
+      cached_ = nullptr;
+    }
+    SimTime last_end = released_up_to_;
+    while (it != open_.end() && PaneEnd(it->first) <= watermark) {
+      last_end = PaneEnd(it->first);
+      emit(last_end, it->second);
+      it = open_.erase(it);
+    }
+    if (last_end > released_up_to_) released_up_to_ = last_end;
+  }
+
+  /// Adopts the release watermark of the WindowBuffer this accumulator
+  /// replaces (mode switch mid-stream).
+  void SeedReleasedUpTo(SimTime t) { released_up_to_ = t; }
+  SimTime released_up_to() const { return released_up_to_; }
+  bool empty() const { return open_.empty(); }
+
+ private:
+  SimTime PaneEnd(int64_t idx) const { return (idx + 1) * range_; }
+
+  SimDuration range_;
+  std::map<int64_t, State> open_;
+  int64_t cached_idx_ = -1;
+  State* cached_ = nullptr;
+  SimTime released_up_to_ = 0;
+};
+
+}  // namespace themis
+
+#endif  // THEMIS_RUNTIME_TUMBLING_PANES_H_

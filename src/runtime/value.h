@@ -37,6 +37,16 @@ class Value {
   explicit Value(const std::string& s) : Value(std::string_view(s)) {}
   explicit Value(const char* s) : Value(std::string_view(s)) {}
 
+  /// Rebuilds a string value from an already-interned pool id (columnar
+  /// string columns store dictionary codes; materializing a row must not
+  /// re-intern, so the id round-trips verbatim).
+  static Value FromInterned(uint32_t id) {
+    Value v;
+    v.s_ = id;
+    v.kind_ = Kind::kString;
+    return v;
+  }
+
   Kind kind() const { return kind_; }
   bool is_int() const { return kind_ == Kind::kInt64; }
   bool is_double() const { return kind_ == Kind::kDouble; }

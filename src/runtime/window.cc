@@ -159,6 +159,16 @@ std::vector<Pane> WindowBuffer::AdvanceSliding(SimTime watermark) {
   return out;
 }
 
+std::vector<Pane> WindowBuffer::DrainOpenTumbling() {
+  std::vector<Pane> out;
+  out.reserve(open_.size());
+  for (auto& [idx, pane] : open_) out.push_back(std::move(pane));
+  open_.clear();
+  cached_idx_ = -1;
+  cached_pane_ = nullptr;
+  return out;
+}
+
 size_t WindowBuffer::buffered() const {
   switch (spec_.kind) {
     case WindowKind::kTumblingTime: {

@@ -67,6 +67,14 @@ class WindowBuffer {
   /// Number of buffered (not yet released) tuples.
   size_t buffered() const;
 
+  /// Tumbling only: removes and returns every open pane in ascending index
+  /// order (the order AdvanceTumbling would eventually release them),
+  /// leaving the release watermark untouched. Used by operators switching
+  /// from row buffering to incremental columnar accumulation mid-stream.
+  std::vector<Pane> DrainOpenTumbling();
+  /// End of the last released pane (the late-data clamp).
+  SimTime released_up_to() const { return released_up_to_; }
+
  private:
   static constexpr size_t kMaxRecycled = 8;
 

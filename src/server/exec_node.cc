@@ -80,7 +80,11 @@ RunStatus ExecNode::RunSlice() {
 
   Operator* op = graph_->op(op_id_);
   while (std::optional<Batch> b = input_.TryPop()) {
-    op->Ingest(b->tuples, b->header.dest_port);
+    if (b->is_columnar()) {
+      op->IngestColumnar(*b->columnar, b->header.dest_port);
+    } else {
+      op->Ingest(b->tuples, b->header.dest_port);
+    }
     site_->ReleaseBatch(std::move(*b));
     input_.GrantCredit(sched_);
   }

@@ -331,6 +331,7 @@ void ServerPipeline::TickPhase2() {
     if (tel != nullptr) {
       // Same seam and inputs as Node::OnShedTimer's verdict record.
       RecordShedTick(tel, ib_.num_tuples(), capacity, overloaded);
+      pool_telemetry_.Publish(tel, pool_.stats());
     }
     if (overloaded) {
       size_t max_qid =

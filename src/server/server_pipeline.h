@@ -215,6 +215,8 @@ class ServerPipeline : private ServerSite {
   std::vector<double> accepted_snapshot_;
   /// Cached per-query telemetry counters; all writers hold mu_.
   QueryTelemetry query_telemetry_;
+  /// Batch-pool occupancy export, published per shed tick under mu_.
+  PoolTelemetry pool_telemetry_;
   SimTime busy_until_ = 0;
   uint64_t interval_tuples_ = 0;
   SimDuration interval_busy_ = 0;

@@ -1,0 +1,394 @@
+// Columnar data-plane tests: the SoA ColumnarBlock must hold exactly the
+// same logical content as a row tuple vector (bit-for-bit on every double),
+// the vectorized kernels must reproduce the row loops' arithmetic, the
+// columnar fast paths in AggregateOp/FilterOp must emit byte-identical
+// results — including mid-stream switches from row buffering — and the
+// whole stack must stay allocation-free in steady state via BatchPool
+// block recycling. The end-to-end pin: the federation-scale scenario run
+// with FspsOptions::columnar on equals the row run in every simulated
+// quantity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/alloc_counter.h"
+#include "federation/scale_federation.h"
+#include "runtime/batch_pool.h"
+#include "runtime/columnar.h"
+#include "runtime/columnar_kernels.h"
+#include "runtime/operators/aggregates.h"
+#include "runtime/operators/filter_map.h"
+#include "runtime/string_pool.h"
+
+namespace themis {
+namespace {
+
+bool SameBits(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+Tuple MakeTuple(SimTime ts, double sic, ValueList values) {
+  Tuple t;
+  t.timestamp = ts;
+  t.sic = sic;
+  t.values = std::move(values);
+  return t;
+}
+
+// Deterministic but irregular doubles (no "nice" fractions) so bitwise
+// comparisons have teeth.
+double Wobble(int i) { return std::sin(i * 0.7315) * 1e3 + i * 0.001; }
+
+TEST(ColumnarBlock, RoundTripsMixedPayloadsExactly) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 137; ++i) {
+    ValueList vals;
+    vals.push_back(Value(static_cast<int64_t>(i * 3)));
+    vals.push_back(Value(Wobble(i)));
+    rows.push_back(MakeTuple(i * 10, Wobble(i + 1000), std::move(vals)));
+  }
+  ColumnarBlock block;
+  for (const Tuple& t : rows) ASSERT_TRUE(block.AppendTuple(t));
+  ASSERT_EQ(block.rows(), rows.size());
+  ASSERT_EQ(block.width(), 2u);
+
+  std::vector<Tuple> back;
+  block.MaterializeInto(&back);
+  ASSERT_EQ(back.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp, rows[i].timestamp);
+    EXPECT_TRUE(SameBits(back[i].sic, rows[i].sic));
+    ASSERT_EQ(back[i].values.size(), rows[i].values.size());
+    for (size_t c = 0; c < rows[i].values.size(); ++c) {
+      EXPECT_EQ(back[i].values[c], rows[i].values[c]);
+    }
+  }
+}
+
+// Regression: a lazily-activated column must back-fill only the rows that
+// existed BEFORE the append that created it. The first payload row on a
+// fresh block previously read a spurious zero (the row spine grew before
+// Activate counted existing rows), shifting every value by one row.
+TEST(ColumnarBlock, FirstPayloadRowIsNotShifted) {
+  ColumnarBlock block;
+  ValueList vals;
+  vals.push_back(Value(static_cast<int64_t>(7)));
+  vals.push_back(Value(123.25));
+  ASSERT_TRUE(block.AppendTuple(MakeTuple(5, 0.0, std::move(vals))));
+  ASSERT_EQ(block.rows(), 1u);
+  Tuple t;
+  block.MaterializeRow(0, &t);
+  ASSERT_EQ(t.values.size(), 2u);
+  EXPECT_EQ(AsInt(t.values[0]), 7);
+  EXPECT_TRUE(SameBits(AsDouble(t.values[1]), 123.25));
+}
+
+TEST(ColumnarBlock, ValidityBitmapsEncodeVariableWidths) {
+  ColumnarBlock block;
+  // Width grows 1 -> 3 -> back to 1: later columns must read as missing on
+  // narrow rows, and rows appended before a column existed must read as
+  // missing too (prefix-dense payloads).
+  ValueList narrow;
+  narrow.push_back(Value(1.5));
+  ASSERT_TRUE(block.AppendTuple(MakeTuple(0, 0.0, narrow)));
+  ValueList wide;
+  wide.push_back(Value(2.5));
+  wide.push_back(Value(static_cast<int64_t>(9)));
+  wide.push_back(Value(3.5));
+  ASSERT_TRUE(block.AppendTuple(MakeTuple(1, 0.0, std::move(wide))));
+  ASSERT_TRUE(block.AppendTuple(MakeTuple(2, 0.0, narrow)));
+
+  ASSERT_EQ(block.width(), 3u);
+  EXPECT_TRUE(block.col(0).IsValid(0));
+  EXPECT_FALSE(block.col(1).IsValid(0));
+  EXPECT_TRUE(block.col(1).IsValid(1));
+  EXPECT_FALSE(block.col(1).IsValid(2));
+  EXPECT_FALSE(block.col(2).IsValid(2));
+
+  std::vector<Tuple> back;
+  block.MaterializeInto(&back);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].values.size(), 1u);
+  EXPECT_EQ(back[1].values.size(), 3u);
+  EXPECT_EQ(back[2].values.size(), 1u);
+  EXPECT_EQ(AsInt(back[1].values[1]), 9);
+}
+
+TEST(ColumnarBlock, StringColumnsCarryDictionaryCodesVerbatim) {
+  StringPool& pool = StringPool::Default();
+  ColumnarBlock block;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    Value v(std::string("host-") + std::to_string(i % 3));
+    ids.push_back(v.string_id());
+    ValueList vals;
+    vals.push_back(v);
+    ASSERT_TRUE(block.AppendTuple(MakeTuple(i, 0.0, std::move(vals))));
+  }
+  // Stored as dictionary codes, not copies: repeated strings share an id.
+  EXPECT_EQ(block.col(0).str[0], block.col(0).str[3]);
+  std::vector<Tuple> back;
+  block.MaterializeInto(&back);
+  for (size_t i = 0; i < back.size(); ++i) {
+    ASSERT_TRUE(back[i].values[0].is_string());
+    EXPECT_EQ(back[i].values[0].string_id(), ids[i]);
+    EXPECT_EQ(AsStringView(back[i].values[0], &pool),
+              std::string("host-") + std::to_string(i % 3));
+  }
+}
+
+TEST(ColumnarBlock, AppendTupleRefusesKindClashWithoutMutating) {
+  ColumnarBlock block;
+  ValueList d;
+  d.push_back(Value(1.0));
+  ASSERT_TRUE(block.AppendTuple(MakeTuple(0, 0.0, std::move(d))));
+  ValueList i;
+  i.push_back(Value(static_cast<int64_t>(2)));
+  EXPECT_FALSE(block.AppendTuple(MakeTuple(1, 0.0, std::move(i))));
+  EXPECT_EQ(block.rows(), 1u);  // failed append left the block intact
+}
+
+TEST(ColumnarKernels, StampSicsMatchesRowLoopBitForBit) {
+  const double sic = 0.123456789123;
+  std::vector<Tuple> rows(1000);
+  ColumnarBlock block;
+  for (int i = 0; i < 1000; ++i) {
+    rows[i].sic = 0.0;
+    block.AppendRow(i, 0.0, Wobble(i));
+  }
+  double row_sum = 0.0;
+  for (Tuple& t : rows) {
+    t.sic = sic;
+    row_sum += sic;
+  }
+  double col_sum =
+      columnar::StampSics(block.sics().data(), block.sics().size(), sic);
+  EXPECT_TRUE(SameBits(row_sum, col_sum));
+  for (double s : block.sics()) EXPECT_TRUE(SameBits(s, sic));
+}
+
+TEST(ColumnarKernels, SelectWhereMatchesScalarPredicate) {
+  ColumnarBlock block;
+  for (int i = 0; i < 257; ++i) block.AppendRow(i, 0.0, Wobble(i));
+  SelectionVector sel;
+  const double threshold = 100.0;
+  columnar::SelectWhere(block.col(0).f64.data(), block.rows(),
+                        [&](double v) { return v >= threshold; }, &sel);
+  std::vector<uint32_t> expect;
+  for (uint32_t i = 0; i < block.rows(); ++i) {
+    if (block.col(0).f64[i] >= threshold) expect.push_back(i);
+  }
+  EXPECT_EQ(sel, expect);
+  // GatherInto keeps exactly the selected rows, like InputBuffer's
+  // RetainIndices keeps batches: ascending, no re-ordering.
+  ColumnarBlock picked;
+  block.GatherInto(sel, &picked);
+  ASSERT_EQ(picked.rows(), sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    EXPECT_TRUE(SameBits(picked.col(0).f64[i], block.col(0).f64[sel[i]]));
+    EXPECT_EQ(picked.timestamps()[i], block.timestamps()[sel[i]]);
+  }
+}
+
+// Drives a row-mode twin and a columnar-mode twin of the same operator and
+// requires byte-identical emissions at every watermark.
+template <typename MakeOp>
+void ExpectOperatorParity(MakeOp make_op, int phases) {
+  auto row_op = make_op();
+  auto col_op = make_op();
+  std::vector<Tuple> row_out, col_out;
+  int next_val = 0;
+  for (int phase = 0; phase < phases; ++phase) {
+    // One batch per phase; odd phases also exercise mixed row ingest on the
+    // columnar twin (mid-stream sources can demote to rows at any time).
+    ColumnarBlock block;
+    std::vector<Tuple> rows;
+    for (int i = 0; i < 40; ++i, ++next_val) {
+      SimTime ts = phase * 700 + i * 20;
+      double v = Wobble(next_val);
+      double sic = 0.01 * (next_val % 7);
+      block.AppendRow(ts, sic, v);
+      ValueList vals;
+      vals.push_back(Value(v));
+      rows.push_back(MakeTuple(ts, sic, std::move(vals)));
+    }
+    if (phase % 2 == 0) {
+      col_op->IngestColumnar(block, 0);
+    } else {
+      col_op->Ingest(rows, 0);
+    }
+    row_op->Ingest(rows, 0);
+    SimTime wm = (phase + 1) * 700;
+    row_op->Advance(wm, &row_out);
+    col_op->Advance(wm, &col_out);
+    ASSERT_EQ(row_out.size(), col_out.size()) << "phase " << phase;
+    for (size_t i = 0; i < row_out.size(); ++i) {
+      EXPECT_EQ(row_out[i].timestamp, col_out[i].timestamp);
+      EXPECT_TRUE(SameBits(row_out[i].sic, col_out[i].sic));
+      ASSERT_EQ(row_out[i].values.size(), col_out[i].values.size());
+      for (size_t c = 0; c < row_out[i].values.size(); ++c) {
+        EXPECT_TRUE(SameBits(AsDouble(row_out[i].values[c]),
+                             AsDouble(col_out[i].values[c])));
+      }
+    }
+    row_out.clear();
+    col_out.clear();
+  }
+}
+
+TEST(ColumnarOperators, AggregateFastPathMatchesRowPath) {
+  for (AggregateKind kind :
+       {AggregateKind::kAvg, AggregateKind::kSum, AggregateKind::kCount,
+        AggregateKind::kMax, AggregateKind::kMin}) {
+    ExpectOperatorParity(
+        [kind] {
+          return std::make_unique<AggregateOp>(
+              kind, 0, WindowSpec::TumblingTime(500));
+        },
+        6);
+  }
+}
+
+TEST(ColumnarOperators, AggregateModeSwitchMidStreamMatchesRowPath) {
+  // Row batches first (buffered in the WindowBuffer), then columnar blocks:
+  // the switch must migrate open panes without changing a single bit.
+  auto row_op = std::make_unique<AggregateOp>(AggregateKind::kAvg, 0,
+                                              WindowSpec::TumblingTime(500));
+  auto col_op = std::make_unique<AggregateOp>(AggregateKind::kAvg, 0,
+                                              WindowSpec::TumblingTime(500));
+  std::vector<Tuple> rows;
+  ColumnarBlock block;
+  for (int i = 0; i < 60; ++i) {
+    SimTime ts = i * 15;  // spans several 500-tick panes, last ones open
+    ValueList vals;
+    vals.push_back(Value(Wobble(i)));
+    rows.push_back(MakeTuple(ts, 0.02, std::move(vals)));
+  }
+  row_op->Ingest(rows, 0);
+  col_op->Ingest(rows, 0);  // both in row mode, panes open past wm=600
+  std::vector<Tuple> row_out, col_out;
+  row_op->Advance(600, &row_out);
+  col_op->Advance(600, &col_out);
+  ASSERT_EQ(row_out.size(), col_out.size());
+
+  for (int i = 0; i < 60; ++i) {
+    block.AppendRow(900 + i * 15, 0.03, Wobble(1000 + i));
+  }
+  ASSERT_TRUE(col_op->AcceptsColumnar(0));
+  col_op->IngestColumnar(block, 0);  // triggers the mode switch
+  block.MaterializeInto(&rows);
+  std::vector<Tuple> tail(rows.begin() + 60, rows.end());
+  row_op->Ingest(tail, 0);
+  row_op->Advance(4000, &row_out);
+  col_op->Advance(4000, &col_out);
+  ASSERT_EQ(row_out.size(), col_out.size());
+  for (size_t i = 0; i < row_out.size(); ++i) {
+    EXPECT_EQ(row_out[i].timestamp, col_out[i].timestamp);
+    EXPECT_TRUE(SameBits(row_out[i].sic, col_out[i].sic));
+    EXPECT_TRUE(SameBits(AsDouble(row_out[i].values[0]),
+                         AsDouble(col_out[i].values[0])));
+  }
+}
+
+TEST(ColumnarOperators, FilterFastPathMatchesRowPath) {
+  FieldPredicate pred;
+  pred.field = 0;
+  pred.cmp = FieldPredicate::Cmp::kGe;
+  pred.threshold = 0.0;
+  ExpectOperatorParity(
+      [&pred] {
+        return std::make_unique<FilterOp>(pred,
+                                          WindowSpec::TumblingTime(500));
+      },
+      6);
+}
+
+TEST(ColumnarPool, BlocksRecycleThroughBatchPool) {
+  BatchPool pool;
+  Batch a = pool.AcquireColumnar();
+  ASSERT_NE(a.columnar, nullptr);
+  ColumnarBlock* raw = a.columnar.get();
+  for (int i = 0; i < 100; ++i) a.columnar->AppendRow(i, 0.0, 1.0);
+  pool.Release(std::move(a));
+  Batch b = pool.AcquireColumnar();
+  EXPECT_EQ(b.columnar.get(), raw);  // same block, recycled
+  EXPECT_EQ(b.columnar->rows(), 0u);  // cleared...
+  b.columnar->AppendRow(0, 0.0, 2.0);
+  EXPECT_GE(b.columnar->col(0).f64.capacity(), 100u);  // ...capacity kept
+  pool.Release(std::move(b));
+  BatchPool::Stats s = pool.stats();
+  EXPECT_EQ(s.columnar_hits, 1u);
+  EXPECT_EQ(s.columnar_misses, 1u);
+  EXPECT_EQ(s.columnar_released, 2u);
+  EXPECT_EQ(s.columnar_pooled, 1u);
+}
+
+TEST(ColumnarPool, SteadyStateAppendIsAllocationFree) {
+  ForceLinkAllocCounter();
+  BatchPool pool;
+  const size_t kRows = 512;
+  // Warm: one acquire/fill/release cycle sizes every array.
+  {
+    Batch b = pool.AcquireColumnar();
+    b.columnar->ReserveRows(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      b.columnar->AppendRow(static_cast<SimTime>(i), 0.0, Wobble(i));
+    }
+    pool.Release(std::move(b));
+  }
+  const uint64_t before = AllocCounter::allocations();
+  uint64_t tuples = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    Batch b = pool.AcquireColumnar();
+    b.columnar->ReserveRows(kRows);
+    for (size_t i = 0; i < kRows; ++i, ++tuples) {
+      b.columnar->AppendRow(static_cast<SimTime>(i), 0.0, Wobble(i));
+    }
+    pool.Release(std::move(b));
+  }
+  const uint64_t allocs = AllocCounter::allocations() - before;
+  if (AllocCounter::active()) {
+    EXPECT_LT(static_cast<double>(allocs) / static_cast<double>(tuples), 0.2)
+        << allocs << " allocations for " << tuples << " tuples";
+  }
+}
+
+// End-to-end pin: the federation-scale scenario must produce identical
+// simulated results with the columnar data plane on and off — same
+// processed/shed counts, same messages and events, same SIC vector bits.
+TEST(ColumnarScaleParity, ScaleScenarioMatchesRowRunExactly) {
+  ScaleScenarioOptions o;
+  o.nodes = 16;
+  o.clusters = 4;
+  o.queries = 12;
+  o.arrival_wave = 4;
+  o.arrival_interval = Seconds(1);
+  o.sources_per_fragment = 2;
+  o.source_rate = 40.0;
+  o.seed = 11;
+  ScaleScenario scenario = MakeScaleScenario(o);
+  ScaleRunResult results[2];
+  for (int columnar = 0; columnar < 2; ++columnar) {
+    FspsOptions fo;
+    fo.columnar = columnar != 0;
+    auto fsps = MakeScaleFederation(scenario, fo);
+    results[columnar] = RunScaleScenario(fsps.get(), scenario, Seconds(5));
+  }
+  EXPECT_EQ(results[0].tuples_received, results[1].tuples_received);
+  EXPECT_EQ(results[0].tuples_processed, results[1].tuples_processed);
+  EXPECT_EQ(results[0].tuples_shed, results[1].tuples_shed);
+  EXPECT_EQ(results[0].messages, results[1].messages);
+  EXPECT_EQ(results[0].bytes, results[1].bytes);
+  EXPECT_EQ(results[0].events, results[1].events);
+  EXPECT_EQ(results[0].final_sics, results[1].final_sics);
+  EXPECT_EQ(results[0].mean_sic, results[1].mean_sic);
+  EXPECT_EQ(results[0].jain, results[1].jain);
+}
+
+}  // namespace
+}  // namespace themis
