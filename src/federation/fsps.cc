@@ -109,6 +109,9 @@ NodeId Fsps::AddNodeNow(NodeOptions node_options, int shard) {
   shard_of_node_.push_back(s);
   nodes_.push_back(std::make_unique<Node>(id, node_options, engine_->queue(s),
                                           this, MakeShedder()));
+  if (options_.checkpoint.enabled) {
+    nodes_.back()->ConfigureCheckpoints(options_.checkpoint);
+  }
   if (started_) {
     // Mid-run join. Pre-Start nodes get their source link and Start() call
     // from Fsps::Start; a joiner does both here, at the control-plane
@@ -279,8 +282,17 @@ Status Fsps::Undeploy(QueryId q) {
     if (src->query_id() == q) src->Stop();
   }
   for (const auto& [frag, node_id] : placements_.at(q)) {
+    // The graph below is retired, not destroyed — without this, every
+    // undeployed query's window panes and batch buffers would stay resident
+    // for the rest of the run. Hand them back to the hosting node's pool
+    // before the fragment is unhosted.
+    for (OperatorId oid : git->second->fragment_ops(frag)) {
+      git->second->op(oid)->ReleaseState(nodes_[node_id]->batch_pool());
+    }
     nodes_[node_id]->UnhostQuery(q);
   }
+  // Checkpoint images of a departed query are dead weight; drop them.
+  for (auto& n : nodes_) n->checkpoint_store()->EraseQuery(q);
   auto cit = coordinators_.find(q);
   if (cit != coordinators_.end()) {
     cit->second->Stop();
@@ -827,8 +839,33 @@ void Fsps::ReplaceOrphans(QueryId q, NodeId crashed) {
     }
     nid = target;
     occupied.insert(target);
-    // Operator state (windows, panes) lives in the shared QueryGraph, so
-    // hosting the fragment elsewhere resumes it with its state intact.
+    // Crash-time state semantics. Operator state (windows, panes) lives in
+    // the shared QueryGraph, so hosting the fragment elsewhere would
+    // silently resume it with the crashed node's live state — a simulation
+    // artifact no real runtime has. kLegacyShared keeps that inheritance
+    // byte-for-byte; kReset deliberately clears the fragment's operators;
+    // kCheckpoint restores each from its last image in the crashed node's
+    // store (which models a durable backup and survives the crash), then
+    // moves the image to the new host so a second crash there restores the
+    // right state.
+    switch (options_.crash_state) {
+      case CrashStateMode::kLegacyShared:
+        break;
+      case CrashStateMode::kReset:
+        for (OperatorId oid : graph->fragment_ops(frag)) {
+          graph->op(oid)->ResetState();
+        }
+        break;
+      case CrashStateMode::kCheckpoint: {
+        CheckpointStore* src = nodes_[crashed]->checkpoint_store();
+        CheckpointStore* dst = nodes_[target]->checkpoint_store();
+        for (OperatorId oid : graph->fragment_ops(frag)) {
+          RestoreOrResetOperator(graph->op(oid), q, src);
+          src->MoveEntry(q, oid, dst);
+        }
+        break;
+      }
+    }
     nodes_[target]->HostFragment(graph, frag);
     coord->AddHost(target, nodes_[target].get());
     churn_stats_.replaced_fragments += 1;

@@ -16,6 +16,7 @@
 #include "federation/topology_plan.h"
 #include "metrics/recovery_tracker.h"
 #include "node/node.h"
+#include "runtime/checkpoint.h"
 #include "runtime/query_graph.h"
 #include "shedding/balance_sic_shedder.h"
 #include "sim/engine.h"
@@ -98,6 +99,22 @@ struct FspsOptions {
   /// trades layout, not semantics (tests/columnar_test.cc and the CI parity
   /// byte-diff pin this). Off by default.
   bool columnar = false;
+  /// What a re-placed fragment's operator state looks like after CrashNode.
+  /// The default keeps the pre-PR-10 shared-graph inheritance byte-for-byte;
+  /// kReset deliberately clears it, kCheckpoint restores from the crashed
+  /// node's checkpoint store (see federation/placement.h).
+  CrashStateMode crash_state = CrashStateMode::kLegacyShared;
+  /// Operator-state checkpointing (runtime/checkpoint.h). When enabled,
+  /// every node captures images of its hosted operators' state at the
+  /// configured cadence (right after the shed-tick pump, so capture does
+  /// zero simulated work and the event schedule is untouched), and
+  /// crash_state = kCheckpoint restores re-placed fragments from those
+  /// images. `error_bound` > 0 turns on approximate checkpointing: an
+  /// operator whose accumulated ingested SIC since its last image is below
+  /// the bound skips capture, trading bounded divergence for overhead.
+  /// Off by default: zero captures, every pre-existing figure
+  /// byte-identical.
+  CheckpointConfig checkpoint;
 };
 
 /// Counters of the dynamic-topology control plane (node churn, link drift,

@@ -108,6 +108,18 @@ std::string LoadSignalName(LoadSignalKind kind) {
   return "?";
 }
 
+std::string CrashStateModeName(CrashStateMode mode) {
+  switch (mode) {
+    case CrashStateMode::kLegacyShared:
+      return "legacy-shared";
+    case CrashStateMode::kReset:
+      return "reset";
+    case CrashStateMode::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
 NodeId ChooseLeastLoaded(const std::vector<ReplacementCandidate>& candidates,
                          const std::set<NodeId>& occupied) {
   NodeId best = kInvalidId, best_any = kInvalidId;

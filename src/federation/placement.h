@@ -76,6 +76,30 @@ enum class LoadSignalKind {
 /// Signal name as printed in reports ("accepted-sic", "arrival-cost").
 std::string LoadSignalName(LoadSignalKind kind);
 
+/// What happens to a re-placed fragment's operator state at crash time.
+///
+/// Historically operator state "survived" a crash only because windows live
+/// in the shared QueryGraph — a simulation artifact a real runtime does not
+/// have. This knob makes the semantics explicit.
+enum class CrashStateMode {
+  /// Pre-PR-10 behaviour, byte-for-byte: the re-placed fragment silently
+  /// resumes with the crashed node's live window state through the shared
+  /// graph. Optimistic (a real deployment loses that state); kept as the
+  /// default for byte-compatibility with every earlier figure.
+  kLegacyShared,
+  /// The honest baseline: a re-placed fragment starts from empty operator
+  /// state, like a fresh deployment on the new host would.
+  kReset,
+  /// Bounded-error recovery: the fragment restores from its last image in
+  /// the crashed node's CheckpointStore (which models a durable backup and
+  /// survives the crash); operators without an image reset. Requires
+  /// checkpointing to be enabled for images to exist.
+  kCheckpoint,
+};
+
+/// Mode name as printed in reports ("legacy-shared", "reset", "checkpoint").
+std::string CrashStateModeName(CrashStateMode mode);
+
 /// One re-placement candidate: a live node and its overload signal
 /// (smaller = less loaded; the federation layer feeds accepted-SIC mass).
 struct ReplacementCandidate {

@@ -89,6 +89,7 @@ bool ScaleDeployer::DeployQuery(const ScaleQuerySpec& spec) {
   co.source_rate = options_.source_rate;
   co.batches_per_sec = options_.batches_per_sec;
   co.dataset = options_.dataset;
+  co.window = options_.window;
   co.burst_prob = options_.burst_prob;
   co.burst_multiplier = options_.burst_multiplier;
   co.diurnal_amplitude = options_.diurnal_amplitude;

@@ -191,6 +191,15 @@ RecoverySummary RecoveryTracker::SummarizeMatching(bool any_kind,
   double sum_censored_ttr_ms = 0.0;
   double sum_jain_ttr_ms = 0.0;
   int recovered = 0;
+  // Censoring floor. An unrecovered dip contributes the time it has been
+  // open at the last sample — but a disturbance armed in the final
+  // dip_onset_window of a run has had almost no elapsed open time, so its
+  // near-zero contribution would *deflate* the censored mean below what the
+  // recovered dips alone show. Such a dip is known to be open for at least
+  // the onset window (the dent is still developing when the run ends), so
+  // its contribution is floored there instead of excluding it outright.
+  const double censor_floor_ms =
+      static_cast<double>(options_.dip_onset_window) / kMillisecond;
   for (const Disturbance& d : disturbances_) {
     if (!any_kind && d.kind != kind) continue;
     s.disturbances += 1;
@@ -201,8 +210,9 @@ RecoverySummary RecoveryTracker::SummarizeMatching(bool any_kind,
             static_cast<double>(d.jain_time_to_recover) / kMillisecond;
       } else {
         s.jain_unrecovered += 1;
-        sum_jain_ttr_ms +=
+        double open_ms =
             static_cast<double>(last_sample_time_ - d.time) / kMillisecond;
+        sum_jain_ttr_ms += std::max(open_ms, censor_floor_ms);
       }
     }
     for (const QueryDip& dip : d.dips) {
@@ -220,8 +230,9 @@ RecoverySummary RecoveryTracker::SummarizeMatching(bool any_kind,
         recovered += 1;
       } else {
         s.unrecovered += 1;
-        sum_censored_ttr_ms +=
+        double open_ms =
             static_cast<double>(last_sample_time_ - d.time) / kMillisecond;
+        sum_censored_ttr_ms += std::max(open_ms, censor_floor_ms);
       }
     }
   }

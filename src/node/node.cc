@@ -379,6 +379,21 @@ void Node::OnShedTimer(uint64_t gen) {
     if (hs.graph != nullptr) PumpGraph(hs, nullptr);
   }
 
+  // Capture operator checkpoints right after the pump, when released panes
+  // have left the state (minimal re-emission on restore). Zero simulated
+  // cost, like telemetry: the event schedule is identical with the feature
+  // on or off, so seq == parsim@1 and run-to-run identity still hold.
+  if (ckpt_config_.enabled && now >= ckpt_next_due_) {
+    ckpt_next_due_ = now + ckpt_config_.cadence;
+    for (const HostedState& hs : hosted_) {
+      if (hs.graph == nullptr) continue;
+      for (OperatorId oid : hs.pump_ops) {
+        MaybeCheckpointOperator(hs.graph->op(oid), hs.graph->id(), now,
+                                ckpt_config_.error_bound, &ckpt_store_);
+      }
+    }
+  }
+
   size_t capacity = cost_model_.EstimateCapacity(options_.shed_interval);
   stats_.last_capacity = capacity;
 
@@ -400,6 +415,7 @@ void Node::OnShedTimer(uint64_t gen) {
   if (tel != nullptr) {
     RecordShedTick(tel, ib_.num_tuples(), capacity, overloaded);
     pool_telemetry_.Publish(tel, pool_.stats());
+    if (ckpt_config_.enabled) ckpt_telemetry_.Publish(tel, ckpt_store_);
   }
   if (overloaded) {
     accepted_snapshot_.assign(hosted_.size(), 0.0);

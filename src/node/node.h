@@ -15,6 +15,7 @@
 #include "node/sic_stamper.h"
 #include "node/telemetry_hooks.h"
 #include "runtime/batch_pool.h"
+#include "runtime/checkpoint.h"
 #include "runtime/query_graph.h"
 #include "shedding/cost_model.h"
 #include "shedding/overload_detector.h"
@@ -123,6 +124,18 @@ class Node {
 
   /// Coordinator dissemination of a query's current result SIC (§5.2).
   void UpdateQuerySic(QueryId query, double sic);
+
+  /// Enables (or re-tunes) periodic operator-state checkpoints: every
+  /// `config.cadence` the shed tick captures each hosted operator whose
+  /// dirt exceeds `config.error_bound` into this node's store. Capture does
+  /// zero simulated work, so the event schedule is unchanged. Call before
+  /// Start() for a regular capture grid.
+  void ConfigureCheckpoints(const CheckpointConfig& config) {
+    ckpt_config_ = config;
+  }
+  /// This node's image store. Deliberately survives Crash()/Restore() —
+  /// it models a durable backup, which is what re-placement restores from.
+  CheckpointStore* checkpoint_store() { return &ckpt_store_; }
 
   NodeId id() const { return id_; }
   const NodeStats& stats() const { return stats_; }
@@ -254,6 +267,11 @@ class Node {
   QueryTelemetry query_telemetry_;
   // Batch-pool occupancy/recycle export, published once per shed tick.
   PoolTelemetry pool_telemetry_;
+  // Operator-state checkpointing (inert while !ckpt_config_.enabled).
+  CheckpointConfig ckpt_config_;
+  CheckpointStore ckpt_store_;
+  CheckpointTelemetry ckpt_telemetry_;
+  SimTime ckpt_next_due_ = 0;
 
   // Processing bookkeeping.
   bool processing_scheduled_ = false;

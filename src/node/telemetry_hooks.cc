@@ -84,6 +84,31 @@ void PoolTelemetry::Publish(telemetry::Telemetry* t,
   last_ = s;
 }
 
+void CheckpointTelemetry::Publish(telemetry::Telemetry* t,
+                                  const CheckpointStore& store) {
+  if (owner_ != t) {
+    telemetry::MetricRegistry& m = t->metrics();
+    h_.taken = m.GetCounter("infra.ckpt.taken");
+    h_.skipped_clean = m.GetCounter("infra.ckpt.skipped_clean");
+    h_.restores = m.GetCounter("infra.ckpt.restores");
+    h_.missed = m.GetCounter("infra.ckpt.missed");
+    h_.bytes_written = m.GetCounter("infra.ckpt.bytes_written");
+    h_.images = m.GetGauge("infra.ckpt.images");
+    h_.resident_bytes = m.GetGauge("infra.ckpt.resident_bytes");
+    owner_ = t;
+    last_ = CheckpointStore::Stats{};
+  }
+  const CheckpointStore::Stats& s = store.stats();
+  h_.taken->Add(s.taken - last_.taken);
+  h_.skipped_clean->Add(s.skipped_clean - last_.skipped_clean);
+  h_.restores->Add(s.restores - last_.restores);
+  h_.missed->Add(s.missed - last_.missed);
+  h_.bytes_written->Add(s.bytes_written - last_.bytes_written);
+  h_.images->SetRaw(static_cast<int64_t>(store.size()));
+  h_.resident_bytes->SetRaw(static_cast<int64_t>(store.resident_bytes()));
+  last_ = s;
+}
+
 void RecordShedTick(telemetry::Telemetry* t, uint64_t ib_tuples,
                     uint64_t capacity, bool overloaded) {
   telemetry::MetricRegistry& m = t->metrics();

@@ -16,6 +16,7 @@
 
 #include "runtime/batch.h"
 #include "runtime/batch_pool.h"
+#include "runtime/checkpoint.h"
 #include "telemetry/telemetry.h"
 
 namespace themis {
@@ -77,6 +78,33 @@ class PoolTelemetry {
   telemetry::Telemetry* owner_ = nullptr;
   Handles h_;
   BatchPool::Stats last_;
+};
+
+/// \brief Publishes CheckpointStore capture/restore statistics as
+/// `infra.ckpt.*` metrics (like PoolTelemetry, in the wall-clock namespace
+/// excluded from determinism byte-diffs). Counters
+/// `infra.ckpt.{taken,skipped_clean,restores,missed,bytes_written}` advance
+/// by the delta since the last publish; gauges `infra.ckpt.images` /
+/// `infra.ckpt.resident_bytes` carry the store's current occupancy. Call
+/// from the shed tick.
+class CheckpointTelemetry {
+ public:
+  void Publish(telemetry::Telemetry* t, const CheckpointStore& store);
+
+ private:
+  struct Handles {
+    telemetry::Counter* taken = nullptr;
+    telemetry::Counter* skipped_clean = nullptr;
+    telemetry::Counter* restores = nullptr;
+    telemetry::Counter* missed = nullptr;
+    telemetry::Counter* bytes_written = nullptr;
+    telemetry::Gauge* images = nullptr;
+    telemetry::Gauge* resident_bytes = nullptr;
+  };
+
+  telemetry::Telemetry* owner_ = nullptr;
+  Handles h_;
+  CheckpointStore::Stats last_;
 };
 
 /// Records one overload-detector verdict: counters `shed.ticks` /

@@ -1,8 +1,20 @@
 #include "runtime/operator.h"
 
+#include "runtime/batch_pool.h"
+#include "runtime/checkpoint.h"
 #include "runtime/columnar.h"
 
 namespace themis {
+
+namespace {
+
+double TotalSicOf(const std::vector<Tuple>& tuples) {
+  double sum = 0.0;
+  for (const Tuple& t : tuples) sum += t.sic;
+  return sum;
+}
+
+}  // namespace
 
 void Operator::IngestColumnar(const ColumnarBlock& block, int port) {
   columnar_scratch_.clear();
@@ -30,7 +42,27 @@ void FinalizeOutputs(double input_sic, SimTime pane_end, size_t first,
 
 void WindowedOperator::Ingest(const std::vector<Tuple>& tuples, int port) {
   (void)port;
+  AddDirt(TotalSicOf(tuples));
   for (const Tuple& t : tuples) window_.Add(t);
+}
+
+void WindowedOperator::Checkpoint(CheckpointWriter* w) const {
+  window_.Checkpoint(w);
+}
+
+void WindowedOperator::RestoreFrom(CheckpointReader* r) {
+  window_.RestoreFrom(r);
+  clear_checkpoint_dirt();
+}
+
+void WindowedOperator::ResetState() {
+  window_.ResetState();
+  clear_checkpoint_dirt();
+}
+
+void WindowedOperator::ReleaseState(BatchPool* pool) {
+  window_.ReleaseState(pool);
+  clear_checkpoint_dirt();
 }
 
 void WindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
@@ -44,8 +76,60 @@ void WindowedOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {
 
 void BinaryWindowedOperator::Ingest(const std::vector<Tuple>& tuples,
                                     int port) {
+  AddDirt(TotalSicOf(tuples));
   WindowBuffer& w = (port == 0) ? left_ : right_;
   for (const Tuple& t : tuples) w.Add(t);
+}
+
+void BinaryWindowedOperator::Checkpoint(CheckpointWriter* w) const {
+  left_.Checkpoint(w);
+  right_.Checkpoint(w);
+  for (const auto* pending : {&pending_left_, &pending_right_}) {
+    w->PutU32(static_cast<uint32_t>(pending->size()));
+    for (const auto& [end, pane] : *pending) {
+      w->PutI64(end);
+      w->PutI64(pane.start);
+      w->PutI64(pane.end);
+      w->PutTuples(pane.tuples);
+    }
+  }
+}
+
+void BinaryWindowedOperator::RestoreFrom(CheckpointReader* r) {
+  left_.RestoreFrom(r);
+  right_.RestoreFrom(r);
+  for (auto* pending : {&pending_left_, &pending_right_}) {
+    pending->clear();
+    uint32_t n = r->GetU32();
+    for (uint32_t i = 0; i < n && r->ok(); ++i) {
+      SimTime end = r->GetI64();
+      Pane& pane = (*pending)[end];
+      pane.start = r->GetI64();
+      pane.end = r->GetI64();
+      r->GetTuples(&pane.tuples);
+    }
+  }
+  clear_checkpoint_dirt();
+}
+
+void BinaryWindowedOperator::ResetState() {
+  left_.ResetState();
+  right_.ResetState();
+  pending_left_.clear();
+  pending_right_.clear();
+  clear_checkpoint_dirt();
+}
+
+void BinaryWindowedOperator::ReleaseState(BatchPool* pool) {
+  left_.ReleaseState(pool);
+  right_.ReleaseState(pool);
+  for (auto* pending : {&pending_left_, &pending_right_}) {
+    for (auto& [end, pane] : *pending) {
+      pool->ReleaseTuples(std::move(pane.tuples));
+    }
+    pending->clear();
+  }
+  clear_checkpoint_dirt();
 }
 
 void BinaryWindowedOperator::Advance(SimTime watermark,
@@ -90,7 +174,28 @@ void BinaryWindowedOperator::Advance(SimTime watermark,
 
 void PassThroughOperator::Ingest(const std::vector<Tuple>& tuples, int port) {
   (void)port;
+  AddDirt(TotalSicOf(tuples));
   pending_.insert(pending_.end(), tuples.begin(), tuples.end());
+}
+
+void PassThroughOperator::Checkpoint(CheckpointWriter* w) const {
+  w->PutTuples(pending_);
+}
+
+void PassThroughOperator::RestoreFrom(CheckpointReader* r) {
+  r->GetTuples(&pending_);
+  clear_checkpoint_dirt();
+}
+
+void PassThroughOperator::ResetState() {
+  pending_.clear();
+  clear_checkpoint_dirt();
+}
+
+void PassThroughOperator::ReleaseState(BatchPool* pool) {
+  pool->ReleaseTuples(std::move(pending_));
+  pending_.clear();
+  clear_checkpoint_dirt();
 }
 
 void PassThroughOperator::Advance(SimTime watermark, std::vector<Tuple>* out) {

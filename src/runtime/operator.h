@@ -16,6 +16,9 @@
 
 namespace themis {
 
+class BatchPool;
+class CheckpointReader;
+class CheckpointWriter;
 class ColumnarBlock;
 
 /// \brief Base class of all stream operators.
@@ -64,6 +67,38 @@ class Operator {
   /// Closes windows up to `watermark` and appends derived tuples to `out`.
   virtual void Advance(SimTime watermark, std::vector<Tuple>* out) = 0;
 
+  // --- checkpoint seam (runtime/checkpoint.h) -------------------------------
+  // Every stateful subclass overrides all three so that
+  // RestoreFrom(Checkpoint(x)) reproduces x's mutable state bit for bit and
+  // ResetState() matches a freshly constructed operator. The base class has
+  // no mutable state (columnar_scratch_ is per-call scratch), so the
+  // defaults write/read/reset nothing.
+
+  /// Serializes all mutable state (windows, accumulators, cross-pane
+  /// scalars) into `w`.
+  virtual void Checkpoint(CheckpointWriter* w) const { (void)w; }
+  /// Replaces all mutable state with the image in `r`. The operator may be
+  /// in any state beforehand — implementations fully reset first, then
+  /// adopt the image's mode (e.g. a row image restores into row mode even
+  /// if the operator had promoted to columnar since capture).
+  virtual void RestoreFrom(CheckpointReader* r) {
+    (void)r;
+    clear_checkpoint_dirt();
+  }
+  /// Drops all mutable state, as a fresh instance would start.
+  virtual void ResetState() { clear_checkpoint_dirt(); }
+  /// ResetState() that hands recyclable tuple buffers back to `pool`
+  /// (query retirement; see Fsps::Undeploy). Default: plain reset.
+  virtual void ReleaseState(BatchPool* pool) {
+    (void)pool;
+    ResetState();
+  }
+
+  /// Ingested SIC mass since the last Checkpoint/RestoreFrom/ResetState —
+  /// the divergence proxy the approximate mode thresholds on.
+  double checkpoint_dirt() const { return ckpt_dirt_; }
+  void clear_checkpoint_dirt() { ckpt_dirt_ = 0.0; }
+
   const std::string& name() const { return name_; }
   double cost_us_per_tuple() const { return cost_us_per_tuple_; }
   void set_cost_us_per_tuple(double c) { cost_us_per_tuple_ = c; }
@@ -71,9 +106,16 @@ class Operator {
   OperatorId id() const { return id_; }
   void set_id(OperatorId id) { id_ = id; }
 
+ protected:
+  /// Accumulates checkpoint dirt; ingest paths call this with the SIC mass
+  /// of what they consumed. Mode switches (row -> columnar migration) must
+  /// not: they change representation, not state.
+  void AddDirt(double sic) { ckpt_dirt_ += sic; }
+
  private:
   std::string name_;
   double cost_us_per_tuple_;
+  double ckpt_dirt_ = 0.0;
   OperatorId id_ = kInvalidId;
   // Scratch for the default IngestColumnar materialization; reused across
   // batches so the row fallback stays allocation-free in steady state.
@@ -92,6 +134,10 @@ class WindowedOperator : public Operator {
 
   void Ingest(const std::vector<Tuple>& tuples, int port) override;
   void Advance(SimTime watermark, std::vector<Tuple>* out) override;
+  void Checkpoint(CheckpointWriter* w) const override;
+  void RestoreFrom(CheckpointReader* r) override;
+  void ResetState() override;
+  void ReleaseState(BatchPool* pool) override;
 
  protected:
   /// Computes derived payloads for one atomic input set. Implementations must
@@ -124,6 +170,10 @@ class BinaryWindowedOperator : public Operator {
   int num_ports() const override { return 2; }
   void Ingest(const std::vector<Tuple>& tuples, int port) override;
   void Advance(SimTime watermark, std::vector<Tuple>* out) override;
+  void Checkpoint(CheckpointWriter* w) const override;
+  void RestoreFrom(CheckpointReader* r) override;
+  void ResetState() override;
+  void ReleaseState(BatchPool* pool) override;
 
  protected:
   virtual void ProcessPanes(const Pane& left, const Pane& right,
@@ -145,6 +195,10 @@ class PassThroughOperator : public Operator {
   void Ingest(const std::vector<Tuple>& tuples, int port) override;
   void Advance(SimTime watermark, std::vector<Tuple>* out) override;
   bool IsStatelessPassThrough() const override { return true; }
+  void Checkpoint(CheckpointWriter* w) const override;
+  void RestoreFrom(CheckpointReader* r) override;
+  void ResetState() override;
+  void ReleaseState(BatchPool* pool) override;
 
  private:
   std::vector<Tuple> pending_;

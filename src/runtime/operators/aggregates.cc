@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "runtime/checkpoint.h"
 #include "runtime/columnar.h"
 #include "runtime/tumbling_panes.h"
 
@@ -115,7 +116,10 @@ void AggregateOp::EnsureColumnarMode() {
 
 void AggregateOp::Ingest(const std::vector<Tuple>& tuples, int port) {
   if (col_) {
-    for (const Tuple& t : tuples) AccumulateRow(t);
+    for (const Tuple& t : tuples) {
+      AddDirt(t.sic);
+      AccumulateRow(t);
+    }
     return;
   }
   WindowedOperator::Ingest(tuples, port);
@@ -131,6 +135,9 @@ void AggregateOp::IngestColumnar(const ColumnarBlock& block, int port) {
   if (n == 0) return;
   const SimTime* ts = block.timestamps().data();
   const double* sics = block.sics().data();
+  double block_sic = 0.0;
+  for (size_t i = 0; i < n; ++i) block_sic += sics[i];
+  AddDirt(block_sic);
   const bool in_range = static_cast<size_t>(field_) < block.width();
   if (in_range) {
     const ColumnarBlock::Column& c = block.col(field_);
@@ -210,6 +217,56 @@ void AggregateOp::Advance(SimTime watermark, std::vector<Tuple>* out) {
     result.timestamp = end;
     out->push_back(std::move(result));
   });
+}
+
+void AggregateOp::Checkpoint(CheckpointWriter* w) const {
+  if (!col_) {
+    w->PutU8(0);
+    WindowedOperator::Checkpoint(w);
+    return;
+  }
+  w->PutU8(1);
+  w->PutI64(col_->panes.released_up_to());
+  w->PutU32(static_cast<uint32_t>(col_->panes.size()));
+  const Columnar& col = *col_;
+  col.panes.ForEach([&](int64_t idx, const Columnar::PaneAcc& pa) {
+    w->PutI64(idx);
+    w->PutDouble(pa.acc.sum);
+    w->PutDouble(pa.acc.mx);
+    w->PutDouble(pa.acc.mn);
+    w->PutU64(static_cast<uint64_t>(pa.acc.n));
+    w->PutDouble(pa.sic_sum);
+  });
+}
+
+void AggregateOp::RestoreFrom(CheckpointReader* r) {
+  ResetState();
+  if (r->GetU8() == 0) {
+    WindowedOperator::RestoreFrom(r);
+    return;
+  }
+  col_ = std::make_unique<Columnar>(window().spec().range);
+  col_->panes.SeedReleasedUpTo(r->GetI64());
+  uint32_t n = r->GetU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    int64_t idx = r->GetI64();
+    Columnar::PaneAcc* pa = col_->panes.Insert(idx);
+    pa->acc.sum = r->GetDouble();
+    pa->acc.mx = r->GetDouble();
+    pa->acc.mn = r->GetDouble();
+    pa->acc.n = static_cast<size_t>(r->GetU64());
+    pa->sic_sum = r->GetDouble();
+  }
+}
+
+void AggregateOp::ResetState() {
+  col_.reset();
+  WindowedOperator::ResetState();
+}
+
+void AggregateOp::ReleaseState(BatchPool* pool) {
+  col_.reset();  // accumulators only, no tuple buffers to return
+  WindowedOperator::ReleaseState(pool);
 }
 
 void AggregateOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {

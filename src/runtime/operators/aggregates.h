@@ -43,6 +43,15 @@ class AggregateOp : public WindowedOperator {
   void Ingest(const std::vector<Tuple>& tuples, int port) override;
   void Advance(SimTime watermark, std::vector<Tuple>* out) override;
 
+  // Checkpoint seam: images are mode-tagged (row window vs columnar pane
+  // accumulators) and RestoreFrom adopts the image's mode after a full
+  // reset, so a row image restores a row operator even if the live twin had
+  // promoted to columnar since capture (and vice versa).
+  void Checkpoint(CheckpointWriter* w) const override;
+  void RestoreFrom(CheckpointReader* r) override;
+  void ResetState() override;
+  void ReleaseState(BatchPool* pool) override;
+
  protected:
   void ProcessPane(const Pane& pane, std::vector<Tuple>* out) override;
 

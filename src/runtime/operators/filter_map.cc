@@ -1,5 +1,7 @@
 #include "runtime/operators/filter_map.h"
 
+#include "runtime/batch_pool.h"
+#include "runtime/checkpoint.h"
 #include "runtime/columnar.h"
 #include "runtime/columnar_kernels.h"
 #include "runtime/tumbling_panes.h"
@@ -62,7 +64,10 @@ void FilterOp::EnsureColumnarMode() {
 
 void FilterOp::Ingest(const std::vector<Tuple>& tuples, int port) {
   if (col_) {
-    for (const Tuple& t : tuples) AccumulateRow(t);
+    for (const Tuple& t : tuples) {
+      AddDirt(t.sic);
+      AccumulateRow(t);
+    }
     return;
   }
   WindowedOperator::Ingest(tuples, port);
@@ -81,6 +86,7 @@ void FilterOp::IngestColumnar(const ColumnarBlock& block, int port) {
 
   // Pass 1: per-pane SIC accounting, arrival order.
   {
+    double block_sic = 0.0;
     Columnar::PaneState* ps = col_->panes.At(ts[0]);
     SimTime prev = ts[0];
     for (size_t i = 0; i < n; ++i) {
@@ -89,7 +95,9 @@ void FilterOp::IngestColumnar(const ColumnarBlock& block, int port) {
         prev = ts[i];
       }
       ps->sic_sum += sics[i];
+      block_sic += sics[i];
     }
+    AddDirt(block_sic);
   }
 
   // Pass 2: vectorized selection into the scratch SelectionVector.
@@ -137,6 +145,55 @@ void FilterOp::Advance(SimTime watermark, std::vector<Tuple>* out) {
       out->push_back(std::move(t));
     }
   });
+}
+
+void FilterOp::Checkpoint(CheckpointWriter* w) const {
+  if (!col_) {
+    w->PutU8(0);
+    WindowedOperator::Checkpoint(w);
+    return;
+  }
+  w->PutU8(1);
+  w->PutI64(col_->panes.released_up_to());
+  w->PutU32(static_cast<uint32_t>(col_->panes.size()));
+  const Columnar& col = *col_;
+  col.panes.ForEach([&](int64_t idx, const Columnar::PaneState& ps) {
+    w->PutI64(idx);
+    w->PutDouble(ps.sic_sum);
+    w->PutTuples(ps.passing);
+  });
+}
+
+void FilterOp::RestoreFrom(CheckpointReader* r) {
+  ResetState();
+  if (r->GetU8() == 0) {
+    WindowedOperator::RestoreFrom(r);
+    return;
+  }
+  col_ = std::make_unique<Columnar>(window().spec().range);
+  col_->panes.SeedReleasedUpTo(r->GetI64());
+  uint32_t n = r->GetU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    int64_t idx = r->GetI64();
+    Columnar::PaneState* ps = col_->panes.Insert(idx);
+    ps->sic_sum = r->GetDouble();
+    r->GetTuples(&ps->passing);
+  }
+}
+
+void FilterOp::ResetState() {
+  col_.reset();
+  WindowedOperator::ResetState();
+}
+
+void FilterOp::ReleaseState(BatchPool* pool) {
+  if (col_) {
+    col_->panes.ForEach([pool](int64_t, Columnar::PaneState& ps) {
+      pool->ReleaseTuples(std::move(ps.passing));
+    });
+    col_.reset();
+  }
+  WindowedOperator::ReleaseState(pool);
 }
 
 void FilterOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {

@@ -69,6 +69,12 @@ class FilterOp : public WindowedOperator {
   void Ingest(const std::vector<Tuple>& tuples, int port) override;
   void Advance(SimTime watermark, std::vector<Tuple>* out) override;
 
+  // Checkpoint seam, mode-tagged like AggregateOp (see aggregates.h).
+  void Checkpoint(CheckpointWriter* w) const override;
+  void RestoreFrom(CheckpointReader* r) override;
+  void ResetState() override;
+  void ReleaseState(BatchPool* pool) override;
+
  protected:
   void ProcessPane(const Pane& pane, std::vector<Tuple>* out) override;
 

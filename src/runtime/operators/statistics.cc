@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "runtime/checkpoint.h"
+
 namespace themis {
 
 namespace {
@@ -108,8 +110,56 @@ void EwmaOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
   out->push_back(std::move(result));
 }
 
+void EwmaOp::Checkpoint(CheckpointWriter* w) const {
+  WindowedOperator::Checkpoint(w);
+  w->PutDouble(state_);
+  w->PutU8(initialised_ ? 1 : 0);
+}
+
+void EwmaOp::RestoreFrom(CheckpointReader* r) {
+  WindowedOperator::RestoreFrom(r);
+  state_ = r->GetDouble();
+  initialised_ = r->GetU8() != 0;
+}
+
+void EwmaOp::ResetState() {
+  WindowedOperator::ResetState();
+  state_ = 0.0;
+  initialised_ = false;
+}
+
+void EwmaOp::ReleaseState(BatchPool* pool) {
+  WindowedOperator::ReleaseState(pool);
+  state_ = 0.0;
+  initialised_ = false;
+}
+
 DeltaOp::DeltaOp(int field, WindowSpec spec, double cost_us_per_tuple)
     : WindowedOperator("delta", spec, cost_us_per_tuple), field_(field) {}
+
+void DeltaOp::Checkpoint(CheckpointWriter* w) const {
+  WindowedOperator::Checkpoint(w);
+  w->PutDouble(previous_);
+  w->PutU8(has_previous_ ? 1 : 0);
+}
+
+void DeltaOp::RestoreFrom(CheckpointReader* r) {
+  WindowedOperator::RestoreFrom(r);
+  previous_ = r->GetDouble();
+  has_previous_ = r->GetU8() != 0;
+}
+
+void DeltaOp::ResetState() {
+  WindowedOperator::ResetState();
+  previous_ = 0.0;
+  has_previous_ = false;
+}
+
+void DeltaOp::ReleaseState(BatchPool* pool) {
+  WindowedOperator::ReleaseState(pool);
+  previous_ = 0.0;
+  has_previous_ = false;
+}
 
 void DeltaOp::ProcessPane(const Pane& pane, std::vector<Tuple>* out) {
   std::vector<double> xs = FieldValues(pane, field_);

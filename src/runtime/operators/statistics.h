@@ -58,6 +58,13 @@ class EwmaOp : public WindowedOperator {
   EwmaOp(double alpha, int field, WindowSpec spec,
          double cost_us_per_tuple = 0.8);
 
+  // Checkpoint seam: the EWMA scalar crosses panes, so it rides the image
+  // after the base window state.
+  void Checkpoint(CheckpointWriter* w) const override;
+  void RestoreFrom(CheckpointReader* r) override;
+  void ResetState() override;
+  void ReleaseState(BatchPool* pool) override;
+
  protected:
   void ProcessPane(const Pane& pane, std::vector<Tuple>* out) override;
 
@@ -74,6 +81,12 @@ class EwmaOp : public WindowedOperator {
 class DeltaOp : public WindowedOperator {
  public:
   DeltaOp(int field, WindowSpec spec, double cost_us_per_tuple = 0.8);
+
+  // Checkpoint seam: the previous-pane mean crosses panes (see EwmaOp).
+  void Checkpoint(CheckpointWriter* w) const override;
+  void RestoreFrom(CheckpointReader* r) override;
+  void ResetState() override;
+  void ReleaseState(BatchPool* pool) override;
 
  protected:
   void ProcessPane(const Pane& pane, std::vector<Tuple>* out) override;

@@ -58,6 +58,35 @@ class TumblingPanes {
   void SeedReleasedUpTo(SimTime t) { released_up_to_ = t; }
   SimTime released_up_to() const { return released_up_to_; }
   bool empty() const { return open_.empty(); }
+  size_t size() const { return open_.size(); }
+
+  /// Calls `fn(pane_index, state)` for every open pane in ascending pane
+  /// order (checkpoint serialization).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [idx, state] : open_) fn(idx, state);
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [idx, state] : open_) fn(idx, state);
+  }
+
+  /// Inserts (or overwrites) pane `idx`, bypassing the late-tuple clamp
+  /// (checkpoint restore: indices come from a serialized image).
+  State* Insert(int64_t idx) {
+    cached_idx_ = -1;
+    cached_ = nullptr;
+    return &open_[idx];
+  }
+
+  /// Drops every open pane and rewinds the release watermark to zero, as a
+  /// freshly constructed instance would start.
+  void Reset() {
+    open_.clear();
+    cached_idx_ = -1;
+    cached_ = nullptr;
+    released_up_to_ = 0;
+  }
 
  private:
   SimTime PaneEnd(int64_t idx) const { return (idx + 1) * range_; }

@@ -1,6 +1,10 @@
 #include "runtime/window.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "runtime/batch_pool.h"
+#include "runtime/checkpoint.h"
 
 namespace themis {
 
@@ -167,6 +171,92 @@ std::vector<Pane> WindowBuffer::DrainOpenTumbling() {
   cached_idx_ = -1;
   cached_pane_ = nullptr;
   return out;
+}
+
+void WindowBuffer::Checkpoint(CheckpointWriter* w) const {
+  w->PutI64(released_up_to_);
+  w->PutU32(static_cast<uint32_t>(open_.size()));
+  for (const auto& [idx, pane] : open_) {
+    w->PutI64(idx);
+    w->PutI64(pane.start);
+    w->PutI64(pane.end);
+    w->PutTuples(pane.tuples);
+  }
+  w->PutU32(static_cast<uint32_t>(sliding_buf_.size()));
+  for (const Tuple& t : sliding_buf_) w->PutTuple(t);
+  w->PutI64(next_slide_end_);
+  w->PutU8(slide_initialized_ ? 1 : 0);
+  w->PutTuples(count_buf_);
+  w->PutU32(static_cast<uint32_t>(ready_.size()));
+  for (const Pane& pane : ready_) {
+    w->PutI64(pane.start);
+    w->PutI64(pane.end);
+    w->PutTuples(pane.tuples);
+  }
+}
+
+void WindowBuffer::RestoreFrom(CheckpointReader* r) {
+  ResetState();
+  released_up_to_ = r->GetI64();
+  uint32_t n_open = r->GetU32();
+  for (uint32_t i = 0; i < n_open && r->ok(); ++i) {
+    int64_t idx = r->GetI64();
+    Pane& pane = open_[idx];
+    pane.start = r->GetI64();
+    pane.end = r->GetI64();
+    pane.tuples = TakeBuffer();
+    r->GetTuples(&pane.tuples);
+  }
+  uint32_t n_sliding = r->GetU32();
+  for (uint32_t i = 0; i < n_sliding && r->ok(); ++i) {
+    sliding_buf_.push_back(r->GetTuple());
+  }
+  next_slide_end_ = r->GetI64();
+  slide_initialized_ = r->GetU8() != 0;
+  r->GetTuples(&count_buf_);
+  uint32_t n_ready = r->GetU32();
+  for (uint32_t i = 0; i < n_ready && r->ok(); ++i) {
+    Pane pane;
+    pane.start = r->GetI64();
+    pane.end = r->GetI64();
+    pane.tuples = TakeBuffer();
+    r->GetTuples(&pane.tuples);
+    ready_.push_back(std::move(pane));
+  }
+}
+
+void WindowBuffer::ResetState() {
+  for (auto& [idx, pane] : open_) Recycle(std::move(pane.tuples));
+  open_.clear();
+  cached_idx_ = -1;
+  cached_pane_ = nullptr;
+  released_up_to_ = 0;
+  sliding_buf_.clear();
+  next_slide_end_ = 0;
+  slide_initialized_ = false;
+  Recycle(std::move(count_buf_));
+  count_buf_.clear();
+  for (Pane& pane : ready_) Recycle(std::move(pane.tuples));
+  ready_.clear();
+}
+
+void WindowBuffer::ReleaseState(BatchPool* pool) {
+  for (auto& [idx, pane] : open_) pool->ReleaseTuples(std::move(pane.tuples));
+  open_.clear();
+  cached_idx_ = -1;
+  cached_pane_ = nullptr;
+  released_up_to_ = 0;
+  sliding_buf_.clear();
+  sliding_buf_.shrink_to_fit();
+  next_slide_end_ = 0;
+  slide_initialized_ = false;
+  pool->ReleaseTuples(std::move(count_buf_));
+  count_buf_.clear();
+  for (Pane& pane : ready_) pool->ReleaseTuples(std::move(pane.tuples));
+  ready_.clear();
+  for (std::vector<Tuple>& buf : recycled_) pool->ReleaseTuples(std::move(buf));
+  recycled_.clear();
+  recycled_.shrink_to_fit();
 }
 
 size_t WindowBuffer::buffered() const {

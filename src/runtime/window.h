@@ -14,6 +14,10 @@
 
 namespace themis {
 
+class BatchPool;
+class CheckpointReader;
+class CheckpointWriter;
+
 enum class WindowKind { kTumblingTime, kSlidingTime, kCount };
 
 /// \brief Declarative window description attached to an operator.
@@ -74,6 +78,21 @@ class WindowBuffer {
   std::vector<Pane> DrainOpenTumbling();
   /// End of the last released pane (the late-data clamp).
   SimTime released_up_to() const { return released_up_to_; }
+
+  /// Serializes the complete buffer state — open/ready panes, sliding and
+  /// count buffers, the release watermark — into `w` (checkpoint seam).
+  void Checkpoint(CheckpointWriter* w) const;
+  /// Replaces the buffer state with an image written by Checkpoint().
+  /// Fully resets first; the release watermark rewinds to the image's, so
+  /// panes released after capture are re-assembled and re-emitted.
+  void RestoreFrom(CheckpointReader* r);
+  /// Drops every buffered tuple and rewinds the release watermark, as a
+  /// freshly constructed buffer would start. Spare recycled buffers keep
+  /// their capacity.
+  void ResetState();
+  /// ResetState() that returns all tuple buffers (open/ready panes, the
+  /// count fill, recycled spares) to `pool` instead of freeing them.
+  void ReleaseState(BatchPool* pool);
 
  private:
   static constexpr size_t kMaxRecycled = 8;

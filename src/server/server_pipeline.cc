@@ -439,12 +439,48 @@ void ServerPipeline::DriveTick() {
   };
   TickPhase1();
   barrier();  // window pump quiesces before detection
+  MaybeCaptureCheckpoints();
   TickPhase2();
   {
     std::lock_guard<std::mutex> lock(mu_);
     next_tick_ += options_.shed_interval;
   }
   barrier();
+}
+
+void ServerPipeline::EnableCheckpoints(CheckpointStore* store,
+                                       CheckpointConfig config) {
+  ckpt_store_ = store;
+  ckpt_config_ = config;
+  ckpt_next_ = 0;
+}
+
+void ServerPipeline::RestoreHostedFromStore() {
+  if (ckpt_store_ == nullptr) return;
+  for (auto& [q, hq] : queries_) {
+    for (size_t frag = 0; frag < hq.graph->num_fragments(); ++frag) {
+      for (OperatorId oid :
+           hq.graph->fragment_ops(static_cast<FragmentId>(frag))) {
+        RestoreOrResetOperator(hq.graph->op(oid), q, ckpt_store_);
+      }
+    }
+  }
+}
+
+void ServerPipeline::MaybeCaptureCheckpoints() {
+  if (ckpt_store_ == nullptr || !ckpt_config_.enabled) return;
+  SimTime now = clock_->NowMicros();
+  if (now < ckpt_next_) return;
+  ckpt_next_ = now + ckpt_config_.cadence;
+  for (auto& [q, hq] : queries_) {
+    for (size_t frag = 0; frag < hq.graph->num_fragments(); ++frag) {
+      for (OperatorId oid :
+           hq.graph->fragment_ops(static_cast<FragmentId>(frag))) {
+        MaybeCheckpointOperator(hq.graph->op(oid), q, now,
+                                ckpt_config_.error_bound, ckpt_store_);
+      }
+    }
+  }
 }
 
 size_t ServerPipeline::CurrentCapacity() const {

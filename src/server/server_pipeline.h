@@ -32,6 +32,7 @@
 #include "node/sic_stamper.h"
 #include "node/telemetry_hooks.h"
 #include "runtime/batch_pool.h"
+#include "runtime/checkpoint.h"
 #include "runtime/clock.h"
 #include "runtime/query_graph.h"
 #include "server/exec_node.h"
@@ -135,6 +136,22 @@ class ServerPipeline : private ServerSite {
   /// Node::OnShedTimer, split so the pump can quiesce in between.
   void DriveTick();
 
+  // --- Checkpointing ----------------------------------------------------
+  /// Shares the simulator's checkpoint seam: each DriveTick, once the
+  /// window pump has quiesced, captures images of every hosted operator
+  /// into `store` (not owned; must outlive the pipeline) at the configured
+  /// cadence, skipping operators whose accumulated dirt is within
+  /// `config.error_bound`. Caller-driven deterministic mode only
+  /// (workers == 0, DriveTick on the driving thread): operator state is
+  /// mutated by ExecNode slices outside mu_, so capture is safe only when
+  /// no worker can be mid-slice.
+  void EnableCheckpoints(CheckpointStore* store, CheckpointConfig config);
+  /// The process-restart model: restores every hosted operator from the
+  /// enabled store (operators without an image reset). Call before Start,
+  /// after AddQuery — a fresh pipeline hosting the same graphs resumes
+  /// from the last captured images.
+  void RestoreHostedFromStore();
+
   // --- Introspection ---------------------------------------------------
   /// Snapshot of the counters, taken under the site lock (safe to call
   /// from any thread while the pipeline runs).
@@ -187,6 +204,8 @@ class ServerPipeline : private ServerSite {
   double cpu_speed() const override { return options_.cpu_speed; }
 
   RunStatus IngressSlice();
+  /// Capture pass behind EnableCheckpoints (DriveTick, pump quiesced).
+  void MaybeCaptureCheckpoints();
   /// Adds modeled work to busy-until / interval accounting (mu_ held).
   void ChargeModeledLocked(double work_us);
   /// Phase 1: cost-model interval rollover + uncharged window-pump wakeups.
@@ -228,6 +247,11 @@ class ServerPipeline : private ServerSite {
 
   std::map<QueryId, HostedQuery> queries_;
   std::unique_ptr<IngressTask> ingress_;
+
+  /// Checkpoint seam (EnableCheckpoints); null = off, the default.
+  CheckpointStore* ckpt_store_ = nullptr;
+  CheckpointConfig ckpt_config_;
+  SimTime ckpt_next_ = 0;
 
   std::atomic<bool> stop_flag_{false};
   bool started_ = false;

@@ -48,6 +48,11 @@ struct ScaleScenarioOptions {
   double source_rate = 60.0;   ///< tuples/sec per source
   int batches_per_sec = 3;
   Dataset dataset = Dataset::kPlanetLab;
+  /// Window range of every query's operators (ComplexQueryOptions::window).
+  /// The default keeps the historical 1 s windows byte-identical; the
+  /// checkpoint-recovery bench widens it so a crash mid-pane loses visible
+  /// amounts of accumulated state.
+  SimDuration window = Seconds(1);
   /// §7.4 burstiness of every source: probability that any given second
   /// runs at `burst_multiplier` times the base rate. 0 (default) keeps the
   /// historical constant-rate streams byte-identical; the churn+burst

@@ -85,6 +85,34 @@ TEST(RecoveryTrackerTest, NeverRecoversStaysOpenAndIsCensored) {
   EXPECT_DOUBLE_EQ(s.mean_censored_ttr_ms, 3000.0);
 }
 
+TEST(RecoveryTrackerTest, LateDipAtRunEndIsFlooredAtTheOnsetWindow) {
+  // A disturbance landing in the final moments of a run has almost no
+  // elapsed open time; counting the raw 250 ms would *deflate* the censored
+  // mean below what the dip is known to cost (it is still developing when
+  // the run ends). Both censored means floor such dips at the onset window.
+  RecoveryTracker tracker(SmallOptions());  // onset window 2 s
+  tracker.Sample(Seconds(1), Sics{{0, 1.0}, {1, 1.0}});
+  tracker.Sample(Seconds(2), Sics{{0, 1.0}, {1, 1.0}});
+  tracker.MarkDisturbance(Seconds(2), DisturbanceKind::kCrashWave);
+  // Run ends one sample later: q1 collapsed (jain ~ 0.599 < 0.95 dips the
+  // fairness index too), open for only 2250 ms - 2000 ms = 250 ms.
+  tracker.Sample(Millis(2250), Sics{{0, 1.0}, {1, 0.1}});
+
+  const Disturbance& d = tracker.disturbances()[0];
+  EXPECT_TRUE(d.open);
+  EXPECT_TRUE(d.jain_dipped);
+  EXPECT_FALSE(d.jain_recovered);
+
+  RecoverySummary s = tracker.Summarize(DisturbanceKind::kCrashWave);
+  EXPECT_EQ(s.affected, 1);
+  EXPECT_EQ(s.unrecovered, 1);
+  EXPECT_EQ(s.jain_unrecovered, 1);
+  // Hand-computed: raw open time is 250 ms, floored to the 2000 ms onset
+  // window for both the per-query and the fairness censored means.
+  EXPECT_DOUBLE_EQ(s.mean_censored_ttr_ms, 2000.0);
+  EXPECT_DOUBLE_EQ(s.mean_jain_ttr_ms, 2000.0);
+}
+
 TEST(RecoveryTrackerTest, UntouchedQuerySettlesAfterTheOnsetWindow) {
   RecoveryTracker tracker(SmallOptions());  // onset window 2 s
   tracker.Sample(Seconds(1), Sics{{0, 1.0}});

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "node/node.h"
+#include "runtime/checkpoint.h"
 #include "runtime/clock.h"
 #include "runtime/operators/aggregates.h"
 #include "runtime/operators/receiver.h"
@@ -156,6 +157,128 @@ void RunServerAndCompare(size_t workers) {
 TEST(ServerOracleTest, CallerDrivenMatchesDes) { RunServerAndCompare(0); }
 
 TEST(ServerOracleTest, SingleWorkerThreadMatchesDes) { RunServerAndCompare(1); }
+
+// --- server checkpoint seam ----------------------------------------------
+
+// Capture rides the server's tick exactly like the DES shed tick: enabling
+// checkpoints in deterministic mode must not change a single accepted
+// tuple, SIC total or shed decision.
+TEST(ServerCheckpointTest, CaptureIsByteIdenticalToOff) {
+  auto run = [](CheckpointStore* store) {
+    std::vector<std::unique_ptr<QueryGraph>> graphs;
+    for (int q = 0; q < kQueries; ++q) {
+      graphs.push_back(MakeAvgGraph(q, 10 + q));
+    }
+    ManualClock clock;
+    ServerOptions opts;
+    opts.workers = 0;
+    opts.cpu_speed = kCpuSpeed;
+    opts.accounting = CostAccounting::kModeled;
+    opts.pace_admission = true;
+    opts.disseminate_sic = false;
+    opts.channel_capacity = 1 << 20;
+    ServerPipeline pipeline(opts, &clock,
+                            std::make_unique<BalanceSicShedder>(Rng(7)));
+    for (const auto& g : graphs) pipeline.AddQuery(g.get());
+    if (store != nullptr) {
+      CheckpointConfig config;
+      config.enabled = true;
+      config.cadence = Millis(500);
+      pipeline.EnableCheckpoints(store, config);
+    }
+    pipeline.Start();
+    std::vector<TimedBatch> arrivals = MakeArrivals();
+    DriveDeterministic(&pipeline, &clock, &arrivals, kHorizon);
+    pipeline.Stop();
+    DesRun out;
+    for (int q = 0; q < kQueries; ++q) {
+      out.accepted_sic[q] = pipeline.AcceptedSicTotal(q);
+      out.accepted_tuples[q] = pipeline.AcceptedTuplesTotal(q);
+    }
+    out.tuples_processed = pipeline.stats().tuples_processed;
+    out.tuples_shed = pipeline.stats().tuples_shed;
+    out.shed_invocations = pipeline.stats().shed_invocations;
+    return out;
+  };
+
+  CheckpointStore store;
+  DesRun off = run(nullptr);
+  DesRun on = run(&store);
+  ASSERT_GT(store.stats().taken, 0u);  // genuinely captured
+  for (int q = 0; q < kQueries; ++q) {
+    SCOPED_TRACE(q);
+    EXPECT_EQ(on.accepted_tuples[q], off.accepted_tuples[q]);
+    EXPECT_DOUBLE_EQ(on.accepted_sic[q], off.accepted_sic[q]);
+  }
+  EXPECT_EQ(on.tuples_processed, off.tuples_processed);
+  EXPECT_EQ(on.tuples_shed, off.tuples_shed);
+  EXPECT_EQ(on.shed_invocations, off.shed_invocations);
+}
+
+// Process-restart model: a fresh pipeline hosting twin graphs restores the
+// previous incarnation's operator state from the shared store before
+// Start(). The twins' re-serialized images are byte-equal to the stored
+// ones — the restore hit every (query, operator) pair, none were missed.
+TEST(ServerCheckpointTest, RestartRestoresEveryOperatorFromTheStore) {
+  std::vector<std::unique_ptr<QueryGraph>> graphs;
+  for (int q = 0; q < kQueries; ++q) {
+    graphs.push_back(MakeAvgGraph(q, 10 + q));
+  }
+  ManualClock clock;
+  ServerOptions opts;
+  opts.workers = 0;
+  opts.cpu_speed = kCpuSpeed;
+  opts.accounting = CostAccounting::kModeled;
+  opts.pace_admission = true;
+  opts.disseminate_sic = false;
+  opts.channel_capacity = 1 << 20;
+
+  CheckpointStore store;
+  CheckpointConfig config;
+  config.enabled = true;
+  config.cadence = Millis(250);
+  {
+    ServerPipeline pipeline(opts, &clock,
+                            std::make_unique<BalanceSicShedder>(Rng(7)));
+    for (const auto& g : graphs) pipeline.AddQuery(g.get());
+    pipeline.EnableCheckpoints(&store, config);
+    pipeline.Start();
+    std::vector<TimedBatch> arrivals = MakeArrivals();
+    DriveDeterministic(&pipeline, &clock, &arrivals, kHorizon);
+    pipeline.Stop();
+  }
+  // Every operator of every query has an image (3 ops per avg graph).
+  ASSERT_EQ(store.size(), static_cast<size_t>(3 * kQueries));
+
+  // "Restart": twin graphs (same builder, same ids), fresh pipeline, same
+  // durable store.
+  std::vector<std::unique_ptr<QueryGraph>> twins;
+  for (int q = 0; q < kQueries; ++q) {
+    twins.push_back(MakeAvgGraph(q, 10 + q));
+  }
+  ManualClock clock2;
+  ServerPipeline restarted(opts, &clock2,
+                           std::make_unique<BalanceSicShedder>(Rng(7)));
+  for (const auto& g : twins) restarted.AddQuery(g.get());
+  restarted.EnableCheckpoints(&store, config);
+  restarted.RestoreHostedFromStore();
+  EXPECT_EQ(store.stats().restores, static_cast<uint64_t>(3 * kQueries));
+  EXPECT_EQ(store.stats().missed, 0u);
+
+  for (int q = 0; q < kQueries; ++q) {
+    const QueryGraph* twin = twins[q].get();
+    for (FragmentId frag : twin->fragment_ids()) {
+      for (OperatorId oid : twin->fragment_ops(frag)) {
+        SCOPED_TRACE(testing::Message() << "q=" << q << " op=" << oid);
+        const CheckpointStore::Entry* entry = store.Find(q, oid);
+        ASSERT_NE(entry, nullptr);
+        CheckpointWriter w;
+        twin->op(oid)->Checkpoint(&w);
+        EXPECT_EQ(w.bytes(), entry->bytes);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace themis
